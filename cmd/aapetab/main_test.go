@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"torusx/internal/costmodel"
+)
+
+var p = costmodel.T3D(64)
+
+func TestTable1Renders(t *testing.T) {
+	out := Table1(p)
+	for _, want := range []string{"Table 1", "12x12", "8x8x8", "startups"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// Measured equals closed form: each data row repeats its paired
+	// columns; spot-check the 12x12 row contains 576 twice.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "12x12 ") {
+			if strings.Count(line, "576") < 2 {
+				t.Fatalf("12x12 row should contain measured and paper 576: %q", line)
+			}
+		}
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	out := Table2(p)
+	for _, want := range []string{"Table 2", "128x128", "(skipped)", "startups 13/9/prop"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepRenders(t *testing.T) {
+	out := Sweep(p)
+	for _, want := range []string{"32x32", "ring/prop", "direct/prop"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// Non-power-of-two rows have no Table 2 columns.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "12x12") && !strings.Contains(line, "-") {
+			t.Fatalf("12x12 should have dashes for [13]/[9]: %q", line)
+		}
+	}
+}
+
+func TestAblationRenders(t *testing.T) {
+	out := Ablation(p)
+	for _, want := range []string{"A1", "A2", "penalty", "65"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCrossoverRenders(t *testing.T) {
+	out := Crossover(p)
+	for _, want := range []string{"ts* vs [9]", "ts* vs logtime", "16x16"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSwitchingRenders(t *testing.T) {
+	out := SwitchingTable(p)
+	for _, want := range []string{"prop WH", "ring SAF", "32x32"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCrossTs(t *testing.T) {
+	a := costmodel.Measure{Steps: 10, Blocks: 100}
+	b := costmodel.Measure{Steps: 5, Blocks: 200}
+	// ts* = (extra volume cost of b) / (extra steps of a)
+	// = (100 blocks * 64 B * 0.01 us/B) / 5 = 12.8us.
+	if got := crossTs(p, a, b); got != "12.8us" {
+		t.Fatalf("crossTs = %q", got)
+	}
+	if got := crossTs(p, b, a); got != "-" {
+		t.Fatalf("fewer startups should give -, got %q", got)
+	}
+	dom := costmodel.Measure{Steps: 5, Blocks: 50}
+	if got := crossTs(p, a, dom); got != "never (dominated)" {
+		t.Fatalf("dominated case = %q", got)
+	}
+}

@@ -1,0 +1,108 @@
+// Command aapetrace prints the communication schedule of the proposed
+// exchange: phases, steps, and individual transfers, reproducing the
+// step-by-step walk-throughs of the paper's Figures 1-3.
+//
+// Usage:
+//
+//	aapetrace -dims 12x12              # per-step summary
+//	aapetrace -dims 12x12 -detail      # every transfer (-limit N to truncate)
+//	aapetrace -dims 12x12 -node 0      # one node's send/receive history
+//	aapetrace -dims 12x12 -figure groups   # Figure 1(b): node-group grid
+//	aapetrace -dims 12x12 -figure phase1   # per-node phase directions
+//	aapetrace -dims 12x12x12 -figure phase1 -plane 1   # one Z plane of a 3D torus
+//	aapetrace -dims 12x12 -figure quad1    # quad-phase step directions
+//	aapetrace -dims 12x12 -json            # machine-readable schedule
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"torusx/internal/cli"
+	"torusx/internal/exchange"
+	"torusx/internal/topology"
+	"torusx/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		cli.Fatalf("aapetrace: %v", err)
+	}
+}
+
+// run parses args and writes the trace to w; extracted from main for
+// testing.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("aapetrace", flag.ContinueOnError)
+	var (
+		dimsFlag   = fs.String("dims", "12x12", "torus shape, e.g. 12x8x4")
+		detailFlag = fs.Bool("detail", false, "print every transfer")
+		limitFlag  = fs.Int("limit", 8, "max transfers shown per step in -detail (0 = all)")
+		nodeFlag   = fs.Int("node", -1, "print one node's history instead")
+		figFlag    = fs.String("figure", "", "render a Figure-1/2-style diagram: groups, phase1..phase3, quad1, quad2")
+		planeFlag  = fs.Int("plane", 0, "Z plane for 3D -figure renderings")
+		jsonFlag   = fs.Bool("json", false, "emit the schedule as JSON instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	dims, err := cli.ParseDims(*dimsFlag)
+	if err != nil {
+		return err
+	}
+	tor, err := topology.New(dims...)
+	if err != nil {
+		return err
+	}
+
+	if *figFlag != "" {
+		var out string
+		var ferr error
+		switch *figFlag {
+		case "groups":
+			out, ferr = trace.Groups2D(tor)
+		case "phase1", "phase2", "phase3":
+			name := *figFlag
+			p := int(name[len(name)-1] - '0')
+			if tor.NDims() == 3 {
+				out, ferr = trace.Phase3D(tor, p, *planeFlag)
+			} else {
+				out, ferr = trace.Phase2D(tor, p)
+			}
+		case "quad1":
+			out, ferr = trace.QuadSteps2D(tor, 1)
+		case "quad2":
+			out, ferr = trace.QuadSteps2D(tor, 2)
+		default:
+			return fmt.Errorf("unknown figure %q", *figFlag)
+		}
+		if ferr != nil {
+			return ferr
+		}
+		fmt.Fprint(w, out)
+		return nil
+	}
+
+	res, err := exchange.Run(tor, exchange.Options{CheckSteps: true})
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *jsonFlag:
+		return res.Schedule.WriteJSON(w)
+	case *nodeFlag >= 0:
+		if *nodeFlag >= tor.Nodes() {
+			return fmt.Errorf("node %d out of range (N=%d)", *nodeFlag, tor.Nodes())
+		}
+		fmt.Fprint(w, trace.NodeHistory(res.Schedule, *nodeFlag))
+	case *detailFlag:
+		fmt.Fprint(w, trace.Detail(res.Schedule, *limitFlag))
+	default:
+		fmt.Fprint(w, trace.Summary(res.Schedule))
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runOut(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestSummaryOutput(t *testing.T) {
+	out := runOut(t, "-dims", "8x8")
+	for _, want := range []string{"4 phases, 6 steps", "group-1", "quad", "bit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDetailOutput(t *testing.T) {
+	out := runOut(t, "-dims", "8x8", "-detail", "-limit", "2")
+	if !strings.Contains(out, "... 62 more") {
+		t.Fatalf("missing truncation:\n%s", out[:300])
+	}
+}
+
+func TestNodeHistoryOutput(t *testing.T) {
+	out := runOut(t, "-dims", "8x8", "-node", "0")
+	if strings.Count(out, "send") != 6 || strings.Count(out, "recv") != 6 {
+		t.Fatalf("node history wrong:\n%s", out)
+	}
+}
+
+func TestFigureOutputs(t *testing.T) {
+	if out := runOut(t, "-dims", "12x12", "-figure", "groups"); !strings.Contains(out, "00  01  02  03") {
+		t.Fatalf("groups figure:\n%s", out)
+	}
+	if out := runOut(t, "-dims", "8x8", "-figure", "phase1"); !strings.Contains(out, "> v < ^") {
+		t.Fatalf("phase1 figure:\n%s", out)
+	}
+	if out := runOut(t, "-dims", "12x12x12", "-figure", "phase1", "-plane", "1"); !strings.Contains(out, "o o o") {
+		t.Fatalf("3D phase1 figure:\n%s", out)
+	}
+	if out := runOut(t, "-dims", "8x8", "-figure", "quad2"); !strings.Contains(out, "legend") {
+		t.Fatalf("quad2 figure:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out := runOut(t, "-dims", "8x8", "-json")
+	for _, want := range []string{`"dims"`, `"group-1"`, `"transfers"`, `"blocks": 32`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in JSON output", want)
+		}
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	var b strings.Builder
+	for _, args := range [][]string{
+		{"-dims", "zz"},
+		{"-dims", "10x8"}, // invalid for exchange
+		{"-dims", "8x8", "-node", "999"},
+		{"-dims", "8x8", "-figure", "bogus"},
+		{"-dims", "8x8", "-figure", "phase3"}, // 2D has no phase 3
+		{"-dims", "12x12x12", "-figure", "phase1", "-plane", "99"},
+	} {
+		if err := run(args, &b); err == nil {
+			t.Fatalf("run(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package torusx
+
+import (
+	"fmt"
+
+	"torusx/internal/collective"
+	"torusx/internal/topology"
+)
+
+// CollectiveReport is the verified outcome of a collective operation.
+type CollectiveReport struct {
+	Dims    []int
+	Nodes   int
+	Measure Measure
+}
+
+// Broadcast replicates root's block to every node by bidirectional
+// pipelined flooding, one dimension at a time. Works on any torus
+// shape.
+func Broadcast(t *Torus, root int) (*CollectiveReport, error) {
+	res, err := collective.Broadcast(t, topology.NodeID(root))
+	if err != nil {
+		return nil, err
+	}
+	if err := collective.VerifyReplication(t, res.Have, []topology.NodeID{topology.NodeID(root)}); err != nil {
+		return nil, err
+	}
+	return &CollectiveReport{Dims: t.Dims(), Nodes: t.Nodes(), Measure: res.Measure}, nil
+}
+
+// Scatter sends root's N personalized blocks to their destinations
+// through the Suh–Shin exchange schedule. The torus must satisfy the
+// exchange preconditions (dims multiples of four, non-increasing).
+func Scatter(t *Torus, root int) (*CollectiveReport, error) {
+	res, err := collective.Scatter(t, topology.NodeID(root))
+	if err != nil {
+		return nil, err
+	}
+	for i, buf := range res.Buffers {
+		if buf.Len() != 1 || int(buf.View()[0].Dest) != i || int(buf.View()[0].Origin) != root {
+			return nil, fmt.Errorf("torusx: scatter misdelivery at node %d", i)
+		}
+	}
+	return &CollectiveReport{Dims: t.Dims(), Nodes: t.Nodes(), Measure: Measure{
+		Steps:            res.Counters.Steps,
+		Blocks:           res.Counters.SumMaxBlocks,
+		Hops:             res.Counters.SumMaxHops,
+		RearrangedBlocks: res.Counters.RearrangedBlocksMaxPerNode,
+	}}, nil
+}
+
+// Gather collects one personalized block from every node at root
+// through the Suh–Shin exchange schedule.
+func Gather(t *Torus, root int) (*CollectiveReport, error) {
+	res, err := collective.Gather(t, topology.NodeID(root))
+	if err != nil {
+		return nil, err
+	}
+	if res.Buffers[root].Len() != t.Nodes() {
+		return nil, fmt.Errorf("torusx: gather incomplete: root holds %d blocks", res.Buffers[root].Len())
+	}
+	return &CollectiveReport{Dims: t.Dims(), Nodes: t.Nodes(), Measure: Measure{
+		Steps:            res.Counters.Steps,
+		Blocks:           res.Counters.SumMaxBlocks,
+		Hops:             res.Counters.SumMaxHops,
+		RearrangedBlocks: res.Counters.RearrangedBlocksMaxPerNode,
+	}}, nil
+}
+
+// AllGather replicates every node's block to all nodes with the ring
+// algorithm per dimension. Works on any torus shape.
+func AllGather(t *Torus) (*CollectiveReport, error) {
+	res, err := collective.AllGather(t)
+	if err != nil {
+		return nil, err
+	}
+	origins := make([]topology.NodeID, t.Nodes())
+	for i := range origins {
+		origins[i] = topology.NodeID(i)
+	}
+	if err := collective.VerifyReplication(t, res.Have, origins); err != nil {
+		return nil, err
+	}
+	return &CollectiveReport{Dims: t.Dims(), Nodes: t.Nodes(), Measure: res.Measure}, nil
+}
+
+// AllReduce sums each node's length-N contribution vector across all
+// nodes, leaving the full reduced vector everywhere, and returns the
+// result vector (identical at every node) with the cost report.
+func AllReduce(t *Torus, contrib [][]uint64) ([]uint64, *CollectiveReport, error) {
+	res, err := collective.AllReduce(t, contrib)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Values[0], &CollectiveReport{Dims: t.Dims(), Nodes: t.Nodes(), Measure: res.Measure}, nil
+}

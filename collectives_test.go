@@ -1,0 +1,86 @@
+package torusx
+
+import "testing"
+
+func TestBroadcastAPI(t *testing.T) {
+	tor, _ := NewTorus(6, 5) // arbitrary shape allowed
+	rep, err := Broadcast(tor, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 30 || rep.Measure.Steps == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if _, err := Broadcast(tor, 99); err == nil {
+		t.Fatal("bad root should fail")
+	}
+}
+
+func TestScatterGatherAPI(t *testing.T) {
+	tor, _ := NewTorus(8, 8)
+	s, err := Scatter(tor, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Gather(tor, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scatter and gather ride the full exchange schedule: same steps.
+	if s.Measure.Steps != g.Measure.Steps {
+		t.Fatalf("scatter %d steps, gather %d", s.Measure.Steps, g.Measure.Steps)
+	}
+	// A single root moves far fewer blocks than a full all-to-all.
+	full, _ := Compare(Proposed, 8, 8)
+	if s.Measure.Blocks >= full.Blocks {
+		t.Fatalf("scatter volume %d should be below all-to-all %d", s.Measure.Blocks, full.Blocks)
+	}
+	if _, err := Scatter(tor, -1); err == nil {
+		t.Fatal("bad root should fail")
+	}
+	if _, err := Gather(tor, 64); err == nil {
+		t.Fatal("bad root should fail")
+	}
+}
+
+func TestAllGatherAPI(t *testing.T) {
+	tor, _ := NewTorus(4, 4)
+	rep, err := AllGather(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Measure.Steps != 3+3 {
+		t.Fatalf("steps = %d, want 6", rep.Measure.Steps)
+	}
+}
+
+func TestAllReduceAPI(t *testing.T) {
+	tor, _ := NewTorus(4, 4)
+	n := tor.Nodes()
+	contrib := make([][]uint64, n)
+	for i := range contrib {
+		contrib[i] = make([]uint64, n)
+		for j := range contrib[i] {
+			contrib[i][j] = uint64(i + j)
+		}
+	}
+	vals, rep, err := AllReduce(tor, contrib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != n || rep.Measure.Steps == 0 {
+		t.Fatalf("vals %d, report %+v", len(vals), rep)
+	}
+	for j := 0; j < n; j++ {
+		want := uint64(0)
+		for i := 0; i < n; i++ {
+			want += uint64(i + j)
+		}
+		if vals[j] != want {
+			t.Fatalf("slot %d = %d, want %d", j, vals[j], want)
+		}
+	}
+	if _, _, err := AllReduce(tor, nil); err == nil {
+		t.Fatal("bad contrib should fail")
+	}
+}

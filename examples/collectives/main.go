@@ -1,0 +1,84 @@
+// Collectives: the full collective-communication suite on one torus —
+// broadcast, scatter, gather, all-gather, all-reduce and the
+// all-to-all personalized exchange — with verified results and a cost
+// comparison, showing how the Suh-Shin schedule slots into the wider
+// collective library the paper's introduction situates it in.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"torusx"
+)
+
+func main() {
+	tor, err := torusx.NewTorus(8, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := torusx.T3DParams(64)
+	fmt.Printf("collective suite on a %v torus (%d nodes), %v\n\n", tor.Dims(), tor.Nodes(), params)
+	fmt.Printf("%-12s %10s %12s %10s %12s\n", "operation", "startups", "blocks", "hops", "completion")
+
+	row := func(name string, m torusx.Measure) {
+		fmt.Printf("%-12s %10d %12d %10d %10.1fus\n",
+			name, m.Steps, m.Blocks, m.Hops, params.Completion(m))
+	}
+
+	b, err := torusx.Broadcast(tor, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("broadcast", b.Measure)
+
+	s, err := torusx.Scatter(tor, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("scatter", s.Measure)
+
+	g, err := torusx.Gather(tor, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("gather", g.Measure)
+
+	ag, err := torusx.AllGather(tor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("allgather", ag.Measure)
+
+	n := tor.Nodes()
+	contrib := make([][]uint64, n)
+	for i := range contrib {
+		contrib[i] = make([]uint64, n)
+		for j := range contrib[i] {
+			contrib[i][j] = uint64(i * j)
+		}
+	}
+	vals, ar, err := torusx.AllReduce(tor, contrib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("allreduce", ar.Measure)
+
+	a2a, err := torusx.AllToAll(tor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("alltoall", a2a.Measure)
+
+	// Sanity: slot n-1 of the allreduce is sum(i * (n-1)).
+	want := uint64(0)
+	for i := 0; i < n; i++ {
+		want += uint64(i * (n - 1))
+	}
+	if vals[n-1] != want {
+		log.Fatalf("allreduce slot %d = %d, want %d", n-1, vals[n-1], want)
+	}
+	fmt.Println("\nall operations verified (delivery / replication / reduction sums)")
+	fmt.Println("note how all-to-all dominates every other collective's volume —")
+	fmt.Println("the reason the paper calls it the most demanding pattern.")
+}

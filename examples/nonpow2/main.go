@@ -1,0 +1,58 @@
+// Nonpow2: all-to-all personalized exchange on tori whose dimensions
+// are neither powers of two nor multiples of four — the headline
+// capability the paper adds over prior message-combining algorithms,
+// here exercised through the virtual-node extension of Section 6.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"torusx"
+)
+
+func main() {
+	shapes := [][]int{
+		{6, 5},    // 30 nodes -> padded 8x8
+		{10, 7},   // 70 nodes -> padded 12x8
+		{7, 6, 5}, // 210 nodes -> padded 8x8x8
+		{12, 10},  // multiple of 4 in one dim only
+	}
+
+	for _, dims := range shapes {
+		rep, err := torusx.AllToAllArbitrary(dims...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("torus %v: %d real nodes, padded to %v (%d slots)\n",
+			dims, rep.RealNodes, rep.PaddedDims, mul(rep.PaddedDims))
+		fmt.Printf("  delivery verified for all %d x %d real block pairs\n",
+			rep.RealNodes, rep.RealNodes)
+		fmt.Printf("  padded schedule: %d steps; host-serialized: %d steps (max host load %d)\n",
+			rep.Measure.Steps, rep.HostSerializedSteps, rep.MaxHostLoad)
+
+		// Compare against running the baselines natively on the real
+		// shape (they need no padding).
+		dir, err := torusx.Compare(torusx.Direct, dims...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ring, err := torusx.Compare(torusx.Ring, dims...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		params := torusx.T3DParams(64)
+		padded := rep.Measure
+		padded.Steps = rep.HostSerializedSteps // charge serialization
+		fmt.Printf("  completion: virtual-node %.0f us, ring %.0f us, direct %.0f us\n\n",
+			params.Completion(padded), params.Completion(ring), params.Completion(dir))
+	}
+}
+
+func mul(dims []int) int {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	return n
+}

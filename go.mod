@@ -1,0 +1,3 @@
+module torusx
+
+go 1.22

@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"testing"
+
+	"torusx/internal/block"
+	"torusx/internal/costmodel"
+	"torusx/internal/topology"
+)
+
+var shapes = [][]int{{4, 4}, {8, 8}, {12, 8}, {6, 5}, {4, 4, 4}, {5, 3, 2}}
+
+func TestDirectDelivers(t *testing.T) {
+	for _, dims := range shapes {
+		res := Direct(topology.MustNew(dims...))
+		if err := Verify(res); err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+	}
+}
+
+func TestDirectMeasure(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	res := Direct(tor)
+	if res.Measure.Steps != 63 {
+		t.Fatalf("steps = %d, want 63", res.Measure.Steps)
+	}
+	if res.Measure.Blocks != 63 {
+		t.Fatalf("blocks = %d, want 63", res.Measure.Blocks)
+	}
+	if res.Measure.Hops <= 0 {
+		t.Fatal("hops should be positive")
+	}
+	// No shift exceeds the torus diameter (4+4) per step.
+	if res.Measure.Hops > 63*8 {
+		t.Fatalf("hops = %d exceeds diameter bound", res.Measure.Hops)
+	}
+	if res.Measure.RearrangedBlocks != 0 {
+		t.Fatal("direct performs no rearrangement")
+	}
+}
+
+func TestRingDelivers(t *testing.T) {
+	for _, dims := range shapes {
+		res := Ring(topology.MustNew(dims...))
+		if err := Verify(res); err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+	}
+}
+
+func TestRingMeasureMatchesClosedForm(t *testing.T) {
+	for _, dims := range shapes {
+		res := Ring(topology.MustNew(dims...))
+		want := RingClosedForm(dims)
+		if res.Measure.Steps != want.Steps || res.Measure.Blocks != want.Blocks || res.Measure.Hops != want.Hops {
+			t.Fatalf("%v: measured %+v, closed form %+v", dims, res.Measure, want)
+		}
+	}
+}
+
+func TestRingVsProposedShape(t *testing.T) {
+	// On a square multiple-of-four torus, Ring needs ~4x the startups
+	// of the proposed algorithm and strictly more transmitted volume.
+	dims := []int{16, 16}
+	ring := RingClosedForm(dims)
+	prop := costmodel.ProposedND(dims)
+	// Ratio is 2(C-1) vs C/2+2, approaching 4x as C grows (3.0x at C=16).
+	if ring.Steps < 3*prop.Steps {
+		t.Fatalf("ring startups %d should be ~3-4x proposed %d", ring.Steps, prop.Steps)
+	}
+	if ring.Blocks <= prop.Blocks {
+		t.Fatalf("ring volume %d should exceed proposed %d", ring.Blocks, prop.Blocks)
+	}
+}
+
+func TestSerializedGroupsAblation(t *testing.T) {
+	dims := []int{16, 16}
+	ser := SerializedGroups(dims)
+	prop := costmodel.ProposedND(dims)
+	groupSteps := 2 * (16/4 - 1)
+	if ser.Steps != prop.Steps+3*groupSteps {
+		t.Fatalf("serialized steps = %d, want %d", ser.Steps, prop.Steps+3*groupSteps)
+	}
+	if ser.Blocks != prop.Blocks || ser.Hops != prop.Hops {
+		t.Fatal("ablation should only change startups")
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	res := Direct(topology.MustNew(4, 4))
+	// Misdeliver: node 0 "holds" node 1's buffer.
+	res.Buffers[0] = res.Buffers[1]
+	if err := Verify(res); err == nil {
+		t.Fatal("Verify should fail on misdelivered blocks")
+	}
+
+	res = Direct(topology.MustNew(4, 4))
+	// Wrong count: drop a block from node 2.
+	res.Buffers[2].TakeIf(func(b block.Block) bool { return b.Origin == 3 })
+	if err := Verify(res); err == nil {
+		t.Fatal("Verify should fail on missing blocks")
+	}
+
+	res = Direct(topology.MustNew(4, 4))
+	// Duplicate origin: replace one block with a copy of another.
+	taken, _ := res.Buffers[2].TakeIf(func(b block.Block) bool { return b.Origin == 3 })
+	if len(taken) != 1 {
+		t.Fatalf("setup: took %d blocks", len(taken))
+	}
+	res.Buffers[2].Add(block.Block{Origin: 1, Dest: 2})
+	if err := Verify(res); err == nil {
+		t.Fatal("Verify should fail on duplicate origins")
+	}
+}

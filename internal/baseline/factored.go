@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"fmt"
+
+	"torusx/internal/block"
+	"torusx/internal/schedule"
+	"torusx/internal/topology"
+)
+
+// Factored is the multiphase generalization of LogTime to arbitrary
+// dimension sizes, in the spirit of Bokhari's multiphase complete
+// exchange [2]: each dimension size is decomposed into its prime
+// factors, and each factor f at place value P contributes f−1 rounds.
+// In the round for digit value v (1 <= v < f), every node sends over
+// distance v·P all blocks whose remaining ring offset has mixed-radix
+// digit v at place P — which the move zeroes. Startups total
+// sum over dims of sum(f_i − 1), e.g. 4 rounds for a 12-ring
+// (12 = 2·2·3) versus 11 for the stride-1 ring scatter.
+//
+// For power-of-two sizes Factored degenerates exactly to LogTime.
+// Like LogTime, rounds moving distance > 1 share links under wormhole
+// switching; the measured Blocks include the per-step link-sharing
+// serialization factor.
+
+// primeFactors returns the prime factorization of v in ascending order.
+func primeFactors(v int) []int {
+	var out []int
+	for f := 2; f*f <= v; f++ {
+		for v%f == 0 {
+			out = append(out, f)
+			v /= f
+		}
+	}
+	if v > 1 {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Factored executes the multiphase exchange on any torus shape.
+func Factored(t *topology.Torus) (*LogTimeResult, error) {
+	for d := 0; d < t.NDims(); d++ {
+		if t.Dim(d) < 1 {
+			return nil, fmt.Errorf("baseline: bad dimension %d", t.Dim(d))
+		}
+	}
+	n := t.Nodes()
+	bufs := block.Initial(t)
+	coords := make([]topology.Coord, n)
+	for i := range coords {
+		coords[i] = t.CoordOf(topology.NodeID(i))
+	}
+	res := &LogTimeResult{
+		Torus:    t,
+		Buffers:  bufs,
+		Schedule: &schedule.Schedule{Torus: t},
+	}
+
+	for dim := 0; dim < t.NDims(); dim++ {
+		size := t.Dim(dim)
+		if size == 1 {
+			continue
+		}
+		ph := schedule.Phase{Name: fmt.Sprintf("factored-dim%d", dim)}
+		place := 1
+		for _, f := range primeFactors(size) {
+			for v := 1; v < f; v++ {
+				dist := v * place
+				var step schedule.Step
+				moved := make([][]block.Block, n)
+				for i := 0; i < n; i++ {
+					self := coords[i]
+					taken, _ := bufs[i].TakeIf(func(b block.Block) bool {
+						off := t.Wrap(dim, coords[b.Dest][dim]-self[dim])
+						return (off/place)%f == v
+					})
+					if len(taken) == 0 {
+						continue
+					}
+					dst := t.MoveID(topology.NodeID(i), dim, dist)
+					moved[dst] = taken
+					step.Transfers = append(step.Transfers, schedule.Transfer{
+						Src: topology.NodeID(i), Dst: dst,
+						Dim: dim, Dir: topology.Pos, Hops: dist, Blocks: len(taken),
+					})
+				}
+				for j, bs := range moved {
+					if bs != nil {
+						bufs[j].Add(bs...)
+					}
+				}
+				if len(step.Transfers) == 0 {
+					continue
+				}
+				ph.Steps = append(ph.Steps, step)
+				res.Measure.Steps++
+				res.Measure.Blocks += step.MaxBlocks() * linkSharing(t, &step)
+				res.Measure.Hops += step.MaxHops()
+			}
+			place *= f
+		}
+		res.Schedule.Phases = append(res.Schedule.Phases, ph)
+		for _, buf := range bufs {
+			buf.ChargeRearrangement(buf.Len())
+		}
+	}
+	for _, buf := range bufs {
+		if buf.RearrangedBlocks > res.Measure.RearrangedBlocks {
+			res.Measure.RearrangedBlocks = buf.RearrangedBlocks
+		}
+	}
+	return res, nil
+}
+
+// FactoredSteps returns the startup count of Factored on dims:
+// sum over dims of sum(prime factor − 1).
+func FactoredSteps(dims []int) int {
+	steps := 0
+	for _, a := range dims {
+		for _, f := range primeFactors(a) {
+			steps += f - 1
+		}
+	}
+	return steps
+}

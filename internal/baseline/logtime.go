@@ -1,0 +1,138 @@
+package baseline
+
+import (
+	"fmt"
+
+	"torusx/internal/block"
+	"torusx/internal/costmodel"
+	"torusx/internal/schedule"
+	"torusx/internal/topology"
+)
+
+// This file implements an executable minimum-startup exchange in the
+// spirit of Suh & Yalamanchili [9], whose closed-form costs appear in
+// Table 2. The paper's conclusion poses the comparative study of the
+// proposed algorithm against [9] as future work; LogTime makes that
+// comparison executable.
+//
+// LogTime is a Bruck-style combining exchange: for each dimension k
+// (sizes must be powers of two) it runs log2(ai) rounds; in round r
+// every node sends to the node 2^r ahead all blocks whose remaining
+// ring offset along k has bit r set — which the move clears. After all
+// rounds of dimension k every block has the correct k-coordinate.
+// Startup count is sum(log2 ai) — 2d on a 2^d x 2^d torus, the O(d)
+// startup class of [9] — while each round moves N/2 blocks, giving the
+// higher transmitted volume that Table 2 charges minimum-startup
+// schemes. Every round is a +2^r shift permutation, hence one-port
+// compliant.
+//
+// Unlike the Suh-Shin schedule, simultaneous distance-2^r worms in one
+// direction share links, so rounds with r >= 2 are not contention-free
+// under wormhole switching (TestLogTimeHasLinkContention); the
+// flit-level cost is measurable with wormhole.FromStep.
+
+// LogTimeResult is the outcome of a LogTime run.
+type LogTimeResult struct {
+	Torus    *topology.Torus
+	Buffers  []*block.Buffer
+	Measure  costmodel.Measure
+	Schedule *schedule.Schedule
+}
+
+// isPow2 reports whether v is a positive power of two.
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// LogTime executes the logarithmic-startup exchange. Every dimension
+// size must be a power of two (the same restriction as [9]).
+func LogTime(t *topology.Torus) (*LogTimeResult, error) {
+	for d := 0; d < t.NDims(); d++ {
+		if !isPow2(t.Dim(d)) {
+			return nil, fmt.Errorf("baseline: logtime requires power-of-two dimensions, got %s", t)
+		}
+	}
+	n := t.Nodes()
+	bufs := block.Initial(t)
+	coords := make([]topology.Coord, n)
+	for i := range coords {
+		coords[i] = t.CoordOf(topology.NodeID(i))
+	}
+	res := &LogTimeResult{
+		Torus:    t,
+		Buffers:  bufs,
+		Schedule: &schedule.Schedule{Torus: t},
+	}
+
+	for dim := 0; dim < t.NDims(); dim++ {
+		size := t.Dim(dim)
+		ph := schedule.Phase{Name: fmt.Sprintf("logtime-dim%d", dim)}
+		for r := 1; r < size; r <<= 1 {
+			var step schedule.Step
+			moved := make([][]block.Block, n)
+			for i := 0; i < n; i++ {
+				self := coords[i]
+				// The Bruck criterion: send every block whose remaining
+				// ring offset along dim has bit r set; the +r move
+				// clears that bit.
+				taken, _ := bufs[i].TakeIf(func(b block.Block) bool {
+					off := t.Wrap(dim, coords[b.Dest][dim]-self[dim])
+					return off&r != 0
+				})
+				if len(taken) == 0 {
+					continue
+				}
+				dst := t.MoveID(topology.NodeID(i), dim, r)
+				moved[dst] = taken
+				step.Transfers = append(step.Transfers, schedule.Transfer{
+					Src: topology.NodeID(i), Dst: dst,
+					Dim: dim, Dir: topology.Pos, Hops: r, Blocks: len(taken),
+				})
+			}
+			for j, bs := range moved {
+				if bs != nil {
+					bufs[j].Add(bs...)
+				}
+			}
+			if len(step.Transfers) == 0 {
+				continue
+			}
+			ph.Steps = append(ph.Steps, step)
+			res.Measure.Steps++
+			// Distance-r worms of adjacent senders share links; under
+			// wormhole switching the sharers serialize, so the step's
+			// transmission time is its largest message multiplied by
+			// the worst link-sharing factor (r for a full round).
+			res.Measure.Blocks += step.MaxBlocks() * linkSharing(t, &step)
+			res.Measure.Hops += step.MaxHops()
+		}
+		res.Schedule.Phases = append(res.Schedule.Phases, ph)
+		// One rearrangement per dimension phase, as the combining
+		// schemes of [9] require between dimension sweeps.
+		for _, buf := range bufs {
+			buf.ChargeRearrangement(buf.Len())
+		}
+	}
+	for _, buf := range bufs {
+		if buf.RearrangedBlocks > res.Measure.RearrangedBlocks {
+			res.Measure.RearrangedBlocks = buf.RearrangedBlocks
+		}
+	}
+	return res, nil
+}
+
+// linkSharing returns the largest number of transfers in the step that
+// traverse any single unidirectional link — the wormhole serialization
+// factor of the step.
+func linkSharing(t *topology.Torus, step *schedule.Step) int {
+	use := make(map[topology.Link]int)
+	max := 1
+	for _, tr := range step.Transfers {
+		src := t.CoordOf(tr.Src)
+		for _, l := range t.PathLinks(src, tr.Dim, tr.Dir, tr.Hops) {
+			use[l]++
+			if use[l] > max {
+				max = use[l]
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,36 @@
+// Package cli holds the small helpers shared by the command-line
+// tools: torus-shape parsing and exit-with-message.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseDims parses a torus shape like "12x8x4" into dimension sizes.
+func ParseDims(s string) ([]int, error) {
+	parts := strings.Split(strings.ToLower(strings.TrimSpace(s)), "x")
+	if len(parts) == 0 || parts[0] == "" {
+		return nil, fmt.Errorf("empty torus shape")
+	}
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad dimension %q in %q", p, s)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("dimension %d must be >= 1 in %q", v, s)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+// Fatalf prints to stderr and exits 1.
+func Fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+package cli
+
+import "testing"
+
+func TestParseDims(t *testing.T) {
+	good := map[string][]int{
+		"12x8":      {12, 8},
+		"12X8X4":    {12, 8, 4},
+		" 4x4 ":     {4, 4},
+		"16":        {16},
+		"12 x 8":    {12, 8},
+		"4x4x4x4x4": {4, 4, 4, 4, 4},
+	}
+	for in, want := range good {
+		got, err := ParseDims(in)
+		if err != nil {
+			t.Fatalf("ParseDims(%q): %v", in, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ParseDims(%q) = %v, want %v", in, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ParseDims(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+	for _, bad := range []string{"", "x", "12x", "axb", "12x0", "12x-4", "4.5x4"} {
+		if _, err := ParseDims(bad); err == nil {
+			t.Fatalf("ParseDims(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package collective builds the rest of the collective-communication
+// suite on the same torus substrate as the all-to-all exchange. The
+// paper situates all-to-all personalized exchange among the collective
+// operations of wormhole-routed machines [4, 6]; a library a user
+// would adopt for torus collectives needs the siblings too:
+//
+//   - Scatter / Gather: one-to-all and all-to-one *personalized*
+//     traffic. These are sparse cases of the Suh–Shin exchange (a
+//     single origin or a single destination), so they reuse
+//     exchange.RunSparse verbatim — a deliberate demonstration that
+//     the paper's schedule carries arbitrary traffic matrices.
+//   - Broadcast: one block replicated to all nodes, by bidirectional
+//     pipelined flooding one dimension at a time (works for any ring
+//     size, one-port compliant, contention-free).
+//   - AllGather (all-to-all broadcast): every node's block replicated
+//     to all nodes, by the classic ring algorithm per dimension.
+//
+// Every operation returns measured costs in the same units as the
+// exchange counters plus a structural schedule where applicable.
+package collective
+
+import (
+	"fmt"
+
+	"torusx/internal/block"
+	"torusx/internal/costmodel"
+	"torusx/internal/exchange"
+	"torusx/internal/schedule"
+	"torusx/internal/topology"
+)
+
+// Result is the outcome of a collective operation.
+type Result struct {
+	Torus *topology.Torus
+	// Have[i] lists the origins whose block node i holds afterwards
+	// (replication collectives), in arbitrary order.
+	Have [][]topology.NodeID
+	// Measure is the cost measurement of the run.
+	Measure costmodel.Measure
+	// Schedule is the structural schedule (nil for operations executed
+	// through the exchange engine, which records its own).
+	Schedule *schedule.Schedule
+}
+
+// Scatter routes root's N personalized blocks to their destinations
+// through the Suh–Shin schedule. The torus must satisfy the exchange
+// preconditions.
+func Scatter(t *topology.Torus, root topology.NodeID) (*exchange.Result, error) {
+	if int(root) < 0 || int(root) >= t.Nodes() {
+		return nil, fmt.Errorf("collective: root %d out of range", root)
+	}
+	blocks := make([]block.Block, 0, t.Nodes())
+	for d := 0; d < t.Nodes(); d++ {
+		blocks = append(blocks, block.Block{Origin: root, Dest: topology.NodeID(d)})
+	}
+	return exchange.RunSparse(t, blocks, exchange.Options{CheckSteps: true})
+}
+
+// Gather routes one personalized block from every node to root through
+// the Suh–Shin schedule.
+func Gather(t *topology.Torus, root topology.NodeID) (*exchange.Result, error) {
+	if int(root) < 0 || int(root) >= t.Nodes() {
+		return nil, fmt.Errorf("collective: root %d out of range", root)
+	}
+	blocks := make([]block.Block, 0, t.Nodes())
+	for o := 0; o < t.Nodes(); o++ {
+		blocks = append(blocks, block.Block{Origin: topology.NodeID(o), Dest: root})
+	}
+	return exchange.RunSparse(t, blocks, exchange.Options{CheckSteps: true})
+}
+
+// Broadcast replicates root's block to every node: one dimension at a
+// time, the holders flood their ring in both directions in pipelined
+// steps (each node injects at most one message per step and each
+// unidirectional link carries at most one).
+func Broadcast(t *topology.Torus, root topology.NodeID) (*Result, error) {
+	n := t.Nodes()
+	if int(root) < 0 || int(root) >= n {
+		return nil, fmt.Errorf("collective: root %d out of range", root)
+	}
+	have := make([]bool, n)
+	have[root] = true
+	res := &Result{Torus: t, Schedule: &schedule.Schedule{Torus: t}}
+
+	for dim := 0; dim < t.NDims(); dim++ {
+		ph := schedule.Phase{Name: fmt.Sprintf("bcast-dim%d", dim)}
+		// Pipelined bidirectional flood: in each step every holder
+		// forwards to one neighbour that still lacks the block,
+		// alternating sides between steps so a lone holder feeds both
+		// pipeline directions; a ring of size a floods in about a/2+1
+		// steps.
+		for sweep := 0; ; sweep++ {
+			var step schedule.Step
+			next := make([]bool, n)
+			copy(next, have)
+			for i := 0; i < n; i++ {
+				if !have[i] {
+					continue
+				}
+				// Prefer the direction matching the sweep parity so a
+				// lone holder pipes both ways on alternating steps.
+				dirs := []topology.Direction{topology.Pos, topology.Neg}
+				if sweep%2 == 1 {
+					dirs[0], dirs[1] = dirs[1], dirs[0]
+				}
+				for _, dir := range dirs {
+					j := t.MoveID(topology.NodeID(i), dim, int(dir))
+					if have[j] || next[j] {
+						continue
+					}
+					next[j] = true
+					step.Transfers = append(step.Transfers, schedule.Transfer{
+						Src: topology.NodeID(i), Dst: j,
+						Dim: dim, Dir: dir, Hops: 1, Blocks: 1,
+					})
+					break // one-port: one send per node per step
+				}
+			}
+			if len(step.Transfers) == 0 {
+				break
+			}
+			if err := schedule.CheckStep(t, ph.Name, sweep, &step); err != nil {
+				return nil, err
+			}
+			copy(have, next)
+			ph.Steps = append(ph.Steps, step)
+			res.Measure.Steps++
+			res.Measure.Blocks += step.MaxBlocks()
+			res.Measure.Hops += step.MaxHops()
+		}
+		res.Schedule.Phases = append(res.Schedule.Phases, ph)
+	}
+
+	res.Have = make([][]topology.NodeID, n)
+	for i := 0; i < n; i++ {
+		if !have[i] {
+			return nil, fmt.Errorf("collective: node %d missed the broadcast", i)
+		}
+		res.Have[i] = []topology.NodeID{root}
+	}
+	return res, nil
+}
+
+// AllGather replicates every node's block to all nodes with the ring
+// algorithm: for each dimension, a−1 pipelined steps in which every
+// node forwards to its +1 neighbour the set it received in the
+// previous step (initially its own accumulated set), so after the
+// phase every node of a ring holds the union of the ring.
+func AllGather(t *topology.Torus) (*Result, error) {
+	n := t.Nodes()
+	have := make([][]topology.NodeID, n)
+	for i := range have {
+		have[i] = []topology.NodeID{topology.NodeID(i)}
+	}
+	res := &Result{Torus: t, Schedule: &schedule.Schedule{Torus: t}}
+
+	for dim := 0; dim < t.NDims(); dim++ {
+		size := t.Dim(dim)
+		if size == 1 {
+			continue
+		}
+		ph := schedule.Phase{Name: fmt.Sprintf("allgather-dim%d", dim)}
+		// carry[i] is what node i forwards next (pipelining: pass on
+		// what arrived last step).
+		carry := make([][]topology.NodeID, n)
+		for i := range carry {
+			carry[i] = append([]topology.NodeID(nil), have[i]...)
+		}
+		for s := 1; s <= size-1; s++ {
+			var step schedule.Step
+			incoming := make([][]topology.NodeID, n)
+			for i := 0; i < n; i++ {
+				j := t.MoveID(topology.NodeID(i), dim, 1)
+				incoming[j] = carry[i]
+				step.Transfers = append(step.Transfers, schedule.Transfer{
+					Src: topology.NodeID(i), Dst: j,
+					Dim: dim, Dir: topology.Pos, Hops: 1, Blocks: len(carry[i]),
+				})
+			}
+			if err := schedule.CheckStep(t, ph.Name, s-1, &step); err != nil {
+				return nil, err
+			}
+			maxB := 0
+			for i := 0; i < n; i++ {
+				have[i] = append(have[i], incoming[i]...)
+				carry[i] = incoming[i]
+				if len(incoming[i]) > maxB {
+					maxB = len(incoming[i])
+				}
+			}
+			ph.Steps = append(ph.Steps, step)
+			res.Measure.Steps++
+			res.Measure.Blocks += maxB
+			res.Measure.Hops++
+		}
+		res.Schedule.Phases = append(res.Schedule.Phases, ph)
+	}
+	res.Have = have
+	return res, nil
+}
+
+// VerifyReplication checks that every node ends with exactly one block
+// from every origin in origins.
+func VerifyReplication(t *topology.Torus, have [][]topology.NodeID, origins []topology.NodeID) error {
+	want := make(map[topology.NodeID]bool, len(origins))
+	for _, o := range origins {
+		want[o] = true
+	}
+	for i, hs := range have {
+		seen := make(map[topology.NodeID]bool, len(hs))
+		for _, o := range hs {
+			if !want[o] {
+				return fmt.Errorf("collective: node %d holds unexpected origin %d", i, o)
+			}
+			if seen[o] {
+				return fmt.Errorf("collective: node %d holds origin %d twice", i, o)
+			}
+			seen[o] = true
+		}
+		if len(seen) != len(origins) {
+			return fmt.Errorf("collective: node %d holds %d origins, want %d", i, len(seen), len(origins))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package collective
+
+import (
+	"fmt"
+
+	"torusx/internal/costmodel"
+	"torusx/internal/schedule"
+	"torusx/internal/topology"
+)
+
+// Reduction collectives. Unlike the movement collectives, these
+// combine values in flight: every node contributes a vector with one
+// slot per result owner, and the network sums contributions.
+//
+// ReduceScatter uses the classic ring algorithm per dimension: chunk j
+// (the slots owned by nodes whose coordinate along the ring equals j)
+// starts at node j+1 and travels +1 each step, accumulating each
+// visited node's contribution, arriving complete at its owner after
+// a−1 steps. Dimension-ordered application reduces over the whole
+// torus. AllReduce is ReduceScatter followed by AllGather.
+
+// ReduceResult is the outcome of a reduction collective.
+type ReduceResult struct {
+	Torus *topology.Torus
+	// Values[i] holds node i's final values: after ReduceScatter a
+	// single slot (its own), after AllReduce all N slots.
+	Values [][]uint64
+	// Owner[i] lists which slots Values[i] covers, in order.
+	Owner [][]topology.NodeID
+	// Measure is the cost measurement.
+	Measure costmodel.Measure
+	// Schedule is the structural schedule.
+	Schedule *schedule.Schedule
+}
+
+// ReduceScatter sums, across all nodes, each node's contribution
+// vector contrib[i] (length N, slot j owned by node j); afterwards
+// node i holds the single fully reduced slot i.
+func ReduceScatter(t *topology.Torus, contrib [][]uint64) (*ReduceResult, error) {
+	n := t.Nodes()
+	if len(contrib) != n {
+		return nil, fmt.Errorf("collective: %d contribution vectors for %d nodes", len(contrib), n)
+	}
+	for i, v := range contrib {
+		if len(v) != n {
+			return nil, fmt.Errorf("collective: node %d contributes %d slots, want %d", i, len(v), n)
+		}
+	}
+	// partial[i][j] = node i's current partial sum for slot j; slots
+	// not held are tracked by held[i][j].
+	partial := make([][]uint64, n)
+	held := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		partial[i] = append([]uint64(nil), contrib[i]...)
+		held[i] = make([]bool, n)
+		for j := range held[i] {
+			held[i][j] = true
+		}
+	}
+	coords := make([]topology.Coord, n)
+	for i := range coords {
+		coords[i] = t.CoordOf(topology.NodeID(i))
+	}
+	res := &ReduceResult{Torus: t, Schedule: &schedule.Schedule{Torus: t}}
+
+	for dim := 0; dim < t.NDims(); dim++ {
+		size := t.Dim(dim)
+		if size == 1 {
+			continue
+		}
+		ph := schedule.Phase{Name: fmt.Sprintf("reducescatter-dim%d", dim)}
+		for s := 1; s <= size-1; s++ {
+			var step schedule.Step
+			type msg struct {
+				dst   int
+				slots []int
+				sums  []uint64
+			}
+			var msgs []msg
+			maxB := 0
+			for i := 0; i < n; i++ {
+				// Send the partials of the chunk whose dim-coordinate is
+				// (own - s) mod size, restricted to slots still held.
+				chunk := t.Wrap(dim, coords[i][dim]-s)
+				var slots []int
+				var sums []uint64
+				for j := 0; j < n; j++ {
+					if held[i][j] && coords[j][dim] == chunk {
+						slots = append(slots, j)
+						sums = append(sums, partial[i][j])
+						held[i][j] = false
+					}
+				}
+				if len(slots) == 0 {
+					continue
+				}
+				dst := int(t.MoveID(topology.NodeID(i), dim, 1))
+				msgs = append(msgs, msg{dst: dst, slots: slots, sums: sums})
+				step.Transfers = append(step.Transfers, schedule.Transfer{
+					Src: topology.NodeID(i), Dst: topology.NodeID(dst),
+					Dim: dim, Dir: topology.Pos, Hops: 1, Blocks: len(slots),
+				})
+				if len(slots) > maxB {
+					maxB = len(slots)
+				}
+			}
+			for _, m := range msgs {
+				for k, j := range m.slots {
+					partial[m.dst][j] += m.sums[k]
+					held[m.dst][j] = true
+				}
+			}
+			if err := schedule.CheckStep(t, ph.Name, s-1, &step); err != nil {
+				return nil, err
+			}
+			ph.Steps = append(ph.Steps, step)
+			res.Measure.Steps++
+			res.Measure.Blocks += maxB
+			res.Measure.Hops++
+		}
+		res.Schedule.Phases = append(res.Schedule.Phases, ph)
+	}
+
+	res.Values = make([][]uint64, n)
+	res.Owner = make([][]topology.NodeID, n)
+	for i := 0; i < n; i++ {
+		if !held[i][i] {
+			return nil, fmt.Errorf("collective: node %d does not hold its own slot", i)
+		}
+		for j := 0; j < n; j++ {
+			if held[i][j] && j != i {
+				return nil, fmt.Errorf("collective: node %d still holds foreign slot %d", i, j)
+			}
+		}
+		res.Values[i] = []uint64{partial[i][i]}
+		res.Owner[i] = []topology.NodeID{topology.NodeID(i)}
+	}
+	return res, nil
+}
+
+// AllReduce sums each node's contribution vector across all nodes and
+// leaves the complete reduced vector at every node: ReduceScatter
+// followed by an AllGather of the reduced slots.
+func AllReduce(t *topology.Torus, contrib [][]uint64) (*ReduceResult, error) {
+	rs, err := ReduceScatter(t, contrib)
+	if err != nil {
+		return nil, err
+	}
+	ag, err := AllGather(t)
+	if err != nil {
+		return nil, err
+	}
+	n := t.Nodes()
+	// The AllGather run tells us the replication pattern is correct;
+	// assemble the gathered vectors accordingly: every node ends with
+	// slot j = reduced value owned by node j.
+	full := make([]uint64, n)
+	for j := 0; j < n; j++ {
+		full[j] = rs.Values[j][0]
+	}
+	res := &ReduceResult{
+		Torus:    t,
+		Values:   make([][]uint64, n),
+		Owner:    make([][]topology.NodeID, n),
+		Schedule: &schedule.Schedule{Torus: t},
+	}
+	owners := make([]topology.NodeID, n)
+	for j := range owners {
+		owners[j] = topology.NodeID(j)
+	}
+	for i := 0; i < n; i++ {
+		res.Values[i] = append([]uint64(nil), full...)
+		res.Owner[i] = owners
+	}
+	res.Measure.Steps = rs.Measure.Steps + ag.Measure.Steps
+	res.Measure.Blocks = rs.Measure.Blocks + ag.Measure.Blocks
+	res.Measure.Hops = rs.Measure.Hops + ag.Measure.Hops
+	res.Schedule.Phases = append(res.Schedule.Phases, rs.Schedule.Phases...)
+	res.Schedule.Phases = append(res.Schedule.Phases, ag.Schedule.Phases...)
+	return res, nil
+}

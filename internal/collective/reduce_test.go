@@ -1,0 +1,111 @@
+package collective
+
+import (
+	"testing"
+
+	"torusx/internal/topology"
+)
+
+// contribFn is a deterministic contribution: node i contributes
+// i*1000003 + j to slot j.
+func contribFn(n int) [][]uint64 {
+	out := make([][]uint64, n)
+	for i := range out {
+		out[i] = make([]uint64, n)
+		for j := range out[i] {
+			out[i][j] = uint64(i*1000003 + j)
+		}
+	}
+	return out
+}
+
+// wantSum is the expected reduced value of slot j over n nodes.
+func wantSum(n, j int) uint64 {
+	total := uint64(0)
+	for i := 0; i < n; i++ {
+		total += uint64(i*1000003 + j)
+	}
+	return total
+}
+
+func TestReduceScatterSums(t *testing.T) {
+	for _, dims := range [][]int{{4, 4}, {8, 8}, {5, 3}, {4, 4, 4}, {6, 5}} {
+		tor := topology.MustNew(dims...)
+		n := tor.Nodes()
+		res, err := ReduceScatter(tor, contribFn(n))
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		for i := 0; i < n; i++ {
+			if len(res.Values[i]) != 1 || res.Owner[i][0] != topology.NodeID(i) {
+				t.Fatalf("%v: node %d owns %v", dims, i, res.Owner[i])
+			}
+			if got, want := res.Values[i][0], wantSum(n, i); got != want {
+				t.Fatalf("%v: node %d slot sum = %d, want %d", dims, i, got, want)
+			}
+		}
+		if err := res.Schedule.Check(); err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+	}
+}
+
+func TestReduceScatterValidation(t *testing.T) {
+	tor := topology.MustNew(4, 4)
+	if _, err := ReduceScatter(tor, nil); err == nil {
+		t.Fatal("missing vectors should fail")
+	}
+	bad := contribFn(16)
+	bad[3] = bad[3][:5]
+	if _, err := ReduceScatter(tor, bad); err == nil {
+		t.Fatal("short vector should fail")
+	}
+}
+
+func TestReduceScatterStepCount(t *testing.T) {
+	// sum(ai - 1) steps, like the ring allgather (they are duals).
+	tor := topology.MustNew(8, 8)
+	res, err := ReduceScatter(tor, contribFn(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measure.Steps != 14 {
+		t.Fatalf("steps = %d, want 14", res.Measure.Steps)
+	}
+	// Duality with allgather: dim-0 steps carry N/a0 = 8 slots,
+	// dim-1 steps carry 1: mirrored volumes.
+	if res.Measure.Blocks != 7*8+7*1 {
+		t.Fatalf("blocks = %d, want 63", res.Measure.Blocks)
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	for _, dims := range [][]int{{4, 4}, {5, 3}, {4, 4, 4}} {
+		tor := topology.MustNew(dims...)
+		n := tor.Nodes()
+		res, err := AllReduce(tor, contribFn(n))
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		for i := 0; i < n; i++ {
+			if len(res.Values[i]) != n {
+				t.Fatalf("%v: node %d holds %d slots", dims, i, len(res.Values[i]))
+			}
+			for j := 0; j < n; j++ {
+				if got, want := res.Values[i][j], wantSum(n, j); got != want {
+					t.Fatalf("%v: node %d slot %d = %d, want %d", dims, i, j, got, want)
+				}
+			}
+		}
+		// Cost is the sum of both stages.
+		if res.Measure.Steps == 0 || len(res.Schedule.Phases) == 0 {
+			t.Fatalf("%v: missing cost/schedule", dims)
+		}
+	}
+}
+
+func TestAllReducePropagatesValidation(t *testing.T) {
+	if _, err := AllReduce(topology.MustNew(4, 4), nil); err == nil {
+		t.Fatal("bad input should fail")
+	}
+}

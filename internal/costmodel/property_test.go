@@ -1,0 +1,71 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Completion is monotone: adding work never reduces time.
+func TestCompletionMonotone(t *testing.T) {
+	p := T3D(64)
+	f := func(s, b, h, r uint16, ds, db, dh, dr uint8) bool {
+		m1 := Measure{Steps: int(s), Blocks: int(b), Hops: int(h), RearrangedBlocks: int(r)}
+		m2 := Measure{
+			Steps:            m1.Steps + int(ds),
+			Blocks:           m1.Blocks + int(db),
+			Hops:             m1.Hops + int(dh),
+			RearrangedBlocks: m1.RearrangedBlocks + int(dr),
+		}
+		return p.Completion(m2) >= p.Completion(m1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Breakdown components always sum to Completion.
+func TestBreakdownSumsToCompletion(t *testing.T) {
+	p := Params{Ts: 17, Tc: 0.03, Tl: 0.7, Rho: 0.011, M: 96}
+	f := func(s, b, h, r uint16) bool {
+		m := Measure{Steps: int(s), Blocks: int(b), Hops: int(h), RearrangedBlocks: int(r)}
+		a, tr, pr, re := p.Breakdown(m)
+		diff := a + tr + pr + re - p.Completion(m)
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ProposedND closed forms scale sanely: doubling the leading dimension
+// increases every component.
+func TestProposedNDScaling(t *testing.T) {
+	for _, dims := range [][]int{{8, 8}, {8, 8, 8}} {
+		big := append([]int{}, dims...)
+		big[0] *= 2
+		a, b := ProposedND(dims), ProposedND(big)
+		if b.Steps <= a.Steps || b.Blocks <= a.Blocks || b.Hops <= a.Hops || b.RearrangedBlocks <= a.RearrangedBlocks {
+			t.Fatalf("%v -> %v: not monotone (%+v vs %+v)", dims, big, a, b)
+		}
+	}
+}
+
+// StoreAndForward is never faster than wormhole for multi-hop steps
+// and identical for single-hop steps.
+func TestSAFDominatedByWormhole(t *testing.T) {
+	p := T3D(64)
+	f := func(b uint16, h uint8) bool {
+		blocks := int(b)
+		hops := int(h%16) + 1
+		saf := p.StepTime(StoreAndForward, blocks, hops)
+		wh := p.StepTime(Wormhole, blocks, hops)
+		if hops == 1 {
+			d := saf - wh
+			return d < 1e-9 && d > -1e-9
+		}
+		return saf >= wh
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package exchange
+
+import (
+	"testing"
+
+	"torusx/internal/verify"
+)
+
+func TestPadDims(t *testing.T) {
+	cases := []struct{ in, want []int }{
+		{[]int{6, 5}, []int{8, 8}},
+		{[]int{12, 8}, []int{12, 8}},
+		{[]int{9, 7, 3}, []int{12, 8, 4}},
+		{[]int{1, 1}, []int{4, 4}},
+		{[]int{4, 1}, []int{4, 4}},
+	}
+	for _, tc := range cases {
+		got := PadDims(tc.in)
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Fatalf("PadDims(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestRunVirtualValidation(t *testing.T) {
+	if _, err := RunVirtual([]int{9}, Options{}); err == nil {
+		t.Fatal("1D should be rejected")
+	}
+	if _, err := RunVirtual([]int{5, 9}, Options{}); err == nil {
+		t.Fatal("increasing dims should be rejected")
+	}
+	if _, err := RunVirtual([]int{6, 0}, Options{}); err == nil {
+		t.Fatal("zero-size dim should be rejected")
+	}
+}
+
+func TestRunVirtualDelivers(t *testing.T) {
+	for _, dims := range [][]int{{6, 5}, {7, 7}, {10, 6}, {5, 4, 3}, {6, 6, 6}} {
+		vr, err := RunVirtual(dims, Options{CheckSteps: true})
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if err := verify.DeliveredSubset(vr.Padded, vr.Run.Buffers, vr.RealNodes); err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		wantReal := 1
+		for _, d := range dims {
+			wantReal *= d
+		}
+		if len(vr.RealNodes) != wantReal {
+			t.Fatalf("%v: %d real nodes, want %d", dims, len(vr.RealNodes), wantReal)
+		}
+	}
+}
+
+func TestRunVirtualExactShapeNoOverhead(t *testing.T) {
+	// When dims are already multiples of four, padding is the
+	// identity: no virtual nodes, no host overload.
+	vr, err := RunVirtual([]int{8, 8}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Padded.Nodes() != 64 || len(vr.RealNodes) != 64 {
+		t.Fatalf("padded %d real %d", vr.Padded.Nodes(), len(vr.RealNodes))
+	}
+	if vr.MaxHostLoad != 1 {
+		t.Fatalf("MaxHostLoad = %d, want 1", vr.MaxHostLoad)
+	}
+	if vr.HostSerializedSteps != vr.Run.Counters.Steps {
+		t.Fatalf("serialized %d != steps %d", vr.HostSerializedSteps, vr.Run.Counters.Steps)
+	}
+}
+
+func TestRunVirtualHostOverloadBounded(t *testing.T) {
+	// A 6x5 torus pads to 8x8. Clamping maps padded coords {5,6,7}->5
+	// in dim 0 (3 tenants) and {4..7}->4 in dim 1 (4 tenants), so a
+	// host carries at most 12 padded nodes and can never inject more
+	// messages than that in one step.
+	vr, err := RunVirtual([]int{6, 5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxTenants := 3 * 4
+	if vr.MaxHostLoad > maxTenants {
+		t.Fatalf("MaxHostLoad = %d exceeds tenant bound %d", vr.MaxHostLoad, maxTenants)
+	}
+	if vr.HostSerializedSteps < vr.Run.Counters.Steps {
+		t.Fatalf("serialized steps %d below padded steps %d", vr.HostSerializedSteps, vr.Run.Counters.Steps)
+	}
+}

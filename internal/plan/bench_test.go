@@ -1,0 +1,28 @@
+package plan
+
+import (
+	"testing"
+
+	"torusx/internal/topology"
+)
+
+func BenchmarkGroupPhases3D(b *testing.B) {
+	c := topology.Coord{7, 3, 9}
+	for i := 0; i < b.N; i++ {
+		_ = GroupPhases(c)
+	}
+}
+
+func BenchmarkGroupPhases6D(b *testing.B) {
+	c := topology.Coord{7, 3, 9, 1, 2, 0}
+	for i := 0; i < b.N; i++ {
+		_ = GroupPhases(c)
+	}
+}
+
+func BenchmarkQuadMove(b *testing.B) {
+	c := topology.Coord{7, 3, 9}
+	for i := 0; i < b.N; i++ {
+		_ = QuadMove(c, 1+i%3)
+	}
+}

@@ -1,0 +1,91 @@
+package schedule
+
+import (
+	"encoding/json"
+	"io"
+
+	"torusx/internal/topology"
+)
+
+// JSON export for external tooling (plotting, schedule inspection,
+// replaying on real hardware). The format is stable and
+// self-describing: dimensions, then phases with per-step transfers.
+
+type jsonTransfer struct {
+	Src    int    `json:"src"`
+	Dst    int    `json:"dst"`
+	Dim    int    `json:"dim"`
+	Dir    string `json:"dir"` // "+" or "-"
+	Hops   int    `json:"hops"`
+	Blocks int    `json:"blocks"`
+}
+
+type jsonStep struct {
+	Transfers []jsonTransfer `json:"transfers"`
+}
+
+type jsonPhase struct {
+	Name  string     `json:"name"`
+	Steps []jsonStep `json:"steps"`
+}
+
+type jsonSchedule struct {
+	Dims   []int       `json:"dims"`
+	Phases []jsonPhase `json:"phases"`
+}
+
+// WriteJSON serializes the schedule to w.
+func (sc *Schedule) WriteJSON(w io.Writer) error {
+	out := jsonSchedule{Dims: sc.Torus.Dims()}
+	for _, ph := range sc.Phases {
+		jp := jsonPhase{Name: ph.Name}
+		for _, st := range ph.Steps {
+			js := jsonStep{Transfers: make([]jsonTransfer, 0, len(st.Transfers))}
+			for _, tr := range st.Transfers {
+				js.Transfers = append(js.Transfers, jsonTransfer{
+					Src: int(tr.Src), Dst: int(tr.Dst),
+					Dim: tr.Dim, Dir: tr.Dir.String(),
+					Hops: tr.Hops, Blocks: tr.Blocks,
+				})
+			}
+			jp.Steps = append(jp.Steps, js)
+		}
+		out.Phases = append(out.Phases, jp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON reconstructs a schedule from the WriteJSON format; the
+// torus is rebuilt from the recorded dimensions.
+func ReadJSON(r io.Reader) (*Schedule, error) {
+	var in jsonSchedule
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	tor, err := topology.New(in.Dims...)
+	if err != nil {
+		return nil, err
+	}
+	sc := &Schedule{Torus: tor}
+	for _, jp := range in.Phases {
+		ph := Phase{Name: jp.Name}
+		for _, js := range jp.Steps {
+			var st Step
+			for _, jt := range js.Transfers {
+				dir := topology.Pos
+				if jt.Dir == "-" {
+					dir = topology.Neg
+				}
+				st.Transfers = append(st.Transfers, Transfer{
+					Src: topology.NodeID(jt.Src), Dst: topology.NodeID(jt.Dst),
+					Dim: jt.Dim, Dir: dir, Hops: jt.Hops, Blocks: jt.Blocks,
+				})
+			}
+			ph.Steps = append(ph.Steps, st)
+		}
+		sc.Phases = append(sc.Phases, ph)
+	}
+	return sc, nil
+}

@@ -1,0 +1,256 @@
+// Package schedule defines the structural representation of a
+// collective-communication schedule — phases, steps and per-step
+// transfers — together with the validity checks the Suh–Shin
+// algorithms must satisfy on a wormhole-switched torus:
+//
+//   - contention-freedom: within one step, no unidirectional physical
+//     link is used by more than one message (a wormhole message holds
+//     every link on its path for the duration of the step);
+//   - the one-port model: within one step, every node injects at most
+//     one message and consumes at most one message.
+package schedule
+
+import (
+	"fmt"
+
+	"torusx/internal/topology"
+)
+
+// Transfer is one combined message within a step: Blocks message
+// blocks sent from Src to Dst, travelling Hops hops along dimension
+// Dim in direction Dir.
+type Transfer struct {
+	Src, Dst topology.NodeID
+	Dim      int
+	Dir      topology.Direction
+	Hops     int
+	Blocks   int
+}
+
+func (tr Transfer) String() string {
+	return fmt.Sprintf("%d->%d dim%d%s h%d b%d", tr.Src, tr.Dst, tr.Dim, tr.Dir, tr.Hops, tr.Blocks)
+}
+
+// Step is one contention-free communication step.
+type Step struct {
+	Transfers []Transfer
+}
+
+// MaxBlocks returns the largest block count carried by any single
+// transfer in the step; the step's transmission time is proportional
+// to it.
+func (s *Step) MaxBlocks() int {
+	m := 0
+	for _, tr := range s.Transfers {
+		if tr.Blocks > m {
+			m = tr.Blocks
+		}
+	}
+	return m
+}
+
+// MaxHops returns the largest hop count of any transfer in the step;
+// the step's propagation delay is proportional to it.
+func (s *Step) MaxHops() int {
+	h := 0
+	for _, tr := range s.Transfers {
+		if tr.Hops > h {
+			h = tr.Hops
+		}
+	}
+	return h
+}
+
+// TotalBlocks sums the block counts of all transfers in the step.
+func (s *Step) TotalBlocks() int {
+	t := 0
+	for _, tr := range s.Transfers {
+		t += tr.Blocks
+	}
+	return t
+}
+
+// Phase is a named sequence of steps.
+type Phase struct {
+	Name  string
+	Steps []Step
+}
+
+// Schedule is the full run: an ordered list of phases over a torus.
+type Schedule struct {
+	Torus  *topology.Torus
+	Phases []Phase
+}
+
+// NumSteps counts every step of every phase, matching the paper's
+// startup accounting (idle nodes still participate in the step).
+func (sc *Schedule) NumSteps() int {
+	n := 0
+	for _, p := range sc.Phases {
+		n += len(p.Steps)
+	}
+	return n
+}
+
+// EachStep visits every step in order.
+func (sc *Schedule) EachStep(fn func(phase *Phase, stepIndex int, step *Step)) {
+	for pi := range sc.Phases {
+		p := &sc.Phases[pi]
+		for si := range p.Steps {
+			fn(p, si, &p.Steps[si])
+		}
+	}
+}
+
+// SumMaxBlocks is the schedule's message-transmission cost in block
+// units: the sum over steps of the per-step maximum transfer size
+// (steps are synchronous, so a step lasts as long as its largest
+// message).
+func (sc *Schedule) SumMaxBlocks() int {
+	t := 0
+	sc.EachStep(func(_ *Phase, _ int, s *Step) { t += s.MaxBlocks() })
+	return t
+}
+
+// SumMaxHops is the schedule's propagation cost in hop units: the sum
+// over steps of the per-step maximum hop count.
+func (sc *Schedule) SumMaxHops() int {
+	t := 0
+	sc.EachStep(func(_ *Phase, _ int, s *Step) { t += s.MaxHops() })
+	return t
+}
+
+// LinkUtilization returns, averaged over steps, the fraction of the
+// torus's unidirectional links occupied by some transfer. The group
+// phases of the Suh–Shin schedule keep exactly half of one dimension
+// pair's links busy; low utilization is the price of strict
+// contention-freedom.
+func (sc *Schedule) LinkUtilization() float64 {
+	total := len(sc.Torus.AllLinks())
+	if total == 0 || sc.NumSteps() == 0 {
+		return 0
+	}
+	sum := 0.0
+	sc.EachStep(func(_ *Phase, _ int, s *Step) {
+		used := make(map[topology.Link]bool)
+		for _, tr := range s.Transfers {
+			src := sc.Torus.CoordOf(tr.Src)
+			for _, l := range sc.Torus.PathLinks(src, tr.Dim, tr.Dir, tr.Hops) {
+				used[l] = true
+			}
+		}
+		sum += float64(len(used)) / float64(total)
+	})
+	return sum / float64(sc.NumSteps())
+}
+
+// DestinationChanges counts, across the whole schedule, how many times
+// any node's transfer destination differs from its previous one — the
+// quantity behind the paper's claim (ii) that destinations remaining
+// fixed over many steps makes the schedule amenable to optimizations
+// (connection reuse, buffer caching). The first destination of a node
+// does not count as a change.
+func (sc *Schedule) DestinationChanges() int {
+	last := make(map[topology.NodeID]topology.NodeID)
+	changes := 0
+	sc.EachStep(func(_ *Phase, _ int, s *Step) {
+		for _, tr := range s.Transfers {
+			if prev, ok := last[tr.Src]; ok && prev != tr.Dst {
+				changes++
+			}
+			last[tr.Src] = tr.Dst
+		}
+	})
+	return changes
+}
+
+// MaxDestinationChangesPerNode is DestinationChanges for the busiest
+// node.
+func (sc *Schedule) MaxDestinationChangesPerNode() int {
+	last := make(map[topology.NodeID]topology.NodeID)
+	changes := make(map[topology.NodeID]int)
+	max := 0
+	sc.EachStep(func(_ *Phase, _ int, s *Step) {
+		for _, tr := range s.Transfers {
+			if prev, ok := last[tr.Src]; ok && prev != tr.Dst {
+				changes[tr.Src]++
+				if changes[tr.Src] > max {
+					max = changes[tr.Src]
+				}
+			}
+			last[tr.Src] = tr.Dst
+		}
+	})
+	return max
+}
+
+// ContentionError describes a physical link claimed by two transfers
+// in the same step.
+type ContentionError struct {
+	Phase string
+	Step  int
+	Link  topology.Link
+	A, B  Transfer
+}
+
+func (e *ContentionError) Error() string {
+	return fmt.Sprintf("schedule: contention in phase %q step %d on link %v between [%v] and [%v]",
+		e.Phase, e.Step, e.Link, e.A, e.B)
+}
+
+// OnePortError describes a node that sends or receives more than one
+// message in a step.
+type OnePortError struct {
+	Phase string
+	Step  int
+	Node  topology.NodeID
+	Role  string // "send" or "receive"
+	A, B  Transfer
+}
+
+func (e *OnePortError) Error() string {
+	return fmt.Sprintf("schedule: one-port violation in phase %q step %d: node %d %ss twice ([%v] and [%v])",
+		e.Phase, e.Step, e.Node, e.Role, e.A, e.B)
+}
+
+// CheckStep validates contention-freedom and the one-port model for a
+// single step. It returns the first violation found, or nil.
+func CheckStep(t *topology.Torus, phase string, stepIndex int, s *Step) error {
+	links := make(map[topology.Link]Transfer)
+	senders := make(map[topology.NodeID]Transfer)
+	receivers := make(map[topology.NodeID]Transfer)
+	for _, tr := range s.Transfers {
+		if prev, dup := senders[tr.Src]; dup {
+			return &OnePortError{Phase: phase, Step: stepIndex, Node: tr.Src, Role: "send", A: prev, B: tr}
+		}
+		senders[tr.Src] = tr
+		if prev, dup := receivers[tr.Dst]; dup {
+			return &OnePortError{Phase: phase, Step: stepIndex, Node: tr.Dst, Role: "receive", A: prev, B: tr}
+		}
+		receivers[tr.Dst] = tr
+		src := t.CoordOf(tr.Src)
+		for _, l := range t.PathLinks(src, tr.Dim, tr.Dir, tr.Hops) {
+			if prev, dup := links[l]; dup {
+				return &ContentionError{Phase: phase, Step: stepIndex, Link: l, A: prev, B: tr}
+			}
+			links[l] = tr
+		}
+	}
+	return nil
+}
+
+// Check validates every step of the schedule, returning the first
+// violation found, or nil if the schedule is contention-free and
+// one-port compliant throughout.
+func (sc *Schedule) Check() error {
+	var firstErr error
+	sc.EachStep(func(p *Phase, si int, s *Step) {
+		if firstErr != nil {
+			return
+		}
+		if err := CheckStep(sc.Torus, p.Name, si, s); err != nil {
+			firstErr = err
+		}
+	})
+	return firstErr
+}

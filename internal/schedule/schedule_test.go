@@ -1,0 +1,217 @@
+package schedule
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"torusx/internal/topology"
+)
+
+func TestStepAggregates(t *testing.T) {
+	s := Step{Transfers: []Transfer{
+		{Src: 0, Dst: 1, Dim: 0, Dir: topology.Pos, Hops: 1, Blocks: 5},
+		{Src: 2, Dst: 3, Dim: 0, Dir: topology.Pos, Hops: 4, Blocks: 9},
+	}}
+	if s.MaxBlocks() != 9 {
+		t.Fatalf("MaxBlocks = %d", s.MaxBlocks())
+	}
+	if s.MaxHops() != 4 {
+		t.Fatalf("MaxHops = %d", s.MaxHops())
+	}
+	if s.TotalBlocks() != 14 {
+		t.Fatalf("TotalBlocks = %d", s.TotalBlocks())
+	}
+	empty := Step{}
+	if empty.MaxBlocks() != 0 || empty.MaxHops() != 0 || empty.TotalBlocks() != 0 {
+		t.Fatal("empty step aggregates should be zero")
+	}
+}
+
+func TestScheduleAggregates(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	sc := &Schedule{
+		Torus: tor,
+		Phases: []Phase{
+			{Name: "p1", Steps: []Step{
+				{Transfers: []Transfer{{Src: 0, Dst: 4, Dim: 1, Dir: topology.Pos, Hops: 4, Blocks: 10}}},
+				{Transfers: []Transfer{{Src: 0, Dst: 4, Dim: 1, Dir: topology.Pos, Hops: 4, Blocks: 6}}},
+			}},
+			{Name: "p2", Steps: []Step{
+				{Transfers: []Transfer{{Src: 0, Dst: 2, Dim: 0, Dir: topology.Pos, Hops: 2, Blocks: 8}}},
+			}},
+		},
+	}
+	if sc.NumSteps() != 3 {
+		t.Fatalf("NumSteps = %d", sc.NumSteps())
+	}
+	if sc.SumMaxBlocks() != 24 {
+		t.Fatalf("SumMaxBlocks = %d", sc.SumMaxBlocks())
+	}
+	if sc.SumMaxHops() != 10 {
+		t.Fatalf("SumMaxHops = %d", sc.SumMaxHops())
+	}
+	visited := 0
+	sc.EachStep(func(p *Phase, si int, s *Step) { visited++ })
+	if visited != 3 {
+		t.Fatalf("EachStep visited %d", visited)
+	}
+}
+
+func TestCheckStepDetectsLinkContention(t *testing.T) {
+	tor := topology.MustNew(8)
+	// Two messages both traversing the link 1->2.
+	s := &Step{Transfers: []Transfer{
+		{Src: 0, Dst: 4, Dim: 0, Dir: topology.Pos, Hops: 4, Blocks: 1},
+		{Src: 1, Dst: 3, Dim: 0, Dir: topology.Pos, Hops: 2, Blocks: 1},
+	}}
+	err := CheckStep(tor, "x", 0, s)
+	var ce *ContentionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want ContentionError, got %v", err)
+	}
+	if ce.Link.Dim != 0 || ce.Link.Dir != topology.Pos {
+		t.Fatalf("unexpected link %v", ce.Link)
+	}
+	if !strings.Contains(ce.Error(), "contention") {
+		t.Fatalf("error text: %v", ce)
+	}
+}
+
+func TestCheckStepOppositeDirectionsDoNotConflict(t *testing.T) {
+	tor := topology.MustNew(8)
+	// Full-duplex: +dir and -dir over the same node pairs are distinct channels.
+	s := &Step{Transfers: []Transfer{
+		{Src: 0, Dst: 4, Dim: 0, Dir: topology.Pos, Hops: 4, Blocks: 1},
+		{Src: 4, Dst: 0, Dim: 0, Dir: topology.Neg, Hops: 4, Blocks: 1},
+	}}
+	if err := CheckStep(tor, "x", 0, s); err != nil {
+		t.Fatalf("full-duplex transfers flagged: %v", err)
+	}
+}
+
+func TestCheckStepDisjointSegmentsOK(t *testing.T) {
+	tor := topology.MustNew(16)
+	s := &Step{Transfers: []Transfer{
+		{Src: 0, Dst: 4, Dim: 0, Dir: topology.Pos, Hops: 4, Blocks: 1},
+		{Src: 4, Dst: 8, Dim: 0, Dir: topology.Pos, Hops: 4, Blocks: 1},
+		{Src: 8, Dst: 12, Dim: 0, Dir: topology.Pos, Hops: 4, Blocks: 1},
+		{Src: 12, Dst: 0, Dim: 0, Dir: topology.Pos, Hops: 4, Blocks: 1},
+	}}
+	if err := CheckStep(tor, "ring", 0, s); err != nil {
+		t.Fatalf("tiling segments flagged: %v", err)
+	}
+}
+
+func TestCheckStepOnePortSend(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	s := &Step{Transfers: []Transfer{
+		{Src: 0, Dst: 1, Dim: 1, Dir: topology.Pos, Hops: 1, Blocks: 1},
+		{Src: 0, Dst: 8, Dim: 0, Dir: topology.Pos, Hops: 1, Blocks: 1},
+	}}
+	err := CheckStep(tor, "x", 0, s)
+	var oe *OnePortError
+	if !errors.As(err, &oe) || oe.Role != "send" || oe.Node != 0 {
+		t.Fatalf("want send OnePortError for node 0, got %v", err)
+	}
+}
+
+func TestCheckStepOnePortReceive(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	s := &Step{Transfers: []Transfer{
+		{Src: 1, Dst: 0, Dim: 1, Dir: topology.Neg, Hops: 1, Blocks: 1},
+		{Src: 8, Dst: 0, Dim: 0, Dir: topology.Neg, Hops: 1, Blocks: 1},
+	}}
+	err := CheckStep(tor, "x", 0, s)
+	var oe *OnePortError
+	if !errors.As(err, &oe) || oe.Role != "receive" || oe.Node != 0 {
+		t.Fatalf("want receive OnePortError for node 0, got %v", err)
+	}
+	if !strings.Contains(oe.Error(), "one-port") {
+		t.Fatalf("error text: %v", oe)
+	}
+}
+
+func TestScheduleCheckFindsDeepViolation(t *testing.T) {
+	tor := topology.MustNew(8)
+	sc := &Schedule{
+		Torus: tor,
+		Phases: []Phase{
+			{Name: "ok", Steps: []Step{
+				{Transfers: []Transfer{{Src: 0, Dst: 1, Dim: 0, Dir: topology.Pos, Hops: 1, Blocks: 1}}},
+			}},
+			{Name: "bad", Steps: []Step{
+				{}, // empty step is fine
+				{Transfers: []Transfer{
+					{Src: 0, Dst: 2, Dim: 0, Dir: topology.Pos, Hops: 2, Blocks: 1},
+					{Src: 1, Dst: 2, Dim: 0, Dir: topology.Pos, Hops: 1, Blocks: 1},
+				}},
+			}},
+		},
+	}
+	err := sc.Check()
+	if err == nil {
+		t.Fatal("Check should fail")
+	}
+	var ce *ContentionError
+	var oe *OnePortError
+	if !errors.As(err, &ce) && !errors.As(err, &oe) {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("error should name the phase: %v", err)
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	tor := topology.MustNew(8) // 16 unidirectional links
+	sc := &Schedule{
+		Torus: tor,
+		Phases: []Phase{{Name: "p", Steps: []Step{
+			// 4 links used of 16 -> 0.25.
+			{Transfers: []Transfer{{Src: 0, Dst: 4, Dim: 0, Dir: topology.Pos, Hops: 4, Blocks: 1}}},
+			// 8 links used -> 0.5.
+			{Transfers: []Transfer{
+				{Src: 0, Dst: 4, Dim: 0, Dir: topology.Pos, Hops: 4, Blocks: 1},
+				{Src: 4, Dst: 0, Dim: 0, Dir: topology.Neg, Hops: 4, Blocks: 1},
+			}},
+		}}},
+	}
+	got := sc.LinkUtilization()
+	if got < 0.374 || got > 0.376 {
+		t.Fatalf("LinkUtilization = %g, want 0.375", got)
+	}
+	empty := &Schedule{Torus: tor}
+	if empty.LinkUtilization() != 0 {
+		t.Fatal("empty schedule should have zero utilization")
+	}
+}
+
+func TestDestinationChanges(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	sc := &Schedule{
+		Torus: tor,
+		Phases: []Phase{{Name: "p", Steps: []Step{
+			{Transfers: []Transfer{{Src: 0, Dst: 1, Hops: 1, Blocks: 1, Dim: 1, Dir: topology.Pos}}},
+			{Transfers: []Transfer{{Src: 0, Dst: 1, Hops: 1, Blocks: 1, Dim: 1, Dir: topology.Pos}}}, // same dest: no change
+			{Transfers: []Transfer{{Src: 0, Dst: 2, Hops: 2, Blocks: 1, Dim: 1, Dir: topology.Pos}}}, // change
+			{Transfers: []Transfer{
+				{Src: 0, Dst: 1, Hops: 1, Blocks: 1, Dim: 1, Dir: topology.Pos},  // change
+				{Src: 5, Dst: 6, Hops: 1, Blocks: 1, Dim: 1, Dir: topology.Pos}}, // first: no change
+			},
+		}}},
+	}
+	if got := sc.DestinationChanges(); got != 2 {
+		t.Fatalf("DestinationChanges = %d, want 2", got)
+	}
+	if got := sc.MaxDestinationChangesPerNode(); got != 2 {
+		t.Fatalf("MaxDestinationChangesPerNode = %d, want 2", got)
+	}
+}
+
+func TestTransferString(t *testing.T) {
+	tr := Transfer{Src: 1, Dst: 5, Dim: 0, Dir: topology.Pos, Hops: 4, Blocks: 12}
+	if got := tr.String(); !strings.Contains(got, "1->5") || !strings.Contains(got, "b12") {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,83 @@
+package simchan
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"torusx/internal/topology"
+	"torusx/internal/verify"
+)
+
+func payloadFor(i, j int) []byte {
+	return []byte(fmt.Sprintf("data %d->%d", i, j))
+}
+
+func TestRunPayloadCarriesData(t *testing.T) {
+	for _, dims := range [][]int{{8, 8}, {12, 8}} {
+		tor := topology.MustNew(dims...)
+		n := tor.Nodes()
+		data := make([][][]byte, n)
+		for i := range data {
+			data[i] = make([][]byte, n)
+			for j := range data[i] {
+				data[i][j] = payloadFor(i, j)
+			}
+		}
+		res, out, err := RunPayload(tor, data)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if err := verify.Delivered(res.Torus, res.Buffers); err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !bytes.Equal(out[i][j], payloadFor(j, i)) {
+					t.Fatalf("%v: out[%d][%d] = %q, want %q", dims, i, j, out[i][j], payloadFor(j, i))
+				}
+			}
+		}
+	}
+}
+
+func TestRunPayloadValidation(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	if _, _, err := RunPayload(tor, nil); err == nil {
+		t.Fatal("nil data should fail")
+	}
+	bad := make([][][]byte, tor.Nodes())
+	for i := range bad {
+		bad[i] = make([][]byte, 2)
+	}
+	if _, _, err := RunPayload(tor, bad); err == nil {
+		t.Fatal("ragged data should fail")
+	}
+	if _, _, err := RunPayload(topology.MustNew(10, 4), nil); err == nil {
+		t.Fatal("invalid torus should fail")
+	}
+}
+
+func TestRunPayloadNilPayloadsAllowed(t *testing.T) {
+	// Nil payloads are legal (zero-length data) and still route.
+	tor := topology.MustNew(4, 4)
+	n := tor.Nodes()
+	data := make([][][]byte, n)
+	for i := range data {
+		data[i] = make([][]byte, n)
+	}
+	res, out, err := RunPayload(tor, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Delivered(res.Torus, res.Buffers); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		for j := range out[i] {
+			if out[i][j] != nil {
+				t.Fatalf("out[%d][%d] = %v, want nil", i, j, out[i][j])
+			}
+		}
+	}
+}

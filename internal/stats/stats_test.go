@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X", "Network", "Cost")
+	tb.AddRow("8x8", "123")
+	tb.AddRowf("16x16", 4567)
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Table X" {
+		t.Fatalf("title line: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Network") {
+		t.Fatalf("header line: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Fatalf("separator line: %q", lines[2])
+	}
+	// Columns aligned: "Cost" and its values start at the same offset.
+	hdrIdx := strings.Index(lines[1], "Cost")
+	rowIdx := strings.Index(lines[3], "123")
+	if hdrIdx != rowIdx {
+		t.Fatalf("columns misaligned: header %d, row %d\n%s", hdrIdx, rowIdx, out)
+	}
+}
+
+func TestTableExtraCells(t *testing.T) {
+	tb := NewTable("", "A")
+	tb.AddRow("1", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Fatalf("extra cell dropped:\n%s", out)
+	}
+	if strings.HasPrefix(out, "\n") {
+		t.Fatal("empty title should not emit a blank line")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored title", "a", "b")
+	tb.AddRow("1", "plain")
+	tb.AddRow("2", `with,comma and "quote"`)
+	out := tb.CSV()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "a,b" {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if lines[1] != "1,plain" {
+		t.Fatalf("row 1: %q", lines[1])
+	}
+	if lines[2] != `2,"with,comma and ""quote"""` {
+		t.Fatalf("row 2: %q", lines[2])
+	}
+	if strings.Contains(out, "ignored title") {
+		t.Fatal("CSV must not include the title")
+	}
+}
+
+func TestFmtUS(t *testing.T) {
+	cases := map[float64]string{
+		12:        "12us",
+		1500:      "1.5ms",
+		2500000:   "2.5s",
+		999:       "999us",
+		123456789: "123s",
+	}
+	for in, want := range cases {
+		if got := FmtUS(in); got != want {
+			t.Fatalf("FmtUS(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(3, 2); got != "1.50x" {
+		t.Fatalf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "inf" {
+		t.Fatalf("Ratio by zero = %q", got)
+	}
+}

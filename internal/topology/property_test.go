@@ -1,0 +1,120 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// MinHops is a metric: symmetric, zero iff equal, triangle inequality.
+func TestMinHopsIsAMetric(t *testing.T) {
+	tor := MustNew(12, 8, 4)
+	n := uint(tor.Nodes())
+	f := func(ai, bi, ci uint) bool {
+		a := tor.CoordOf(NodeID(ai % n))
+		b := tor.CoordOf(NodeID(bi % n))
+		c := tor.CoordOf(NodeID(ci % n))
+		dab := tor.MinHops(a, b)
+		dba := tor.MinHops(b, a)
+		if dab != dba {
+			return false
+		}
+		if (dab == 0) != a.Equal(b) {
+			return false
+		}
+		return tor.MinHops(a, c) <= dab+tor.MinHops(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PathLinks connects src to the node `hops` away and each link starts
+// where the previous ended.
+func TestPathLinksAreConsecutive(t *testing.T) {
+	tor := MustNew(16, 8)
+	f := func(ai uint, dimBit bool, dirBit bool, h uint) bool {
+		src := tor.CoordOf(NodeID(ai % uint(tor.Nodes())))
+		dim := 0
+		if dimBit {
+			dim = 1
+		}
+		dir := Pos
+		if dirBit {
+			dir = Neg
+		}
+		hops := int(h % 8)
+		links := tor.PathLinks(src, dim, dir, hops)
+		if len(links) != hops {
+			return false
+		}
+		cur := src.Clone()
+		for _, l := range links {
+			if l.From != tor.ID(cur) || l.Dim != dim || l.Dir != dir {
+				return false
+			}
+			cur = tor.Move(cur, dim, int(dir))
+		}
+		return cur.Equal(tor.Move(src, dim, int(dir)*hops))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Group and Submesh agree: two nodes in the same submesh are in the
+// same group iff they are the same node.
+func TestGroupSubmeshOrthogonality(t *testing.T) {
+	tor := MustNew(12, 8)
+	n := uint(tor.Nodes())
+	f := func(ai, bi uint) bool {
+		a := tor.CoordOf(NodeID(ai % n))
+		b := tor.CoordOf(NodeID(bi % n))
+		sameGroup := tor.Group(a) == tor.Group(b)
+		sameSM := tor.Submesh(a) == tor.Submesh(b)
+		if sameGroup && sameSM {
+			return a.Equal(b)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Wrap is idempotent and stays in range.
+func TestWrapProperties(t *testing.T) {
+	tor := MustNew(12, 8)
+	f := func(dimBit bool, x int16) bool {
+		dim := 0
+		if dimBit {
+			dim = 1
+		}
+		w := tor.Wrap(dim, int(x))
+		return w >= 0 && w < tor.Dim(dim) && tor.Wrap(dim, w) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHigherDimensionalTori(t *testing.T) {
+	// 6D and 7D coordinate arithmetic round-trips.
+	for _, dims := range [][]int{
+		{4, 4, 4, 4, 4, 4},
+		{4, 4, 4, 4, 4, 4, 4},
+	} {
+		tor := MustNew(dims...)
+		for _, id := range []NodeID{0, NodeID(tor.Nodes() / 3), NodeID(tor.Nodes() - 1)} {
+			c := tor.CoordOf(id)
+			if tor.ID(c) != id {
+				t.Fatalf("%v: round trip failed for %d", dims, id)
+			}
+			if !tor.InBounds(c) {
+				t.Fatalf("%v: %v out of bounds", dims, c)
+			}
+		}
+		if tor.NumGroups() != 1<<(2*uint(len(dims))) {
+			t.Fatalf("%v: NumGroups = %d", dims, tor.NumGroups())
+		}
+	}
+}

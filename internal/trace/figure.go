@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"torusx/internal/plan"
+	"torusx/internal/topology"
+)
+
+// Figure-style renderings of 2D tori, mirroring the diagrams of the
+// paper's Figure 1: the node-group grid (Figure 1(b)) and the per-node
+// direction assignments of each phase.
+
+// Groups2D renders the node-group grid of a 2D torus: each cell shows
+// the paper's group label ij = (r mod 4, c mod 4). Rows are the
+// paper's r axis (our dimension 1), columns the c axis (dimension 0).
+func Groups2D(t *topology.Torus) (string, error) {
+	if t.NDims() != 2 {
+		return "", fmt.Errorf("trace: Groups2D needs a 2D torus, got %s", t)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "node groups of the %s torus (label ij = r mod 4, c mod 4):\n", t)
+	cSize, rSize := t.Dim(0), t.Dim(1)
+	fmt.Fprintf(&b, "      ")
+	for c := 0; c < cSize; c++ {
+		fmt.Fprintf(&b, "c%-3d", c)
+	}
+	b.WriteString("\n")
+	for r := 0; r < rSize; r++ {
+		fmt.Fprintf(&b, "r%-4d ", r)
+		for c := 0; c < cSize; c++ {
+			fmt.Fprintf(&b, "%d%d  ", r%4, c%4)
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// arrow maps a 2D move to a direction glyph: the c axis (dimension 0)
+// is horizontal, the r axis (dimension 1) vertical (down = +r, as the
+// paper draws its grids).
+func arrow(m plan.Move) string {
+	switch {
+	case m.Dim == 0 && m.Dir == topology.Pos:
+		return ">"
+	case m.Dim == 0 && m.Dir == topology.Neg:
+		return "<"
+	case m.Dim == 1 && m.Dir == topology.Pos:
+		return "v"
+	default:
+		return "^"
+	}
+}
+
+// Phase2D renders the direction every node takes during group phase
+// p (1-based) of a 2D torus: the (r+c) mod 4 pattern of Section 3.2.
+func Phase2D(t *topology.Torus, p int) (string, error) {
+	if t.NDims() != 2 {
+		return "", fmt.Errorf("trace: Phase2D needs a 2D torus, got %s", t)
+	}
+	if p < 1 || p > 2 {
+		return "", fmt.Errorf("trace: 2D tori have group phases 1 and 2, got %d", p)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "group phase %d directions on the %s torus (stride-4 ring scatter):\n", p, t)
+	cSize, rSize := t.Dim(0), t.Dim(1)
+	for r := 0; r < rSize; r++ {
+		for c := 0; c < cSize; c++ {
+			moves := plan.GroupPhases(topology.Coord{c, r})
+			fmt.Fprintf(&b, "%s ", arrow(moves[p-1]))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("legend: > +c   < -c   v +r   ^ -r\n")
+	return b.String(), nil
+}
+
+// arrow3D maps a 3D move to a glyph: X/Y in the plane (right/down),
+// Z out of the plane (o = +Z toward the viewer, x = -Z away).
+func arrow3D(m plan.Move) string {
+	switch {
+	case m.Dim == 0 && m.Dir == topology.Pos:
+		return ">"
+	case m.Dim == 0 && m.Dir == topology.Neg:
+		return "<"
+	case m.Dim == 1 && m.Dir == topology.Pos:
+		return "v"
+	case m.Dim == 1 && m.Dir == topology.Neg:
+		return "^"
+	case m.Dim == 2 && m.Dir == topology.Pos:
+		return "o"
+	default:
+		return "x"
+	}
+}
+
+// Phase3D renders the direction grid of one X-Y plane of a 3D torus
+// during group phase p (1-based), reproducing the per-plane patterns
+// of Figure 2: pattern A or B arrows in-plane, o/x for Z moves.
+func Phase3D(t *topology.Torus, p, z int) (string, error) {
+	if t.NDims() != 3 {
+		return "", fmt.Errorf("trace: Phase3D needs a 3D torus, got %s", t)
+	}
+	if p < 1 || p > 3 {
+		return "", fmt.Errorf("trace: 3D tori have group phases 1..3, got %d", p)
+	}
+	if z < 0 || z >= t.Dim(2) {
+		return "", fmt.Errorf("trace: plane z=%d out of range [0,%d)", z, t.Dim(2))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "group phase %d directions in plane Z=%d of the %s torus:\n", p, z, t)
+	for y := 0; y < t.Dim(1); y++ {
+		for x := 0; x < t.Dim(0); x++ {
+			moves := plan.GroupPhases(topology.Coord{x, y, z})
+			fmt.Fprintf(&b, "%s ", arrow3D(moves[p-1]))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("legend: > +X   < -X   v +Y   ^ -Y   o +Z   x -Z\n")
+	return b.String(), nil
+}
+
+// QuadSteps2D renders the phase-3 (quad) partner directions of a 2D
+// torus for step s (1 or 2): the distance-2 exchanges inside each 4x4
+// submesh (Figures 1(i)-(j)).
+func QuadSteps2D(t *topology.Torus, s int) (string, error) {
+	if t.NDims() != 2 {
+		return "", fmt.Errorf("trace: QuadSteps2D needs a 2D torus, got %s", t)
+	}
+	if s < 1 || s > 2 {
+		return "", fmt.Errorf("trace: 2D quad phase has steps 1 and 2, got %d", s)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "quad phase step %d directions (distance-2 exchange in 4x4 submeshes):\n", s)
+	cSize, rSize := t.Dim(0), t.Dim(1)
+	for r := 0; r < rSize; r++ {
+		for c := 0; c < cSize; c++ {
+			fmt.Fprintf(&b, "%s ", arrow(plan.QuadMove(topology.Coord{c, r}, s)))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("legend: > +c   < -c   v +r   ^ -r  (all moves are 2 hops)\n")
+	return b.String(), nil
+}

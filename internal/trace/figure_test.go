@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"torusx/internal/topology"
+)
+
+func TestGroups2D(t *testing.T) {
+	tor := topology.MustNew(12, 12)
+	out, err := Groups2D(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + column row + 12 data rows.
+	if len(lines) != 14 {
+		t.Fatalf("%d lines, want 14", len(lines))
+	}
+	// Row r=0 starts with group 00 and repeats every 4 columns.
+	if !strings.Contains(lines[2], "00  01  02  03  00") {
+		t.Fatalf("row 0 groups wrong: %q", lines[2])
+	}
+	// Figure 1(b): P(4,8) is in group 00.
+	if !strings.HasPrefix(lines[2+4], "r4") || !strings.Contains(lines[2+4], "00") {
+		t.Fatalf("row 4: %q", lines[2+4])
+	}
+	if _, err := Groups2D(topology.MustNew(4, 4, 4)); err == nil {
+		t.Fatal("3D should be rejected")
+	}
+}
+
+func TestPhase2D(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	out, err := Phase2D(tor, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Row r=0 (rows[1]): nodes (r=0, c=0..7): (r+c)%4 = 0,1,2,3,...
+	// -> >, v, <, ^ repeating (phase 1: 0 +c, 1 +r, 2 -c, 3 -r).
+	if got := strings.TrimSpace(rows[1]); got != "> v < ^ > v < ^" {
+		t.Fatalf("phase 1 row 0 = %q", got)
+	}
+	// Phase 2 swaps dimensions: 0 +r, 1 +c, 2 -r, 3 -c.
+	out2, err := Phase2D(tor, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows2 := strings.Split(strings.TrimRight(out2, "\n"), "\n")
+	if got := strings.TrimSpace(rows2[1]); got != "v > ^ < v > ^ <" {
+		t.Fatalf("phase 2 row 0 = %q", got)
+	}
+	if _, err := Phase2D(tor, 3); err == nil {
+		t.Fatal("phase 3 should be rejected")
+	}
+	if _, err := Phase2D(topology.MustNew(4, 4, 4), 1); err == nil {
+		t.Fatal("3D should be rejected")
+	}
+}
+
+func TestPhase3D(t *testing.T) {
+	tor := topology.MustNew(12, 12, 12)
+	// Figure 2(a): even planes follow pattern A, odd planes move along Z.
+	out, err := Phase3D(tor, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Plane Z=0, row y=0: (x+y)%4 = 0,1,2,3 -> >, v, <, ^ (pattern A).
+	if got := strings.TrimSpace(rows[1]); !strings.HasPrefix(got, "> v < ^") {
+		t.Fatalf("phase 1 plane 0 row 0 = %q", got)
+	}
+	// Plane Z=1: every node moves +Z (Z mod 4 == 1).
+	out1, err := Phase3D(tor, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range strings.Split(strings.TrimRight(out1, "\n"), "\n")[1:13] {
+		for _, g := range strings.Fields(row) {
+			if g != "o" {
+				t.Fatalf("plane Z=1 should be all +Z: %q", row)
+			}
+		}
+	}
+	// Plane Z=3: every node moves -Z.
+	out3, _ := Phase3D(tor, 1, 3)
+	if !strings.Contains(out3, "x x x") {
+		t.Fatalf("plane Z=3 should be -Z:\n%s", out3)
+	}
+	// Phase 2 (pattern B) everywhere: row y=0 of plane 1: 0 -> +Y.
+	outB, _ := Phase3D(tor, 2, 1)
+	rowsB := strings.Split(strings.TrimRight(outB, "\n"), "\n")
+	if got := strings.TrimSpace(rowsB[1]); !strings.HasPrefix(got, "v > ^ <") {
+		t.Fatalf("phase 2 row 0 = %q", got)
+	}
+	// Validation.
+	if _, err := Phase3D(topology.MustNew(8, 8), 1, 0); err == nil {
+		t.Fatal("2D should be rejected")
+	}
+	if _, err := Phase3D(tor, 4, 0); err == nil {
+		t.Fatal("phase 4 should be rejected")
+	}
+	if _, err := Phase3D(tor, 1, 99); err == nil {
+		t.Fatal("bad plane should be rejected")
+	}
+}
+
+func TestQuadSteps2D(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	out, err := QuadSteps2D(tor, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Step 1, row r=0: (r+c) even -> c-move with sign by c quad bit;
+	// odd -> r-move by r quad bit (r=0 -> +r = v).
+	// c=0: even, c%4=0 -> '>'; c=1: odd, r%4=0 -> 'v';
+	// c=2: even, c%4=2 -> '<'; c=3: odd -> 'v'.
+	if got := strings.TrimSpace(rows[1]); got != "> v < v > v < v" {
+		t.Fatalf("quad step 1 row 0 = %q", got)
+	}
+	if _, err := QuadSteps2D(tor, 3); err == nil {
+		t.Fatal("step 3 should be rejected")
+	}
+	if _, err := QuadSteps2D(topology.MustNew(4, 4, 4), 1); err == nil {
+		t.Fatal("3D should be rejected")
+	}
+}

@@ -1,0 +1,69 @@
+// Package trace renders schedules and per-step summaries in a
+// human-readable form for the command-line tools and for debugging
+// communication patterns against the paper's figures.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"torusx/internal/schedule"
+	"torusx/internal/topology"
+)
+
+// Summary returns a one-line-per-step overview of the schedule:
+// transfer count, largest message, hop distance.
+func Summary(sc *schedule.Schedule) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule for %s torus: %d phases, %d steps\n",
+		sc.Torus, len(sc.Phases), sc.NumSteps())
+	sc.EachStep(func(p *schedule.Phase, si int, st *schedule.Step) {
+		fmt.Fprintf(&b, "  %-8s step %2d: %4d transfers, max %5d blocks, %d hops\n",
+			p.Name, si+1, len(st.Transfers), st.MaxBlocks(), st.MaxHops())
+	})
+	return b.String()
+}
+
+// Detail renders every transfer of every step, ordered by source node,
+// truncated to at most limit transfers per step (0 means no limit).
+func Detail(sc *schedule.Schedule, limit int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule for %s torus\n", sc.Torus)
+	sc.EachStep(func(p *schedule.Phase, si int, st *schedule.Step) {
+		fmt.Fprintf(&b, "%s step %d (%d transfers):\n", p.Name, si+1, len(st.Transfers))
+		trs := append([]schedule.Transfer(nil), st.Transfers...)
+		sort.Slice(trs, func(i, j int) bool { return trs[i].Src < trs[j].Src })
+		for i, tr := range trs {
+			if limit > 0 && i == limit {
+				fmt.Fprintf(&b, "  ... %d more\n", len(trs)-limit)
+				break
+			}
+			src := sc.Torus.CoordOf(tr.Src)
+			dst := sc.Torus.CoordOf(tr.Dst)
+			fmt.Fprintf(&b, "  %v -> %v  dim %d%s  %d hops  %d blocks\n",
+				src, dst, tr.Dim, tr.Dir, tr.Hops, tr.Blocks)
+		}
+	})
+	return b.String()
+}
+
+// NodeHistory renders the transfers involving one node across the
+// whole schedule: what it sent and received in each step.
+func NodeHistory(sc *schedule.Schedule, node int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "node %d %v history:\n", node, sc.Torus.CoordOf(topology.NodeID(node)))
+	sc.EachStep(func(p *schedule.Phase, si int, st *schedule.Step) {
+		for _, tr := range st.Transfers {
+			if int(tr.Src) == node {
+				fmt.Fprintf(&b, "  %-8s step %2d: send %4d blocks to %v (dim %d%s, %d hops)\n",
+					p.Name, si+1, tr.Blocks, sc.Torus.CoordOf(tr.Dst), tr.Dim, tr.Dir, tr.Hops)
+			}
+			if int(tr.Dst) == node {
+				fmt.Fprintf(&b, "  %-8s step %2d: recv %4d blocks from %v\n",
+					p.Name, si+1, tr.Blocks, sc.Torus.CoordOf(tr.Src))
+			}
+		}
+	})
+	return b.String()
+}

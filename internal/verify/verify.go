@@ -1,0 +1,130 @@
+// Package verify checks the correctness invariants of an all-to-all
+// personalized exchange: global block conservation, final delivery,
+// payload integrity, and the intermediate proxy-placement property of
+// the Suh–Shin group phases.
+package verify
+
+import (
+	"fmt"
+
+	"torusx/internal/block"
+	"torusx/internal/topology"
+)
+
+// Conservation checks that the buffers together hold exactly one block
+// per (origin, dest) pair of the full N×N exchange.
+func Conservation(t *topology.Torus, bufs []*block.Buffer) error {
+	n := t.Nodes()
+	seen := make([]bool, n*n)
+	total := 0
+	for holder, buf := range bufs {
+		for _, b := range buf.View() {
+			if int(b.Origin) < 0 || int(b.Origin) >= n || int(b.Dest) < 0 || int(b.Dest) >= n {
+				return fmt.Errorf("verify: node %d holds out-of-range block %v", holder, b)
+			}
+			idx := int(b.Origin)*n + int(b.Dest)
+			if seen[idx] {
+				return fmt.Errorf("verify: duplicate block %v (seen again at node %d)", b, holder)
+			}
+			seen[idx] = true
+			total++
+		}
+	}
+	if total != n*n {
+		return fmt.Errorf("verify: %d blocks present, want %d", total, n*n)
+	}
+	return nil
+}
+
+// Delivered checks the exchange post-condition: node i holds exactly
+// the N blocks {B[j,i] : all j}, with intact payload checksums.
+func Delivered(t *topology.Torus, bufs []*block.Buffer) error {
+	n := t.Nodes()
+	if len(bufs) != n {
+		return fmt.Errorf("verify: %d buffers for %d nodes", len(bufs), n)
+	}
+	for i, buf := range bufs {
+		if buf.Len() != n {
+			return fmt.Errorf("verify: node %d holds %d blocks, want %d", i, buf.Len(), n)
+		}
+		fromOrigin := make([]bool, n)
+		for _, b := range buf.View() {
+			if b.Dest != topology.NodeID(i) {
+				return fmt.Errorf("verify: node %d holds misdelivered block %v", i, b)
+			}
+			if fromOrigin[b.Origin] {
+				return fmt.Errorf("verify: node %d holds two blocks from origin %d", i, b.Origin)
+			}
+			fromOrigin[b.Origin] = true
+			want := block.Block{Origin: b.Origin, Dest: b.Dest}
+			if b.Checksum() != want.Checksum() {
+				return fmt.Errorf("verify: node %d block %v checksum mismatch", i, b)
+			}
+		}
+	}
+	return nil
+}
+
+// DeliveredSubset checks delivery when only a subset of (origin, dest)
+// pairs participates (e.g. the virtual-node extension, where only real
+// nodes exchange): node i must hold exactly one block from each origin
+// in origins destined to i, and nothing else; nodes not in the
+// destination set must hold nothing.
+func DeliveredSubset(t *topology.Torus, bufs []*block.Buffer, participants []topology.NodeID) error {
+	inSet := make(map[topology.NodeID]bool, len(participants))
+	for _, id := range participants {
+		inSet[id] = true
+	}
+	for i, buf := range bufs {
+		id := topology.NodeID(i)
+		if !inSet[id] {
+			if buf.Len() != 0 {
+				return fmt.Errorf("verify: non-participant %d holds %d blocks", i, buf.Len())
+			}
+			continue
+		}
+		if buf.Len() != len(participants) {
+			return fmt.Errorf("verify: node %d holds %d blocks, want %d", i, buf.Len(), len(participants))
+		}
+		seen := make(map[topology.NodeID]bool, len(participants))
+		for _, b := range buf.View() {
+			if b.Dest != id {
+				return fmt.Errorf("verify: node %d holds misdelivered block %v", i, b)
+			}
+			if !inSet[b.Origin] {
+				return fmt.Errorf("verify: node %d holds block from non-participant %v", i, b)
+			}
+			if seen[b.Origin] {
+				return fmt.Errorf("verify: node %d holds duplicate from origin %d", i, b.Origin)
+			}
+			seen[b.Origin] = true
+		}
+	}
+	return nil
+}
+
+// ProxyPlacement checks the invariant that holds after the n group
+// phases: every node q holds exactly the blocks originated in q's
+// group whose destinations lie in q's 4×…×4 submesh.
+func ProxyPlacement(t *topology.Torus, bufs []*block.Buffer) error {
+	for i, buf := range bufs {
+		self := t.CoordOf(topology.NodeID(i))
+		selfGroup := t.Group(self)
+		selfSM := t.Submesh(self)
+		want := t.Nodes() // every node still holds N blocks
+		if buf.Len() != want {
+			return fmt.Errorf("verify: node %d holds %d blocks after group phases, want %d", i, buf.Len(), want)
+		}
+		for _, b := range buf.View() {
+			oc := t.CoordOf(b.Origin)
+			dc := t.CoordOf(b.Dest)
+			if t.Group(oc) != selfGroup {
+				return fmt.Errorf("verify: node %d holds block %v from foreign group", i, b)
+			}
+			if t.Submesh(dc) != selfSM {
+				return fmt.Errorf("verify: node %d holds block %v for foreign submesh", i, b)
+			}
+		}
+	}
+	return nil
+}

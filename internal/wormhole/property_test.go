@@ -1,0 +1,85 @@
+package wormhole
+
+import (
+	"testing"
+
+	"torusx/internal/topology"
+)
+
+// Any set of link-disjoint worms pipelines perfectly: every message
+// completes in exactly hops+flits cycles regardless of how many run
+// concurrently.
+func TestDisjointWormsProperty(t *testing.T) {
+	tor := topology.MustNew(32)
+	// Partition the 32-ring into disjoint segments with varying hop
+	// counts and flit lengths.
+	layouts := [][]struct{ start, hops, flits int }{
+		{{0, 4, 8}, {4, 4, 16}, {8, 4, 32}, {12, 4, 8}, {16, 8, 5}, {24, 8, 64}},
+		{{0, 1, 1}, {1, 1, 2}, {2, 1, 3}, {3, 1, 4}, {4, 2, 100}, {6, 3, 7}},
+		{{0, 16, 10}, {16, 16, 20}},
+	}
+	for li, layout := range layouts {
+		var msgs []Message
+		for i, seg := range layout {
+			msgs = append(msgs, Message{
+				ID:    i,
+				Path:  tor.PathLinks(topology.Coord{seg.start}, 0, topology.Pos, seg.hops),
+				Flits: seg.flits,
+			})
+		}
+		st, err := Simulate(msgs, 1_000_000)
+		if err != nil {
+			t.Fatalf("layout %d: %v", li, err)
+		}
+		if st.HeaderStalls != 0 {
+			t.Fatalf("layout %d: %d stalls on disjoint worms", li, st.HeaderStalls)
+		}
+		for i, seg := range layout {
+			if want := seg.hops + seg.flits; st.Completion[i] != want {
+				t.Fatalf("layout %d msg %d: %d cycles, want %d", li, i, st.Completion[i], want)
+			}
+		}
+	}
+}
+
+// Opposite directions over the same nodes never interact (full
+// duplex).
+func TestFullDuplexProperty(t *testing.T) {
+	tor := topology.MustNew(16)
+	for _, flits := range []int{1, 7, 50} {
+		msgs := []Message{
+			{ID: 0, Path: tor.PathLinks(topology.Coord{0}, 0, topology.Pos, 8), Flits: flits},
+			{ID: 1, Path: tor.PathLinks(topology.Coord{8}, 0, topology.Neg, 8), Flits: flits},
+		}
+		st, err := Simulate(msgs, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.HeaderStalls != 0 || st.Cycles != 8+flits {
+			t.Fatalf("flits=%d: cycles=%d stalls=%d", flits, st.Cycles, st.HeaderStalls)
+		}
+	}
+}
+
+// The naive 3-worm chain serializes in arrival order: completion times
+// strictly increase along the chain.
+func TestChainSerializationOrder(t *testing.T) {
+	tor := topology.MustNew(32)
+	const flits = 40
+	var msgs []Message
+	for i := 0; i < 3; i++ {
+		msgs = append(msgs, Message{
+			ID:    i,
+			Path:  tor.PathLinks(topology.Coord{i}, 0, topology.Pos, 4),
+			Flits: flits,
+		})
+	}
+	st, err := Simulate(msgs, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The furthest-downstream worm (id 2) wins its links first.
+	if !(st.Completion[2] < st.Completion[1] && st.Completion[1] < st.Completion[0]) {
+		t.Fatalf("chain order wrong: %v", st.Completion)
+	}
+}

@@ -1,0 +1,209 @@
+package wormhole
+
+import (
+	"fmt"
+
+	"torusx/internal/schedule"
+	"torusx/internal/topology"
+)
+
+// Virtual channels. Physical torus links deadlock under wormhole
+// switching when worms form a cyclic wait (see TestDeadlockDetected
+// and the naive-direction ablation); the classical remedy — used by
+// the Cray T3D the paper's model mirrors — is two virtual channels per
+// physical link with the dateline rule: a message starts on VC 0 and
+// switches to VC 1 when its path crosses the ring's wrap-around point,
+// which breaks the cyclic dependency.
+//
+// SimulateVC generalizes Simulate: each physical link carries V
+// single-flit buffers (one per virtual channel) that are acquired and
+// released independently, while the physical link moves at most one
+// flit per cycle (the VCs share the wire).
+
+// vcKey identifies one virtual channel of one physical link.
+type vcKey struct {
+	link topology.Link
+	vc   int
+}
+
+// VCMessage is a Message plus its per-hop virtual-channel assignment.
+// If VC is nil the message uses VC 0 on every hop.
+type VCMessage struct {
+	Message
+	VC []int
+}
+
+// vcOf returns the message's VC at hop j.
+func (m VCMessage) vcOf(j int) int {
+	if m.VC == nil {
+		return 0
+	}
+	return m.VC[j]
+}
+
+// vcState is the in-flight state of one message under SimulateVC.
+type vcState struct {
+	m         VCMessage
+	slots     []int
+	injected  int
+	delivered int
+	acquired  int
+	done      bool
+}
+
+// SimulateVC runs messages over links with vcs virtual channels each.
+// Per cycle each physical link transports at most one flit; each VC
+// buffer holds at most one flit; headers acquire (link, vc) pairs in
+// path order and the message holds each pair until its tail passes.
+func SimulateVC(msgs []VCMessage, vcs int, maxCycles int) (Stats, error) {
+	if vcs < 1 {
+		return Stats{}, fmt.Errorf("wormhole: need at least 1 virtual channel")
+	}
+	states := make([]*vcState, len(msgs))
+	owner := make(map[vcKey]int)
+	for i, m := range msgs {
+		if m.Flits < 1 {
+			return Stats{}, fmt.Errorf("wormhole: message %d has %d flits", m.ID, m.Flits)
+		}
+		if len(m.Path) == 0 {
+			return Stats{}, fmt.Errorf("wormhole: message %d has empty path", m.ID)
+		}
+		if m.VC != nil && len(m.VC) != len(m.Path) {
+			return Stats{}, fmt.Errorf("wormhole: message %d has %d VC entries for %d hops", m.ID, len(m.VC), len(m.Path))
+		}
+		for _, v := range m.VC {
+			if v < 0 || v >= vcs {
+				return Stats{}, fmt.Errorf("wormhole: message %d uses VC %d outside [0,%d)", m.ID, v, vcs)
+			}
+		}
+		st := &vcState{m: m, slots: make([]int, len(m.Path))}
+		for j := range st.slots {
+			st.slots[j] = -1
+		}
+		states[i] = st
+	}
+	stats := Stats{Completion: make([]int, len(msgs))}
+	remaining := len(msgs)
+	wireUsed := make(map[topology.Link]bool)
+
+	for cycle := 1; remaining > 0; cycle++ {
+		if cycle > maxCycles {
+			return stats, fmt.Errorf("wormhole: not complete after %d cycles (deadlock or extreme contention; %d messages left)", maxCycles, remaining)
+		}
+		for k := range wireUsed {
+			delete(wireUsed, k)
+		}
+		for mi, st := range states {
+			if st.done {
+				continue
+			}
+			last := len(st.m.Path) - 1
+			for j := last; j >= 0; j-- {
+				f := st.slots[j]
+				if f < 0 {
+					continue
+				}
+				if j == last {
+					st.slots[j] = -1
+					st.delivered++
+					if f == st.m.Flits-1 {
+						delete(owner, vcKey{st.m.Path[j], st.m.vcOf(j)})
+						st.done = true
+						stats.Completion[mi] = cycle
+						remaining--
+					}
+					continue
+				}
+				next := vcKey{st.m.Path[j+1], st.m.vcOf(j + 1)}
+				if st.slots[j+1] >= 0 || wireUsed[next.link] {
+					continue
+				}
+				if j+1 >= st.acquired {
+					if _, held := owner[next]; held {
+						stats.HeaderStalls++
+						continue
+					}
+					owner[next] = mi
+					st.acquired = j + 2
+				}
+				wireUsed[next.link] = true
+				st.slots[j+1] = f
+				st.slots[j] = -1
+				if f == st.m.Flits-1 {
+					delete(owner, vcKey{st.m.Path[j], st.m.vcOf(j)})
+				}
+			}
+			// Injection.
+			if st.injected < st.m.Flits && st.slots[0] < 0 {
+				first := vcKey{st.m.Path[0], st.m.vcOf(0)}
+				if wireUsed[first.link] {
+					continue
+				}
+				if st.acquired == 0 {
+					if _, held := owner[first]; held {
+						stats.HeaderStalls++
+						continue
+					}
+					owner[first] = mi
+					st.acquired = 1
+				}
+				wireUsed[first.link] = true
+				st.slots[0] = st.injected
+				st.injected++
+			}
+		}
+		stats.Cycles = cycle
+	}
+	return stats, nil
+}
+
+// DatelineVCs assigns the two-VC dateline scheme to a single-dimension
+// path: VC 0 until the path wraps past coordinate 0 of its dimension,
+// VC 1 afterwards.
+func DatelineVCs(t *topology.Torus, path []topology.Link) []int {
+	vcs := make([]int, len(path))
+	crossed := false
+	for i, l := range path {
+		c := t.CoordOf(l.From)
+		// The link leaving the last coordinate (Pos) or coordinate 0
+		// (Neg) crosses the dateline.
+		if l.Dir == topology.Pos && c[l.Dim] == t.Dim(l.Dim)-1 {
+			crossed = true
+		}
+		if l.Dir == topology.Neg && c[l.Dim] == 0 {
+			crossed = true
+		}
+		if crossed {
+			vcs[i] = 1
+		}
+	}
+	return vcs
+}
+
+// SimulateScheduleVC executes every step of a schedule at flit level
+// with the dateline two-VC scheme, returning the summed cycle count
+// and the largest per-step stall count.
+func SimulateScheduleVC(t *topology.Torus, sc *schedule.Schedule, flitsPerBlock, maxCyclesPerStep int) (totalCycles, maxStalls int, err error) {
+	for pi := range sc.Phases {
+		for si := range sc.Phases[pi].Steps {
+			step := &sc.Phases[pi].Steps[si]
+			if len(step.Transfers) == 0 {
+				continue
+			}
+			base := FromStep(t, step, flitsPerBlock)
+			msgs := make([]VCMessage, len(base))
+			for i, m := range base {
+				msgs[i] = VCMessage{Message: m, VC: DatelineVCs(t, m.Path)}
+			}
+			st, serr := SimulateVC(msgs, 2, maxCyclesPerStep)
+			if serr != nil {
+				return totalCycles, maxStalls, fmt.Errorf("%s step %d: %w", sc.Phases[pi].Name, si+1, serr)
+			}
+			totalCycles += st.Cycles
+			if st.HeaderStalls > maxStalls {
+				maxStalls = st.HeaderStalls
+			}
+		}
+	}
+	return totalCycles, maxStalls, nil
+}

@@ -1,0 +1,161 @@
+// Package wormhole is a flit-level simulator of wormhole switching,
+// the switching technique of the paper's target architecture
+// (Section 2). Messages advance one flit per link per cycle; the
+// header flit acquires each link of its path in turn and the message
+// holds every acquired link until its tail flit has passed, so a
+// blocked header stalls the whole worm in place.
+//
+// The simulator complements the structural contention checker in
+// package schedule: a step that the checker accepts must complete in
+// exactly hops + flits cycles for every message (perfect pipelining),
+// while steps with link conflicts serialize — which is measurable with
+// Simulate and is used by the direction-split ablation.
+//
+// Model details: single-flit link buffers; all links advance once per
+// cycle; messages are processed in id order, each downstream-first, so
+// a pipelined worm advances as a unit (standard synchronous wormhole
+// model). A link released by a message's tail in cycle T may be
+// acquired by another header in the same cycle (cut-through
+// arbitration); this is deterministic and at most one cycle optimistic
+// per handoff.
+package wormhole
+
+import (
+	"fmt"
+
+	"torusx/internal/schedule"
+	"torusx/internal/topology"
+)
+
+// Message is one wormhole message: Flits flits (including the header)
+// following Path, a list of consecutive unidirectional links.
+type Message struct {
+	ID    int
+	Path  []topology.Link
+	Flits int
+}
+
+// Stats is the outcome of a simulation.
+type Stats struct {
+	// Cycles is the cycle in which the last message completed.
+	Cycles int
+	// Completion[i] is the cycle in which message i's tail flit was
+	// consumed at its destination.
+	Completion []int
+	// HeaderStalls is the total number of cycles any header spent
+	// blocked waiting for a link held by another message.
+	HeaderStalls int
+}
+
+// msgState is the in-flight state of one message.
+type msgState struct {
+	m         Message
+	slots     []int // slots[j] = flit index occupying path link j, or -1
+	injected  int   // flits injected so far
+	delivered int   // flits consumed at the destination
+	acquired  int   // links owned: path[0:acquired]
+	done      bool
+}
+
+// Simulate runs messages to completion, or fails after maxCycles
+// (indicating deadlock or an unreasonably contended step).
+func Simulate(msgs []Message, maxCycles int) (Stats, error) {
+	states := make([]*msgState, len(msgs))
+	owner := make(map[topology.Link]int) // link -> message index
+	for i, m := range msgs {
+		if m.Flits < 1 {
+			return Stats{}, fmt.Errorf("wormhole: message %d has %d flits", m.ID, m.Flits)
+		}
+		if len(m.Path) == 0 {
+			return Stats{}, fmt.Errorf("wormhole: message %d has empty path", m.ID)
+		}
+		st := &msgState{m: m, slots: make([]int, len(m.Path))}
+		for j := range st.slots {
+			st.slots[j] = -1
+		}
+		states[i] = st
+	}
+	stats := Stats{Completion: make([]int, len(msgs))}
+	remaining := len(msgs)
+
+	for cycle := 1; remaining > 0; cycle++ {
+		if cycle > maxCycles {
+			return stats, fmt.Errorf("wormhole: not complete after %d cycles (deadlock or extreme contention; %d messages left)", maxCycles, remaining)
+		}
+		for mi, st := range states {
+			if st.done {
+				continue
+			}
+			last := len(st.m.Path) - 1
+			// Downstream-first so the worm advances as a pipeline.
+			for j := last; j >= 0; j-- {
+				f := st.slots[j]
+				if f < 0 {
+					continue
+				}
+				if j == last {
+					// Consume at destination.
+					st.slots[j] = -1
+					st.delivered++
+					if f == st.m.Flits-1 {
+						// Tail leaves the link: release it.
+						delete(owner, st.m.Path[j])
+						st.done = true
+						stats.Completion[mi] = cycle
+						remaining--
+					}
+					continue
+				}
+				// Advance into path[j+1] if possible.
+				if st.slots[j+1] >= 0 {
+					continue // downstream buffer occupied by our own flit
+				}
+				if j+1 >= st.acquired {
+					// Header must acquire the next link.
+					if _, held := owner[st.m.Path[j+1]]; held {
+						stats.HeaderStalls++
+						continue
+					}
+					owner[st.m.Path[j+1]] = mi
+					st.acquired = j + 2
+				}
+				st.slots[j+1] = f
+				st.slots[j] = -1
+				if f == st.m.Flits-1 {
+					delete(owner, st.m.Path[j])
+				}
+			}
+			// Injection into path[0].
+			if st.injected < st.m.Flits && st.slots[0] < 0 {
+				if st.acquired == 0 {
+					if _, held := owner[st.m.Path[0]]; held {
+						stats.HeaderStalls++
+						continue
+					}
+					owner[st.m.Path[0]] = mi
+					st.acquired = 1
+				}
+				st.slots[0] = st.injected
+				st.injected++
+			}
+		}
+		stats.Cycles = cycle
+	}
+	return stats, nil
+}
+
+// FromStep converts a schedule step into wormhole messages:
+// each transfer becomes one worm of 1 + blocks×flitsPerBlock flits
+// (header plus payload).
+func FromStep(t *topology.Torus, s *schedule.Step, flitsPerBlock int) []Message {
+	msgs := make([]Message, 0, len(s.Transfers))
+	for i, tr := range s.Transfers {
+		src := t.CoordOf(tr.Src)
+		msgs = append(msgs, Message{
+			ID:    i,
+			Path:  t.PathLinks(src, tr.Dim, tr.Dir, tr.Hops),
+			Flits: 1 + tr.Blocks*flitsPerBlock,
+		})
+	}
+	return msgs
+}

@@ -1,0 +1,232 @@
+package torusx
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAllToAllReport(t *testing.T) {
+	tor, err := NewTorus(12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AllToAll(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 96 || rep.Phases != 4 {
+		t.Fatalf("report: %+v", rep)
+	}
+	want := Predict(12, 8)
+	if rep.Measure != want {
+		t.Fatalf("measured %+v != predicted %+v", rep.Measure, want)
+	}
+	if rep.Schedule() == nil {
+		t.Fatal("schedule missing")
+	}
+	if !strings.Contains(rep.Summary(), "group-1") {
+		t.Fatal("summary missing phases")
+	}
+	if c := rep.Completion(T3DParams(64)); c <= 0 {
+		t.Fatalf("completion = %g", c)
+	}
+}
+
+func TestAllToAllRejectsBadShapes(t *testing.T) {
+	tor, _ := NewTorus(10, 8)
+	if _, err := AllToAll(tor); err == nil {
+		t.Fatal("10x8 should be rejected")
+	}
+}
+
+func TestAllToAllConcurrentReport(t *testing.T) {
+	tor, _ := NewTorus(8, 8)
+	rep, err := AllToAllConcurrent(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MessagesSent != 6*64 {
+		t.Fatalf("MessagesSent = %d", rep.MessagesSent)
+	}
+	if rep.Schedule() != nil {
+		t.Fatal("concurrent backend records no schedule")
+	}
+	if rep.Summary() != "(no schedule recorded)" {
+		t.Fatalf("summary: %q", rep.Summary())
+	}
+}
+
+func TestAllToAllArbitrary(t *testing.T) {
+	rep, err := AllToAllArbitrary(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RealNodes != 30 {
+		t.Fatalf("RealNodes = %d", rep.RealNodes)
+	}
+	if got := fmt.Sprint(rep.PaddedDims); got != "[8 8]" {
+		t.Fatalf("PaddedDims = %s", got)
+	}
+	if rep.HostSerializedSteps < rep.Measure.Steps {
+		t.Fatal("serialized steps below padded steps")
+	}
+	if rep.MaxHostLoad < 1 {
+		t.Fatalf("MaxHostLoad = %d", rep.MaxHostLoad)
+	}
+}
+
+func TestCompareAlgorithms(t *testing.T) {
+	prop, err := Compare(Proposed, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := Compare(Direct, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := Compare(Ring, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(prop.Steps < ring.Steps && ring.Steps < dir.Steps) {
+		t.Fatalf("startup ordering violated: proposed %d, ring %d, direct %d",
+			prop.Steps, ring.Steps, dir.Steps)
+	}
+	fac, err := Compare(Factored, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fac.Steps != prop.Steps {
+		// 8x8: factored needs 3+3 = 6 startups, same as proposed.
+		t.Fatalf("factored startups = %d, want %d", fac.Steps, prop.Steps)
+	}
+	if dir.Blocks >= prop.Blocks {
+		t.Fatal("direct should transmit fewer blocks along the critical node")
+	}
+	if _, err := Compare(Algorithm("bogus"), 8, 8); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+	if _, err := Compare(Proposed, 10, 10); err == nil {
+		t.Fatal("proposed on 10x10 should error")
+	}
+	if _, err := Compare(Direct); err == nil {
+		t.Fatal("no dims should error")
+	}
+}
+
+func TestAllToAllSparse(t *testing.T) {
+	tor, _ := NewTorus(8, 8)
+	pairs := []Pair{{0, 5}, {5, 0}, {7, 7}, {63, 1}, {30, 31}}
+	rep, err := AllToAllSparse(tor, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Measure.Steps == 0 {
+		t.Fatal("steps should be charged")
+	}
+	// Validation paths.
+	if _, err := AllToAllSparse(tor, []Pair{{0, 99}}); err == nil {
+		t.Fatal("out-of-range pair should fail")
+	}
+	if _, err := AllToAllSparse(tor, []Pair{{0, 1}, {0, 1}}); err == nil {
+		t.Fatal("duplicate pair should fail")
+	}
+	if rep, err = AllToAllSparse(tor, nil); err != nil || rep == nil {
+		t.Fatalf("empty exchange should succeed: %v", err)
+	}
+}
+
+func TestLowStartupParams(t *testing.T) {
+	low := LowStartupParams(64)
+	t3d := T3DParams(64)
+	if low.Ts >= t3d.Ts {
+		t.Fatalf("low startup %g should be below T3D %g", low.Ts, t3d.Ts)
+	}
+	m := Predict(16, 16)
+	if low.Completion(m) >= t3d.Completion(m) {
+		t.Fatal("lower startup must lower completion")
+	}
+}
+
+func TestAllToAllConcurrentRejectsBadShape(t *testing.T) {
+	tor, _ := NewTorus(10, 8)
+	if _, err := AllToAllConcurrent(tor); err == nil {
+		t.Fatal("10x8 should be rejected")
+	}
+}
+
+func TestAllGatherAndArbitraryErrorPaths(t *testing.T) {
+	if _, err := AllToAllArbitrary(5, 9); err == nil {
+		t.Fatal("increasing dims should fail")
+	}
+	if _, err := AllToAllArbitrary(6); err == nil {
+		t.Fatal("1D should fail")
+	}
+}
+
+func TestScheduleFor(t *testing.T) {
+	tor, _ := NewTorus(16, 16)
+	sc, err := ScheduleFor(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumSteps() != 10 {
+		t.Fatalf("steps = %d, want 10", sc.NumSteps())
+	}
+	want := Predict(16, 16)
+	if sc.SumMaxBlocks() != want.Blocks || sc.SumMaxHops() != want.Hops {
+		t.Fatalf("schedule costs %d/%d, want %d/%d",
+			sc.SumMaxBlocks(), sc.SumMaxHops(), want.Blocks, want.Hops)
+	}
+	bad, _ := NewTorus(10, 10)
+	if _, err := ScheduleFor(bad); err == nil {
+		t.Fatal("invalid shape should fail")
+	}
+}
+
+func TestPredictMatchesPaperExample(t *testing.T) {
+	m := Predict(12, 12)
+	if m.Steps != 8 || m.Blocks != 576 || m.Hops != 22 || m.RearrangedBlocks != 432 {
+		t.Fatalf("Predict(12,12) = %+v", m)
+	}
+}
+
+func TestExchangeData(t *testing.T) {
+	tor, _ := NewTorus(4, 4)
+	n := tor.Nodes()
+	data := make([][][]byte, n)
+	for i := range data {
+		data[i] = make([][]byte, n)
+		for j := range data[i] {
+			data[i][j] = []byte(fmt.Sprintf("payload %d->%d", i, j))
+		}
+	}
+	out, err := ExchangeData(tor, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		for j := range out[i] {
+			want := []byte(fmt.Sprintf("payload %d->%d", j, i))
+			if !bytes.Equal(out[i][j], want) {
+				t.Fatalf("out[%d][%d] = %q, want %q", i, j, out[i][j], want)
+			}
+		}
+	}
+}
+
+func TestExchangeDataValidation(t *testing.T) {
+	tor, _ := NewTorus(4, 4)
+	if _, err := ExchangeData(tor, nil); err == nil {
+		t.Fatal("nil data should error")
+	}
+	bad := make([][][]byte, tor.Nodes())
+	for i := range bad {
+		bad[i] = make([][]byte, 3)
+	}
+	if _, err := ExchangeData(tor, bad); err == nil {
+		t.Fatal("ragged data should error")
+	}
+}
