@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	aape -dims 12x12 [-alg proposed|direct|ring|logtime|concurrent|virtual] [-m 64] [-ts 25 -tc 0.01 -tl 0.05 -rho 0.005]
+//	aape -dims 12x12 [-alg proposed|direct|ring|factored|logtime|concurrent|virtual] [-m 64] [-ts 25 -tc 0.01 -tl 0.05 -rho 0.005]
 //
 // Examples:
 //
@@ -21,7 +21,6 @@ import (
 	"os"
 
 	"torusx"
-	"torusx/internal/baseline"
 	"torusx/internal/cli"
 )
 
@@ -37,7 +36,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("aape", flag.ContinueOnError)
 	var (
 		dimsFlag = fs.String("dims", "12x12", "torus shape, e.g. 12x8x4 (sizes non-increasing)")
-		algFlag  = fs.String("alg", "proposed", "algorithm: proposed, direct, ring, logtime, concurrent, virtual")
+		algFlag  = fs.String("alg", "proposed", "algorithm: proposed, direct, ring, factored, logtime, concurrent, virtual")
 		mFlag    = fs.Int("m", 64, "block size in bytes")
 		tsFlag   = fs.Float64("ts", 25, "startup time per message (us)")
 		tcFlag   = fs.Float64("tc", 0.01, "transmission time per byte (us)")
@@ -89,27 +88,12 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "host-serialized steps: %d  max host load: %d\n",
 			rep.HostSerializedSteps, rep.MaxHostLoad)
 
-	case "direct", "ring":
+	case "direct", "ring", "factored", "logtime":
 		m, err := torusx.Compare(torusx.Algorithm(*algFlag), dims...)
 		if err != nil {
 			return err
 		}
-		printReport(w, *algFlag+" baseline (delivery-verified)", m, params)
-
-	case "logtime":
-		tor, err := torusx.NewTorus(dims...)
-		if err != nil {
-			return err
-		}
-		res, err := baseline.LogTime(tor)
-		if err != nil {
-			return err
-		}
-		if err := baseline.Verify(&baseline.Result{Torus: res.Torus, Buffers: res.Buffers}); err != nil {
-			return err
-		}
-		printReport(w, "logtime minimum-startup baseline (delivery-verified; blocks include wormhole serialization)",
-			res.Measure, params)
+		printReport(w, *algFlag+" baseline (replayed and delivery-verified by the shared executor)", m, params)
 
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algFlag)

@@ -6,6 +6,8 @@
 //	aapetab -table ablation   # direction-split (A1) and rearrangement (A2) ablations
 //	aapetab -table crossover  # startup-cost crossover vs minimum-startup schemes
 //	aapetab -table switching  # wormhole vs store-and-forward comparison
+//	aapetab -table replay -alg direct   # any algorithm through the shared
+//	                                    # executor and all timing backends
 //
 // Machine parameters can be overridden with -m, -ts, -tc, -tl, -rho.
 package main
@@ -13,18 +15,26 @@ package main
 import (
 	"flag"
 	"fmt"
+	"strings"
 
+	"torusx/internal/algorithm"
 	"torusx/internal/baseline"
 	"torusx/internal/cli"
 	"torusx/internal/costmodel"
+	"torusx/internal/eventsim"
 	"torusx/internal/exchange"
+	"torusx/internal/exec"
+	"torusx/internal/packetsim"
+	"torusx/internal/schedule"
 	"torusx/internal/stats"
 	"torusx/internal/topology"
+	"torusx/internal/wormhole"
 )
 
 func main() {
 	var (
-		tableFlag = flag.String("table", "1", "artifact: 1, 2, sweep, ablation, crossover, switching")
+		tableFlag = flag.String("table", "1", "artifact: 1, 2, sweep, ablation, crossover, switching, replay")
+		algFlag   = flag.String("alg", "proposed", "algorithm for -table replay: "+strings.Join(algorithm.Names(), ", "))
 		mFlag     = flag.Int("m", 64, "block size in bytes")
 		tsFlag    = flag.Float64("ts", 25, "startup time per message (us)")
 		tcFlag    = flag.Float64("tc", 0.01, "transmission time per byte (us)")
@@ -54,6 +64,12 @@ func main() {
 		fmt.Print(Crossover(p))
 	case "switching":
 		fmt.Print(SwitchingTable(p))
+	case "replay":
+		out, err := Replay(p, *algFlag)
+		if err != nil {
+			cli.Fatalf("aapetab: %v", err)
+		}
+		fmt.Print(out)
 	default:
 		cli.Fatalf("aapetab: unknown table %q", *tableFlag)
 	}
@@ -270,6 +286,86 @@ func crossTs(p costmodel.Params, a, b costmodel.Measure) string {
 		return "never (dominated)"
 	}
 	return stats.FmtUS(diff / float64(a.Steps-b.Steps))
+}
+
+// replayShapes is the shape sweep of the replay table.
+var replayShapes = [][]int{{8, 8}, {12, 12}, {16, 16}}
+
+// Replay lowers the chosen algorithm to the schedule IR on each shape,
+// runs it through the shared executor (validation, replay when the
+// schedule carries payloads, uniform measure), and times the same
+// schedule under every backend: the synchronous cost model, the
+// asynchronous event simulator, and the flit-level wormhole and
+// store-and-forward simulators (4 flits per block, per-step cycles
+// summed over the whole schedule).
+func Replay(p costmodel.Params, algName string) (string, error) {
+	b, err := algorithm.For(algName)
+	if err != nil {
+		return "", err
+	}
+	const flitsPerBlock = 4
+	tb := stats.NewTable(
+		fmt.Sprintf("Replay of %q through the shared executor; %s", algName, p),
+		"network", "steps", "blocks", "hops", "rearr", "replayed",
+		"model", "eventsim", "WH cycles", "SAF cycles")
+	for _, dims := range replayShapes {
+		tor := topology.MustNew(dims...)
+		sc, berr := b.BuildSchedule(tor)
+		if berr != nil {
+			tb.AddRowf(tor.String(), "-", "-", "-", "-", "-", "-", "-", "-",
+				fmt.Sprintf("(%v)", berr))
+			continue
+		}
+		res, err := exec.Run(sc, exec.Options{})
+		if err != nil {
+			return "", err
+		}
+		ev := eventsim.Run(tor, sc, p, tor.Nodes())
+		// A completing step on these shapes needs < 20k cycles; the cap
+		// only bounds how long a deadlocked step spins before detection.
+		const cycleCap = 1 << 20
+		whCycles, safCycles := 0, 0
+		wh := ""
+		var simErr error
+		sc.EachStep(func(_ *schedule.Phase, _ int, st *schedule.Step) {
+			if simErr != nil || len(st.Transfers) == 0 {
+				return
+			}
+			if wh == "" {
+				wst, err := wormhole.Simulate(wormhole.FromStep(tor, st, flitsPerBlock), cycleCap)
+				if err != nil {
+					// Simultaneous wrap-around worms (e.g. Direct's
+					// id-shifts) cyclically block head flits: a genuine
+					// wormhole routing deadlock without virtual
+					// channels. Report it instead of aborting the table.
+					wh = "deadlock"
+				} else {
+					whCycles += wst.Cycles
+				}
+			}
+			pst, err := packetsim.Simulate(packetsim.FromStep(tor, st, flitsPerBlock))
+			if err != nil {
+				simErr = err
+				return
+			}
+			safCycles += pst.Cycles
+		})
+		if simErr != nil {
+			return "", simErr
+		}
+		if wh == "" {
+			wh = fmt.Sprint(whCycles)
+		}
+		replayed := "structural"
+		if res.Replayed {
+			replayed = "verified"
+		}
+		m := res.Measure
+		tb.AddRowf(tor.String(), m.Steps, m.Blocks, m.Hops, m.RearrangedBlocks,
+			replayed, stats.FmtUS(p.Completion(m)), stats.FmtUS(ev.Makespan),
+			wh, safCycles)
+	}
+	return render(tb), nil
 }
 
 // SwitchingTable renders the proposed-vs-ring comparison under

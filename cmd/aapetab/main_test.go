@@ -78,6 +78,43 @@ func TestSwitchingRenders(t *testing.T) {
 	}
 }
 
+func TestReplayRenders(t *testing.T) {
+	// Ring lowers to a payload-annotated schedule: the executor replays
+	// and delivery-verifies it, and every timing backend completes.
+	out, err := Replay(p, "ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`Replay of "ring"`, "16x16", "verified", "eventsim", "WH cycles"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "deadlock") {
+		t.Fatalf("ring is contention-free and must not deadlock the wormhole model:\n%s", out)
+	}
+	// Unknown algorithms are rejected by the registry.
+	if _, err := Replay(p, "bogus"); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+}
+
+func TestReplayReportsBuildErrors(t *testing.T) {
+	// Shapes an algorithm cannot run on become annotated dash rows, and
+	// the Direct-style wrap-around worms show up as a wormhole deadlock
+	// rather than a crash.
+	out, err := Replay(p, "logtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "power-of-two") {
+		t.Fatalf("12x12 row should carry the build error:\n%s", out)
+	}
+	if !strings.Contains(out, "deadlock") {
+		t.Fatalf("distance-2^r worms should deadlock the wormhole model:\n%s", out)
+	}
+}
+
 func TestCrossTs(t *testing.T) {
 	a := costmodel.Measure{Steps: 10, Blocks: 100}
 	b := costmodel.Measure{Steps: 5, Blocks: 200}

@@ -1,10 +1,14 @@
-// Command aapetrace prints the communication schedule of the proposed
-// exchange: phases, steps, and individual transfers, reproducing the
-// step-by-step walk-throughs of the paper's Figures 1-3.
+// Command aapetrace prints the communication schedule of any
+// registered algorithm: phases, steps, and individual transfers,
+// reproducing the step-by-step walk-throughs of the paper's
+// Figures 1-3 for the proposed exchange and the equivalent traces for
+// the baselines. Every algorithm is lowered to the shared schedule IR
+// and validated by the shared executor before printing.
 //
 // Usage:
 //
-//	aapetrace -dims 12x12              # per-step summary
+//	aapetrace -dims 12x12              # per-step summary (proposed)
+//	aapetrace -dims 12x12 -alg direct  # any registered algorithm
 //	aapetrace -dims 12x12 -detail      # every transfer (-limit N to truncate)
 //	aapetrace -dims 12x12 -node 0      # one node's send/receive history
 //	aapetrace -dims 12x12 -figure groups   # Figure 1(b): node-group grid
@@ -19,9 +23,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"torusx/internal/algorithm"
 	"torusx/internal/cli"
-	"torusx/internal/exchange"
+	"torusx/internal/exec"
 	"torusx/internal/topology"
 	"torusx/internal/trace"
 )
@@ -38,6 +44,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("aapetrace", flag.ContinueOnError)
 	var (
 		dimsFlag   = fs.String("dims", "12x12", "torus shape, e.g. 12x8x4")
+		algFlag    = fs.String("alg", "proposed", "algorithm to trace: "+strings.Join(algorithm.Names(), ", "))
 		detailFlag = fs.Bool("detail", false, "print every transfer")
 		limitFlag  = fs.Int("limit", 8, "max transfers shown per step in -detail (0 = all)")
 		nodeFlag   = fs.Int("node", -1, "print one node's history instead")
@@ -86,23 +93,32 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 
-	res, err := exchange.Run(tor, exchange.Options{CheckSteps: true})
+	b, err := algorithm.For(*algFlag)
 	if err != nil {
+		return err
+	}
+	sc, err := b.BuildSchedule(tor)
+	if err != nil {
+		return err
+	}
+	// Validate (and, for payload-carrying schedules, replay and
+	// delivery-verify) before printing anything.
+	if _, err := exec.Run(sc, exec.Options{}); err != nil {
 		return err
 	}
 
 	switch {
 	case *jsonFlag:
-		return res.Schedule.WriteJSON(w)
+		return sc.WriteJSON(w)
 	case *nodeFlag >= 0:
 		if *nodeFlag >= tor.Nodes() {
 			return fmt.Errorf("node %d out of range (N=%d)", *nodeFlag, tor.Nodes())
 		}
-		fmt.Fprint(w, trace.NodeHistory(res.Schedule, *nodeFlag))
+		fmt.Fprint(w, trace.NodeHistory(sc, *nodeFlag))
 	case *detailFlag:
-		fmt.Fprint(w, trace.Detail(res.Schedule, *limitFlag))
+		fmt.Fprint(w, trace.Detail(sc, *limitFlag))
 	default:
-		fmt.Fprint(w, trace.Summary(res.Schedule))
+		fmt.Fprint(w, trace.Summary(sc))
 	}
 	return nil
 }

@@ -52,6 +52,39 @@ func TestFigureOutputs(t *testing.T) {
 	}
 }
 
+func TestAlgTraces(t *testing.T) {
+	// Every baseline builder traces through the same pipeline as the
+	// proposed schedule (acceptance bar of the universal-IR refactor).
+	out := runOut(t, "-dims", "4x4", "-alg", "direct")
+	for _, want := range []string{"1 phases, 15 steps", "direct", "(link-shared)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("direct trace missing %q:\n%s", want, out)
+		}
+	}
+	out = runOut(t, "-dims", "4x4", "-alg", "ring")
+	if !strings.Contains(out, "ring-dim0") || !strings.Contains(out, "ring-dim1") {
+		t.Fatalf("ring trace:\n%s", out)
+	}
+	out = runOut(t, "-dims", "4x4", "-alg", "factored")
+	if !strings.Contains(out, "factored-dim0") {
+		t.Fatalf("factored trace:\n%s", out)
+	}
+	// Multi-dimensional direct routes render their full leg sequence in
+	// the detail view.
+	out = runOut(t, "-dims", "4x4", "-alg", "direct", "-detail", "-limit", "80")
+	if !strings.Contains(out, "route") {
+		t.Fatalf("multi-seg route missing from detail:\n%s", out)
+	}
+	// Builder preconditions surface as errors.
+	var b strings.Builder
+	if err := run([]string{"-dims", "8x8", "-alg", "bogus"}, &b); err == nil {
+		t.Fatal("unknown -alg should fail")
+	}
+	if err := run([]string{"-dims", "12x8", "-alg", "logtime"}, &b); err == nil {
+		t.Fatal("logtime on 12x8 should fail")
+	}
+}
+
 func TestJSONOutput(t *testing.T) {
 	out := runOut(t, "-dims", "8x8", "-json")
 	for _, want := range []string{`"dims"`, `"group-1"`, `"transfers"`, `"blocks": 32`} {

@@ -1,0 +1,98 @@
+// Package algorithm is the registry of schedule builders: every
+// all-to-all algorithm and collective in this repository is exposed as
+// a Builder that lowers to the schedule IR of internal/schedule, which
+// the shared executor in internal/exec then checks, replays and
+// measures. This is the seam that makes the paper's comparisons
+// apples-to-apples — torusx.Compare, cmd/aapetrace -alg and
+// cmd/aapetab -alg all resolve a name here and run the result through
+// the same executor and timing backends.
+package algorithm
+
+import (
+	"fmt"
+	"sort"
+
+	"torusx/internal/baseline"
+	"torusx/internal/collective"
+	"torusx/internal/exchange"
+	"torusx/internal/schedule"
+	"torusx/internal/topology"
+)
+
+// Builder lowers an algorithm to a schedule on a concrete torus. A
+// returned schedule may be structural (block counts only) or
+// payload-annotated (replayable by the executor); schedule.HasPayload
+// distinguishes the two.
+type Builder interface {
+	// Name is the registry key (e.g. "proposed", "direct").
+	Name() string
+	// BuildSchedule emits the algorithm's schedule on t, or an error if
+	// t does not satisfy the algorithm's preconditions (e.g. the
+	// proposed exchange needs multiple-of-four dimensions).
+	BuildSchedule(t *topology.Torus) (*schedule.Schedule, error)
+}
+
+// builderFunc adapts a function to the Builder interface.
+type builderFunc struct {
+	name  string
+	build func(t *topology.Torus) (*schedule.Schedule, error)
+}
+
+func (b builderFunc) Name() string { return b.name }
+func (b builderFunc) BuildSchedule(t *topology.Torus) (*schedule.Schedule, error) {
+	return b.build(t)
+}
+
+var registry = map[string]Builder{}
+
+func register(name string, build func(t *topology.Torus) (*schedule.Schedule, error)) {
+	registry[name] = builderFunc{name: name, build: build}
+}
+
+func init() {
+	// The proposed Suh–Shin n+2-phase exchange, generated structurally
+	// (no payloads: O(steps·nodes), scales to tori far beyond what the
+	// block-level simulator can hold).
+	register("proposed", exchange.GenerateStructural)
+	// The proposed exchange executed by the block-level simulator with
+	// payload recording, so the shared executor can replay and
+	// delivery-verify it end to end.
+	register("proposed-sim", func(t *topology.Torus) (*schedule.Schedule, error) {
+		res, err := exchange.Run(t, exchange.Options{RecordPayloads: true})
+		if err != nil {
+			return nil, err
+		}
+		return res.Schedule, nil
+	})
+	register("direct", func(t *topology.Torus) (*schedule.Schedule, error) {
+		return baseline.DirectSchedule(t), nil
+	})
+	register("ring", func(t *topology.Torus) (*schedule.Schedule, error) {
+		return baseline.RingSchedule(t), nil
+	})
+	register("factored", baseline.FactoredSchedule)
+	register("logtime", baseline.LogTimeSchedule)
+	register("broadcast", func(t *topology.Torus) (*schedule.Schedule, error) {
+		return collective.BroadcastSchedule(t, 0)
+	})
+	register("allgather", collective.AllGatherSchedule)
+}
+
+// For returns the builder registered under name.
+func For(name string) (Builder, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("algorithm: unknown algorithm %q (have %v)", name, Names())
+	}
+	return b, nil
+}
+
+// Names lists the registered algorithm names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

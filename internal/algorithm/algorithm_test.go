@@ -1,0 +1,113 @@
+package algorithm_test
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"torusx/internal/algorithm"
+	"torusx/internal/exec"
+	"torusx/internal/topology"
+)
+
+func TestForAndNames(t *testing.T) {
+	names := algorithm.Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	want := []string{"allgather", "broadcast", "direct", "factored", "logtime", "proposed", "proposed-sim", "ring"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for _, name := range names {
+		b, err := algorithm.For(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name() != name {
+			t.Fatalf("For(%q).Name() = %q", name, b.Name())
+		}
+	}
+	if _, err := algorithm.For("bogus"); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("For(bogus) = %v", err)
+	}
+}
+
+func TestEveryBuilderChecksAndExecutes(t *testing.T) {
+	// The acceptance bar of the universal-IR refactor: every registered
+	// algorithm emits a schedule that passes schedule.Check() and runs
+	// through the shared executor. 8x8 satisfies every builder's
+	// preconditions (multiple-of-four for proposed, power-of-two for
+	// logtime).
+	tor := topology.MustNew(8, 8)
+	for _, name := range algorithm.Names() {
+		b, err := algorithm.For(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := b.BuildSchedule(tor)
+		if err != nil {
+			t.Fatalf("%s: BuildSchedule: %v", name, err)
+		}
+		if err := sc.Check(); err != nil {
+			t.Fatalf("%s: Check: %v", name, err)
+		}
+		res, err := exec.Run(sc, exec.Options{})
+		if err != nil {
+			t.Fatalf("%s: exec: %v", name, err)
+		}
+		if res.Measure.Steps == 0 {
+			t.Fatalf("%s: empty measure", name)
+		}
+		if sc.HasPayload() && !res.Replayed {
+			t.Fatalf("%s: payload schedule was not replayed", name)
+		}
+	}
+}
+
+func TestStructuralAndSimulatedProposedAgree(t *testing.T) {
+	// The structural generator and the block-level simulator must lower
+	// to schedules the executor prices identically — the parity that
+	// keeps torusx.Compare(Proposed, ...) stable across backends.
+	tor := topology.MustNew(8, 8)
+	var measures []interface{}
+	for _, name := range []string{"proposed", "proposed-sim"} {
+		b, err := algorithm.For(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := b.BuildSchedule(tor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exec.Run(sc, exec.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		measures = append(measures, res.Measure)
+	}
+	if measures[0] != measures[1] {
+		t.Fatalf("structural %+v != simulated %+v", measures[0], measures[1])
+	}
+}
+
+func TestBuilderPreconditionErrors(t *testing.T) {
+	// Precondition failures surface as build errors, not panics.
+	for _, tc := range []struct {
+		name string
+		dims []int
+	}{
+		{"proposed", []int{10, 10}},
+		{"proposed-sim", []int{10, 10}},
+		{"logtime", []int{12, 8}},
+	} {
+		b, err := algorithm.For(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.BuildSchedule(topology.MustNew(tc.dims...)); err == nil {
+			t.Fatalf("%s on %v should fail", tc.name, tc.dims)
+		}
+	}
+}

@@ -13,9 +13,18 @@
 //     proposed algorithm and ~4× its transmitted volume on square
 //     tori, isolating what the stride-4 group schedule buys.
 //
-// Both run on any torus shape (no multiple-of-four restriction) and
-// return measured costs in the same units as the proposed algorithm's
-// counters.
+// Every baseline emits a payload-annotated schedule.Schedule
+// (DirectSchedule, RingSchedule, and the Factored/LogTime builders in
+// their own files) and executes it through the shared executor in
+// internal/exec, which replays the block movement, verifies delivery,
+// and derives measured costs in the same units as the proposed
+// algorithm's counters — including the wormhole link-sharing
+// serialization of Direct's long id-shift worms, which the previous
+// hand-rolled loop did not model (its Blocks therefore rise relative
+// to earlier versions; see EXPERIMENTS.md).
+//
+// All baselines run on any torus shape (no multiple-of-four
+// restriction).
 package baseline
 
 import (
@@ -23,6 +32,8 @@ import (
 
 	"torusx/internal/block"
 	"torusx/internal/costmodel"
+	"torusx/internal/exec"
+	"torusx/internal/schedule"
 	"torusx/internal/topology"
 )
 
@@ -33,62 +44,99 @@ type Result struct {
 	Measure costmodel.Measure
 }
 
-// Direct executes the non-combining exchange: in step k = 1..N−1,
-// node i sends block B[i, i+k] straight to node (i+k) mod N.
-// Every step is a cyclic-shift permutation, so each node sends and
-// receives exactly one message per step (one-port compliant). The
-// per-step hop distance is the largest minimal torus distance of the
-// shift. Wormhole link contention within a step is not modelled; on a
-// real machine long shifts serialize further, so the measured costs
-// are a lower bound for Direct — which only strengthens comparisons
-// where the combining algorithms win.
-func Direct(t *topology.Torus) *Result {
-	n := t.Nodes()
-	m := costmodel.Measure{}
-	coords := make([]topology.Coord, n)
-	for i := range coords {
-		coords[i] = t.CoordOf(topology.NodeID(i))
-	}
-	// Every transfer is a single direct block B[i, i+k], so the final
-	// buffers can be assembled as the steps are accounted: node j
-	// receives from origin (j-k) mod n in step k.
-	bufs := make([]*block.Buffer, n)
-	for i := 0; i < n; i++ {
-		bufs[i] = block.NewBuffer(n)
-		bufs[i].Add(block.Block{Origin: topology.NodeID(i), Dest: topology.NodeID(i)})
-	}
-	for k := 1; k < n; k++ {
-		maxHops := 0
-		for i := 0; i < n; i++ {
-			j := (i + k) % n
-			bufs[j].Add(block.Block{Origin: topology.NodeID(i), Dest: topology.NodeID(j)})
-			if h := t.MinHops(coords[i], coords[j]); h > maxHops {
-				maxHops = h
-			}
+// directRoute returns the dimension-ordered minimal route from a to b
+// as schedule segments (one per dimension with a non-zero offset).
+func directRoute(t *topology.Torus, a, b topology.Coord) []schedule.Seg {
+	var segs []schedule.Seg
+	for dim := 0; dim < t.NDims(); dim++ {
+		fwd := t.Wrap(dim, b[dim]-a[dim])
+		if fwd == 0 {
+			continue
 		}
-		m.Steps++
-		m.Blocks++ // one block per node per step along the critical node
-		m.Hops += maxHops
+		dir, hops := topology.Pos, fwd
+		if back := t.Dim(dim) - fwd; back < fwd {
+			dir, hops = topology.Neg, back
+		}
+		segs = append(segs, schedule.Seg{Dim: dim, Dir: dir, Hops: hops})
 	}
-	return &Result{Torus: t, Buffers: bufs, Measure: m}
+	return segs
 }
 
-// Ring executes the dimension-ordered ring-scatter exchange: for each
-// dimension k in order, dims[k]−1 steps in which every node forwards
-// to its +1 neighbour along k all blocks whose destination coordinate
-// in k has not been reached yet. After phase k every block sits at the
-// correct coordinate in dimensions 0..k.
-func Ring(t *topology.Torus) *Result {
+// DirectSchedule emits the non-combining exchange as a schedule: one
+// phase of N−1 steps; in step k = 1..N−1, node i sends block
+// B[i, i+k] straight to node (i+k) mod N along the dimension-ordered
+// minimal route. Every step is a cyclic-shift permutation, so each
+// node sends and receives exactly one message per step (one-port
+// compliant), but the simultaneous worms of one shift overlap on the
+// ring links, so the steps are declared Shared and the executor
+// charges their link-sharing serialization.
+func DirectSchedule(t *topology.Torus) *schedule.Schedule {
 	n := t.Nodes()
-	bufs := block.Initial(t)
-	m := costmodel.Measure{}
 	coords := make([]topology.Coord, n)
 	for i := range coords {
 		coords[i] = t.CoordOf(topology.NodeID(i))
 	}
+	sc := &schedule.Schedule{Torus: t}
+	ph := schedule.Phase{Name: "direct"}
+	for k := 1; k < n; k++ {
+		step := schedule.Step{Shared: true}
+		for i := 0; i < n; i++ {
+			j := (i + k) % n
+			segs := directRoute(t, coords[i], coords[j])
+			if len(segs) == 0 {
+				continue // degenerate single-node torus
+			}
+			tr := schedule.Transfer{
+				Src: topology.NodeID(i), Dst: topology.NodeID(j),
+				Dim: segs[0].Dim, Dir: segs[0].Dir, Hops: segs[0].Hops,
+				Blocks:  1,
+				Payload: []block.Block{{Origin: topology.NodeID(i), Dest: topology.NodeID(j)}},
+			}
+			if len(segs) > 1 {
+				tr.Segs = segs
+			}
+			step.Transfers = append(step.Transfers, tr)
+		}
+		ph.Steps = append(ph.Steps, step)
+	}
+	sc.Phases = append(sc.Phases, ph)
+	return sc
+}
+
+// Direct executes the non-combining exchange through the shared
+// executor and returns the replayed buffers and measured costs.
+func Direct(t *topology.Torus) *Result {
+	res, err := exec.Run(DirectSchedule(t), exec.Options{})
+	if err != nil {
+		// DirectSchedule emits one-port-clean permutations by
+		// construction; an executor rejection is a program bug.
+		panic(fmt.Sprintf("baseline: direct schedule rejected: %v", err))
+	}
+	return &Result{Torus: t, Buffers: res.Buffers, Measure: res.Measure}
+}
+
+// RingSchedule emits the dimension-ordered ring-scatter exchange as a
+// schedule: for each dimension k in order, dims[k]−1 steps in which
+// every node forwards to its +1 neighbour along k all blocks whose
+// destination coordinate in k has not been reached yet. After phase k
+// every block sits at the correct coordinate in dimensions 0..k.
+// Every step is link-disjoint (each node uses only its own +1 link),
+// so no step is Shared.
+func RingSchedule(t *topology.Torus) *schedule.Schedule {
+	n := t.Nodes()
+	bufs := block.Initial(t)
+	coords := make([]topology.Coord, n)
+	for i := range coords {
+		coords[i] = t.CoordOf(topology.NodeID(i))
+	}
+	sc := &schedule.Schedule{Torus: t}
 	for dim := 0; dim < t.NDims(); dim++ {
+		if t.Dim(dim) == 1 {
+			continue
+		}
+		ph := schedule.Phase{Name: fmt.Sprintf("ring-dim%d", dim)}
 		for s := 1; s < t.Dim(dim); s++ {
-			maxBlocks := 0
+			var step schedule.Step
 			moved := make([][]block.Block, n)
 			for i := 0; i < n; i++ {
 				self := coords[i]
@@ -99,20 +147,33 @@ func Ring(t *topology.Torus) *Result {
 					continue
 				}
 				j := t.MoveID(topology.NodeID(i), dim, 1)
-				moved[j] = append(moved[j], taken...)
-				if len(taken) > maxBlocks {
-					maxBlocks = len(taken)
-				}
+				moved[j] = taken
+				step.Transfers = append(step.Transfers, schedule.Transfer{
+					Src: topology.NodeID(i), Dst: j,
+					Dim: dim, Dir: topology.Pos, Hops: 1,
+					Blocks: len(taken), Payload: taken,
+				})
 			}
 			for j, bs := range moved {
-				bufs[j].Add(bs...)
+				if bs != nil {
+					bufs[j].Add(bs...)
+				}
 			}
-			m.Steps++
-			m.Blocks += maxBlocks
-			m.Hops++ // one hop per step
+			ph.Steps = append(ph.Steps, step)
 		}
+		sc.Phases = append(sc.Phases, ph)
 	}
-	return &Result{Torus: t, Buffers: bufs, Measure: m}
+	return sc
+}
+
+// Ring executes the ring-scatter exchange through the shared executor
+// and returns the replayed buffers and measured costs.
+func Ring(t *topology.Torus) *Result {
+	res, err := exec.Run(RingSchedule(t), exec.Options{})
+	if err != nil {
+		panic(fmt.Sprintf("baseline: ring schedule rejected: %v", err))
+	}
+	return &Result{Torus: t, Buffers: res.Buffers, Measure: res.Measure}
 }
 
 // RingClosedForm returns the analytic measure of Ring on dims:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"torusx/internal/block"
+	"torusx/internal/exec"
 	"torusx/internal/schedule"
 	"torusx/internal/topology"
 )
@@ -38,8 +39,12 @@ func primeFactors(v int) []int {
 	return out
 }
 
-// Factored executes the multiphase exchange on any torus shape.
-func Factored(t *topology.Torus) (*LogTimeResult, error) {
+// FactoredSchedule emits the multiphase exchange on any torus shape as
+// a payload-annotated schedule. Rounds moving distance > 1 are declared
+// Shared (their worms overlap on the ring links); distance-1 rounds
+// are link-disjoint. Each dimension phase ends with a full per-node
+// rearrangement, recorded as the phase's Rearrange annotation.
+func FactoredSchedule(t *topology.Torus) (*schedule.Schedule, error) {
 	for d := 0; d < t.NDims(); d++ {
 		if t.Dim(d) < 1 {
 			return nil, fmt.Errorf("baseline: bad dimension %d", t.Dim(d))
@@ -51,23 +56,19 @@ func Factored(t *topology.Torus) (*LogTimeResult, error) {
 	for i := range coords {
 		coords[i] = t.CoordOf(topology.NodeID(i))
 	}
-	res := &LogTimeResult{
-		Torus:    t,
-		Buffers:  bufs,
-		Schedule: &schedule.Schedule{Torus: t},
-	}
+	sc := &schedule.Schedule{Torus: t}
 
 	for dim := 0; dim < t.NDims(); dim++ {
 		size := t.Dim(dim)
 		if size == 1 {
 			continue
 		}
-		ph := schedule.Phase{Name: fmt.Sprintf("factored-dim%d", dim)}
+		ph := schedule.Phase{Name: fmt.Sprintf("factored-dim%d", dim), Rearrange: n}
 		place := 1
 		for _, f := range primeFactors(size) {
 			for v := 1; v < f; v++ {
 				dist := v * place
-				var step schedule.Step
+				step := schedule.Step{Shared: dist > 1}
 				moved := make([][]block.Block, n)
 				for i := 0; i < n; i++ {
 					self := coords[i]
@@ -82,7 +83,8 @@ func Factored(t *topology.Torus) (*LogTimeResult, error) {
 					moved[dst] = taken
 					step.Transfers = append(step.Transfers, schedule.Transfer{
 						Src: topology.NodeID(i), Dst: dst,
-						Dim: dim, Dir: topology.Pos, Hops: dist, Blocks: len(taken),
+						Dim: dim, Dir: topology.Pos, Hops: dist,
+						Blocks: len(taken), Payload: taken,
 					})
 				}
 				for j, bs := range moved {
@@ -94,23 +96,26 @@ func Factored(t *topology.Torus) (*LogTimeResult, error) {
 					continue
 				}
 				ph.Steps = append(ph.Steps, step)
-				res.Measure.Steps++
-				res.Measure.Blocks += step.MaxBlocks() * linkSharing(t, &step)
-				res.Measure.Hops += step.MaxHops()
 			}
 			place *= f
 		}
-		res.Schedule.Phases = append(res.Schedule.Phases, ph)
-		for _, buf := range bufs {
-			buf.ChargeRearrangement(buf.Len())
-		}
+		sc.Phases = append(sc.Phases, ph)
 	}
-	for _, buf := range bufs {
-		if buf.RearrangedBlocks > res.Measure.RearrangedBlocks {
-			res.Measure.RearrangedBlocks = buf.RearrangedBlocks
-		}
+	return sc, nil
+}
+
+// Factored executes the multiphase exchange through the shared
+// executor.
+func Factored(t *topology.Torus) (*LogTimeResult, error) {
+	sc, err := FactoredSchedule(t)
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	res, err := exec.Run(sc, exec.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &LogTimeResult{Torus: t, Buffers: res.Buffers, Measure: res.Measure, Schedule: sc}, nil
 }
 
 // FactoredSteps returns the startup count of Factored on dims:

@@ -5,6 +5,7 @@ import (
 
 	"torusx/internal/block"
 	"torusx/internal/costmodel"
+	"torusx/internal/exec"
 	"torusx/internal/schedule"
 	"torusx/internal/topology"
 )
@@ -42,9 +43,15 @@ type LogTimeResult struct {
 // isPow2 reports whether v is a positive power of two.
 func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
 
-// LogTime executes the logarithmic-startup exchange. Every dimension
-// size must be a power of two (the same restriction as [9]).
-func LogTime(t *topology.Torus) (*LogTimeResult, error) {
+// LogTimeSchedule emits the logarithmic-startup exchange as a
+// payload-annotated schedule. Every dimension size must be a power of
+// two (the same restriction as [9]). Rounds with r >= 2 are declared
+// Shared: distance-r worms of adjacent senders overlap on the ring
+// links, and the executor charges their serialization (factor r for a
+// full round). Each dimension phase ends with one full per-node
+// rearrangement, recorded as the phase's Rearrange annotation, as the
+// combining schemes of [9] require between dimension sweeps.
+func LogTimeSchedule(t *topology.Torus) (*schedule.Schedule, error) {
 	for d := 0; d < t.NDims(); d++ {
 		if !isPow2(t.Dim(d)) {
 			return nil, fmt.Errorf("baseline: logtime requires power-of-two dimensions, got %s", t)
@@ -56,17 +63,13 @@ func LogTime(t *topology.Torus) (*LogTimeResult, error) {
 	for i := range coords {
 		coords[i] = t.CoordOf(topology.NodeID(i))
 	}
-	res := &LogTimeResult{
-		Torus:    t,
-		Buffers:  bufs,
-		Schedule: &schedule.Schedule{Torus: t},
-	}
+	sc := &schedule.Schedule{Torus: t}
 
 	for dim := 0; dim < t.NDims(); dim++ {
 		size := t.Dim(dim)
-		ph := schedule.Phase{Name: fmt.Sprintf("logtime-dim%d", dim)}
+		ph := schedule.Phase{Name: fmt.Sprintf("logtime-dim%d", dim), Rearrange: n}
 		for r := 1; r < size; r <<= 1 {
-			var step schedule.Step
+			step := schedule.Step{Shared: r > 1}
 			moved := make([][]block.Block, n)
 			for i := 0; i < n; i++ {
 				self := coords[i]
@@ -84,7 +87,8 @@ func LogTime(t *topology.Torus) (*LogTimeResult, error) {
 				moved[dst] = taken
 				step.Transfers = append(step.Transfers, schedule.Transfer{
 					Src: topology.NodeID(i), Dst: dst,
-					Dim: dim, Dir: topology.Pos, Hops: r, Blocks: len(taken),
+					Dim: dim, Dir: topology.Pos, Hops: r,
+					Blocks: len(taken), Payload: taken,
 				})
 			}
 			for j, bs := range moved {
@@ -96,43 +100,22 @@ func LogTime(t *topology.Torus) (*LogTimeResult, error) {
 				continue
 			}
 			ph.Steps = append(ph.Steps, step)
-			res.Measure.Steps++
-			// Distance-r worms of adjacent senders share links; under
-			// wormhole switching the sharers serialize, so the step's
-			// transmission time is its largest message multiplied by
-			// the worst link-sharing factor (r for a full round).
-			res.Measure.Blocks += step.MaxBlocks() * linkSharing(t, &step)
-			res.Measure.Hops += step.MaxHops()
 		}
-		res.Schedule.Phases = append(res.Schedule.Phases, ph)
-		// One rearrangement per dimension phase, as the combining
-		// schemes of [9] require between dimension sweeps.
-		for _, buf := range bufs {
-			buf.ChargeRearrangement(buf.Len())
-		}
+		sc.Phases = append(sc.Phases, ph)
 	}
-	for _, buf := range bufs {
-		if buf.RearrangedBlocks > res.Measure.RearrangedBlocks {
-			res.Measure.RearrangedBlocks = buf.RearrangedBlocks
-		}
-	}
-	return res, nil
+	return sc, nil
 }
 
-// linkSharing returns the largest number of transfers in the step that
-// traverse any single unidirectional link — the wormhole serialization
-// factor of the step.
-func linkSharing(t *topology.Torus, step *schedule.Step) int {
-	use := make(map[topology.Link]int)
-	max := 1
-	for _, tr := range step.Transfers {
-		src := t.CoordOf(tr.Src)
-		for _, l := range t.PathLinks(src, tr.Dim, tr.Dir, tr.Hops) {
-			use[l]++
-			if use[l] > max {
-				max = use[l]
-			}
-		}
+// LogTime executes the logarithmic-startup exchange through the shared
+// executor.
+func LogTime(t *topology.Torus) (*LogTimeResult, error) {
+	sc, err := LogTimeSchedule(t)
+	if err != nil {
+		return nil, err
 	}
-	return max
+	res, err := exec.Run(sc, exec.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &LogTimeResult{Torus: t, Buffers: res.Buffers, Measure: res.Measure, Schedule: sc}, nil
 }

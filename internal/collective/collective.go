@@ -25,6 +25,7 @@ import (
 	"torusx/internal/block"
 	"torusx/internal/costmodel"
 	"torusx/internal/exchange"
+	"torusx/internal/exec"
 	"torusx/internal/schedule"
 	"torusx/internal/topology"
 )
@@ -69,18 +70,26 @@ func Gather(t *topology.Torus, root topology.NodeID) (*exchange.Result, error) {
 	return exchange.RunSparse(t, blocks, exchange.Options{CheckSteps: true})
 }
 
-// Broadcast replicates root's block to every node: one dimension at a
-// time, the holders flood their ring in both directions in pipelined
-// steps (each node injects at most one message per step and each
-// unidirectional link carries at most one).
-func Broadcast(t *topology.Torus, root topology.NodeID) (*Result, error) {
+// BroadcastSchedule emits the pipelined bidirectional-flood broadcast
+// schedule from root: one dimension at a time, the holders flood their
+// ring in both directions in pipelined steps (each node injects at
+// most one message per step and each unidirectional link carries at
+// most one). Replication collectives copy blocks rather than move
+// them, so the schedule carries no payloads; the shared executor
+// checks and measures it structurally.
+func BroadcastSchedule(t *topology.Torus, root topology.NodeID) (*schedule.Schedule, error) {
+	sc, _, err := broadcastSchedule(t, root)
+	return sc, err
+}
+
+func broadcastSchedule(t *topology.Torus, root topology.NodeID) (*schedule.Schedule, []bool, error) {
 	n := t.Nodes()
 	if int(root) < 0 || int(root) >= n {
-		return nil, fmt.Errorf("collective: root %d out of range", root)
+		return nil, nil, fmt.Errorf("collective: root %d out of range", root)
 	}
 	have := make([]bool, n)
 	have[root] = true
-	res := &Result{Torus: t, Schedule: &schedule.Schedule{Torus: t}}
+	sc := &schedule.Schedule{Torus: t}
 
 	for dim := 0; dim < t.NDims(); dim++ {
 		ph := schedule.Phase{Name: fmt.Sprintf("bcast-dim%d", dim)}
@@ -119,18 +128,27 @@ func Broadcast(t *topology.Torus, root topology.NodeID) (*Result, error) {
 			if len(step.Transfers) == 0 {
 				break
 			}
-			if err := schedule.CheckStep(t, ph.Name, sweep, &step); err != nil {
-				return nil, err
-			}
 			copy(have, next)
 			ph.Steps = append(ph.Steps, step)
-			res.Measure.Steps++
-			res.Measure.Blocks += step.MaxBlocks()
-			res.Measure.Hops += step.MaxHops()
 		}
-		res.Schedule.Phases = append(res.Schedule.Phases, ph)
+		sc.Phases = append(sc.Phases, ph)
 	}
+	return sc, have, nil
+}
 
+// Broadcast replicates root's block to every node and measures the
+// schedule through the shared executor.
+func Broadcast(t *topology.Torus, root topology.NodeID) (*Result, error) {
+	sc, have, err := broadcastSchedule(t, root)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := exec.Run(sc, exec.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Torus: t, Schedule: sc, Measure: ex.Measure}
+	n := t.Nodes()
 	res.Have = make([][]topology.NodeID, n)
 	for i := 0; i < n; i++ {
 		if !have[i] {
@@ -141,18 +159,23 @@ func Broadcast(t *topology.Torus, root topology.NodeID) (*Result, error) {
 	return res, nil
 }
 
-// AllGather replicates every node's block to all nodes with the ring
-// algorithm: for each dimension, a−1 pipelined steps in which every
-// node forwards to its +1 neighbour the set it received in the
-// previous step (initially its own accumulated set), so after the
-// phase every node of a ring holds the union of the ring.
-func AllGather(t *topology.Torus) (*Result, error) {
+// AllGatherSchedule emits the ring all-gather schedule: for each
+// dimension, a−1 pipelined steps in which every node forwards to its
+// +1 neighbour the set it received in the previous step (initially its
+// own accumulated set), so after the phase every node of a ring holds
+// the union of the ring. Replication schedules carry no payloads.
+func AllGatherSchedule(t *topology.Torus) (*schedule.Schedule, error) {
+	sc, _, err := allGatherSchedule(t)
+	return sc, err
+}
+
+func allGatherSchedule(t *topology.Torus) (*schedule.Schedule, [][]topology.NodeID, error) {
 	n := t.Nodes()
 	have := make([][]topology.NodeID, n)
 	for i := range have {
 		have[i] = []topology.NodeID{topology.NodeID(i)}
 	}
-	res := &Result{Torus: t, Schedule: &schedule.Schedule{Torus: t}}
+	sc := &schedule.Schedule{Torus: t}
 
 	for dim := 0; dim < t.NDims(); dim++ {
 		size := t.Dim(dim)
@@ -177,26 +200,29 @@ func AllGather(t *topology.Torus) (*Result, error) {
 					Dim: dim, Dir: topology.Pos, Hops: 1, Blocks: len(carry[i]),
 				})
 			}
-			if err := schedule.CheckStep(t, ph.Name, s-1, &step); err != nil {
-				return nil, err
-			}
-			maxB := 0
 			for i := 0; i < n; i++ {
 				have[i] = append(have[i], incoming[i]...)
 				carry[i] = incoming[i]
-				if len(incoming[i]) > maxB {
-					maxB = len(incoming[i])
-				}
 			}
 			ph.Steps = append(ph.Steps, step)
-			res.Measure.Steps++
-			res.Measure.Blocks += maxB
-			res.Measure.Hops++
 		}
-		res.Schedule.Phases = append(res.Schedule.Phases, ph)
+		sc.Phases = append(sc.Phases, ph)
 	}
-	res.Have = have
-	return res, nil
+	return sc, have, nil
+}
+
+// AllGather replicates every node's block to all nodes and measures
+// the schedule through the shared executor.
+func AllGather(t *topology.Torus) (*Result, error) {
+	sc, have, err := allGatherSchedule(t)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := exec.Run(sc, exec.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Torus: t, Schedule: sc, Measure: ex.Measure, Have: have}, nil
 }
 
 // VerifyReplication checks that every node ends with exactly one block

@@ -53,14 +53,21 @@ func Run(t *topology.Torus, sc *schedule.Schedule, p costmodel.Params, blocksPer
 func RunSkewed(t *topology.Torus, sc *schedule.Schedule, p costmodel.Params, blocksPerNode int, skew func(node, step int) float64) *Result {
 	n := t.Nodes()
 	ready := make([]float64, n)
-	rearr := p.Rho * float64(blocksPerNode*p.M)
 
 	sync := 0.0
 	stepIdx := 0
 	for pi, ph := range sc.Phases {
 		if pi > 0 {
 			// Phase boundary: every node rearranges its array before
-			// its first send of the new phase.
+			// its first send of the new phase. The phase's Rearrange
+			// annotation, when present, declares the per-node block
+			// count; blocksPerNode is the legacy fallback for
+			// unannotated schedules.
+			rb := blocksPerNode
+			if ph.Rearrange > 0 {
+				rb = ph.Rearrange
+			}
+			rearr := p.Rho * float64(rb*p.M)
 			for i := range ready {
 				ready[i] += rearr
 			}
@@ -95,7 +102,7 @@ func RunSkewed(t *topology.Torus, sc *schedule.Schedule, p costmodel.Params, blo
 				start := ready[tr.Src]
 				drain := start + p.Ts + p.Tc*float64(tr.Blocks*p.M)
 				sendDone[tr.Src] = drain
-				arr := drain + p.Tl*float64(tr.Hops)
+				arr := drain + p.Tl*float64(tr.TotalHops())
 				if arr > arrival[tr.Dst] {
 					arrival[tr.Dst] = arr
 				}

@@ -58,6 +58,10 @@ type Options struct {
 	SkipRearrangeCharges bool
 	// StopAfter truncates the run after the given stage.
 	StopAfter Stage
+	// RecordPayloads attaches every transfer's extracted block set to
+	// the recorded schedule (Transfer.Payload), so the shared executor
+	// in internal/exec can replay and delivery-verify the run.
+	RecordPayloads bool
 }
 
 // Counters aggregates the cost-model measurements of one run, in the
@@ -261,6 +265,11 @@ func (ex *executor) arrangeGroup(p int, charged bool) {
 func (ex *executor) groupPhase(p int) error {
 	steps := ex.t.Dim(0)/topology.GroupStride - 1
 	ph := schedule.Phase{Name: fmt.Sprintf("group-%d", p+1)}
+	if p > 0 && !ex.opt.SkipRearrangeCharges {
+		// The boundary before this phase re-sorted all N blocks at
+		// every node (arrangeGroup with charging).
+		ph.Rearrange = ex.t.Nodes()
+	}
 	for s := 0; s < steps; s++ {
 		step, err := ex.execStep(ph.Name, s, func(i int) (plan.Move, int, func(block.Block) bool) {
 			self := ex.coords[i]
@@ -339,6 +348,9 @@ func (ex *executor) arrangeQuad() {
 func (ex *executor) quadPhase() error {
 	nd := ex.t.NDims()
 	ph := schedule.Phase{Name: "quad"}
+	if !ex.opt.SkipRearrangeCharges {
+		ph.Rearrange = ex.t.Nodes()
+	}
 	for s := 1; s <= nd; s++ {
 		step, err := ex.execStep(ph.Name, s-1, func(i int) (plan.Move, int, func(block.Block) bool) {
 			self := ex.coords[i]
@@ -384,6 +396,9 @@ func (ex *executor) arrangeBit() {
 func (ex *executor) bitPhase() error {
 	nd := ex.t.NDims()
 	ph := schedule.Phase{Name: "bit"}
+	if !ex.opt.SkipRearrangeCharges {
+		ph.Rearrange = ex.t.Nodes()
+	}
 	for s := 1; s <= nd; s++ {
 		step, err := ex.execStep(ph.Name, s-1, func(i int) (plan.Move, int, func(block.Block) bool) {
 			self := ex.coords[i]
@@ -435,10 +450,14 @@ func (ex *executor) execStep(phase string, index int, assign func(i int) (plan.M
 			ex.forced[i] += len(taken)
 		}
 		dst := ex.t.MoveID(topology.NodeID(i), m.Dim, hops*int(m.Dir))
-		step.Transfers = append(step.Transfers, schedule.Transfer{
+		tr := schedule.Transfer{
 			Src: topology.NodeID(i), Dst: dst,
 			Dim: m.Dim, Dir: m.Dir, Hops: hops, Blocks: len(taken),
-		})
+		}
+		if ex.opt.RecordPayloads {
+			tr.Payload = append([]block.Block(nil), taken...)
+		}
+		step.Transfers = append(step.Transfers, tr)
 		ex.ctr.TotalBlockHops += len(taken) * hops
 		deliveries = append(deliveries, delivery{dst: dst, blocks: taken})
 	}

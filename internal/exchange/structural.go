@@ -43,6 +43,11 @@ func GenerateStructural(t *topology.Torus) (*schedule.Schedule, error) {
 	globalSteps := t.Dim(0)/topology.GroupStride - 1
 	for p := 0; p < nd; p++ {
 		ph := schedule.Phase{Name: fmt.Sprintf("group-%d", p+1)}
+		if p > 0 {
+			// Every inter-phase boundary rearranges all N blocks per
+			// node (same annotation the simulating executor records).
+			ph.Rearrange = n
+		}
 		for s := 1; s <= globalSteps; s++ {
 			var step schedule.Step
 			for i := 0; i < n; i++ {
@@ -63,7 +68,7 @@ func GenerateStructural(t *topology.Torus) (*schedule.Schedule, error) {
 		sc.Phases = append(sc.Phases, ph)
 	}
 
-	quad := schedule.Phase{Name: "quad"}
+	quad := schedule.Phase{Name: "quad", Rearrange: n}
 	for s := 1; s <= nd; s++ {
 		var step schedule.Step
 		for i := 0; i < n; i++ {
@@ -78,7 +83,7 @@ func GenerateStructural(t *topology.Torus) (*schedule.Schedule, error) {
 	}
 	sc.Phases = append(sc.Phases, quad)
 
-	bit := schedule.Phase{Name: "bit"}
+	bit := schedule.Phase{Name: "bit", Rearrange: n}
 	for s := 1; s <= nd; s++ {
 		var step schedule.Step
 		for i := 0; i < n; i++ {

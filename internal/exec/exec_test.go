@@ -1,0 +1,223 @@
+package exec_test
+
+import (
+	"strings"
+	"testing"
+
+	"torusx/internal/baseline"
+	"torusx/internal/block"
+	"torusx/internal/costmodel"
+	"torusx/internal/exchange"
+	"torusx/internal/exec"
+	"torusx/internal/schedule"
+	"torusx/internal/topology"
+)
+
+func TestFullTraffic(t *testing.T) {
+	tor := topology.MustNew(4, 4)
+	traffic := exec.FullTraffic(tor)
+	n := tor.Nodes()
+	if len(traffic) != n*n {
+		t.Fatalf("traffic size = %d, want %d", len(traffic), n*n)
+	}
+	perOrigin := make(map[topology.NodeID]int)
+	for _, b := range traffic {
+		perOrigin[b.Origin]++
+	}
+	for id, count := range perOrigin {
+		if count != n {
+			t.Fatalf("origin %d sends %d blocks, want %d", id, count, n)
+		}
+	}
+}
+
+func TestRunRejectsNilSchedule(t *testing.T) {
+	if _, err := exec.Run(nil, exec.Options{}); err == nil {
+		t.Fatal("nil schedule should fail")
+	}
+	if _, err := exec.Run(&schedule.Schedule{}, exec.Options{}); err == nil {
+		t.Fatal("schedule without torus should fail")
+	}
+}
+
+func TestRunStructuralProposed(t *testing.T) {
+	// The structural proposed schedule carries no payloads: the executor
+	// checks and measures it without replay, and the measure matches the
+	// paper's closed form.
+	sc, err := exchange.GenerateStructural(topology.MustNew(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Run(sc, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replayed || res.Buffers != nil {
+		t.Fatal("structural schedule should not be replayed")
+	}
+	if res.MaxSharing != 1 {
+		t.Fatalf("proposed is contention-free, MaxSharing = %d", res.MaxSharing)
+	}
+	if want := costmodel.ProposedND([]int{8, 8}); res.Measure != want {
+		t.Fatalf("measure %+v != closed form %+v", res.Measure, want)
+	}
+}
+
+func TestRunReplaysPayloadSchedules(t *testing.T) {
+	// Payload-annotated builders are replayed block by block and
+	// delivery-verified against the full all-to-all matrix.
+	tor := topology.MustNew(4, 4)
+	for _, tc := range []struct {
+		name    string
+		sc      *schedule.Schedule
+		sharing bool // whether link sharing is expected
+	}{
+		{"direct", baseline.DirectSchedule(tor), true},
+		{"ring", baseline.RingSchedule(tor), false},
+	} {
+		res, err := exec.Run(tc.sc, exec.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !res.Replayed || len(res.Buffers) != tor.Nodes() {
+			t.Fatalf("%s: payload schedule should be replayed", tc.name)
+		}
+		if tc.sharing && res.MaxSharing <= 1 {
+			t.Fatalf("%s: expected link sharing, MaxSharing = %d", tc.name, res.MaxSharing)
+		}
+		if !tc.sharing && res.MaxSharing != 1 {
+			t.Fatalf("%s: contention-free schedule has MaxSharing = %d", tc.name, res.MaxSharing)
+		}
+		for id, buf := range res.Buffers {
+			if buf.Len() != tor.Nodes() {
+				t.Fatalf("%s: node %d holds %d blocks after exchange", tc.name, id, buf.Len())
+			}
+		}
+	}
+}
+
+// twoWormStep builds a single-step schedule on tor where the worms of
+// src1->+2 and src2->+2 along dim 0 overlap on one link.
+func twoWormStep(tor *topology.Torus, shared bool) *schedule.Schedule {
+	mk := func(src topology.NodeID) schedule.Transfer {
+		return schedule.Transfer{
+			Src: src, Dst: tor.MoveID(src, 0, 2),
+			Dim: 0, Dir: topology.Pos, Hops: 2, Blocks: 1,
+		}
+	}
+	return &schedule.Schedule{
+		Torus: tor,
+		Phases: []schedule.Phase{{
+			Name: "contended",
+			Steps: []schedule.Step{{
+				Shared:    shared,
+				Transfers: []schedule.Transfer{mk(0), mk(tor.MoveID(0, 0, 1))},
+			}},
+		}},
+	}
+}
+
+func TestRunContentionPolicy(t *testing.T) {
+	tor := topology.MustNew(4, 4)
+	// Undeclared link sharing is a hard error...
+	if _, err := exec.Run(twoWormStep(tor, false), exec.Options{}); err == nil {
+		t.Fatal("overlapping worms without Shared should be rejected")
+	}
+	// ...unless checks are explicitly skipped...
+	if _, err := exec.Run(twoWormStep(tor, false), exec.Options{SkipChecks: true}); err != nil {
+		t.Fatalf("SkipChecks run: %v", err)
+	}
+	// ...while a declared Shared step passes and is priced by its
+	// serialization factor: two worms on one link double the step's
+	// transmission charge.
+	res, err := exec.Run(twoWormStep(tor, true), exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxSharing != 2 {
+		t.Fatalf("MaxSharing = %d, want 2", res.MaxSharing)
+	}
+	if res.Measure.Blocks != 2 {
+		t.Fatalf("Blocks = %d, want MaxBlocks x sharing = 2", res.Measure.Blocks)
+	}
+	// One-port violations are rejected even on Shared steps.
+	bad := twoWormStep(tor, true)
+	bad.Phases[0].Steps[0].Transfers[1].Src = 0
+	if _, err := exec.Run(bad, exec.Options{}); err == nil {
+		t.Fatal("double send should violate the one-port model")
+	}
+}
+
+// singleHop builds a one-transfer payload schedule moving pay from node
+// 0 to its +1 neighbour along dim 0.
+func singleHop(tor *topology.Torus, declared int, pay []block.Block) *schedule.Schedule {
+	return &schedule.Schedule{
+		Torus: tor,
+		Phases: []schedule.Phase{{
+			Name: "hop",
+			Steps: []schedule.Step{{
+				Transfers: []schedule.Transfer{{
+					Src: 0, Dst: tor.MoveID(0, 0, 1),
+					Dim: 0, Dir: topology.Pos, Hops: 1,
+					Blocks: declared, Payload: pay,
+				}},
+			}},
+		}},
+	}
+}
+
+func TestRunReplayErrors(t *testing.T) {
+	tor := topology.MustNew(4, 4)
+	dst := tor.MoveID(0, 0, 1)
+	traffic := []block.Block{{Origin: 0, Dest: dst}}
+
+	// Declared block count must match the attached payload.
+	sc := singleHop(tor, 2, []block.Block{{Origin: 0, Dest: dst}})
+	if _, err := exec.Run(sc, exec.Options{Traffic: traffic}); err == nil ||
+		!strings.Contains(err.Error(), "payload") {
+		t.Fatalf("payload/Blocks mismatch should fail, got %v", err)
+	}
+	// A node may only transmit blocks it holds.
+	sc = singleHop(tor, 1, []block.Block{{Origin: 3, Dest: dst}})
+	if _, err := exec.Run(sc, exec.Options{Traffic: traffic}); err == nil ||
+		!strings.Contains(err.Error(), "does not hold") {
+		t.Fatalf("transmitting an unheld block should fail, got %v", err)
+	}
+	// Delivery is verified against the declared matrix: a schedule that
+	// moves nothing cannot satisfy non-self traffic.
+	empty := &schedule.Schedule{Torus: tor, Phases: []schedule.Phase{{Name: "idle", Steps: []schedule.Step{{}}}}}
+	empty.Phases[0].Steps[0].Transfers = []schedule.Transfer{}
+	sc = singleHop(tor, 1, []block.Block{{Origin: 0, Dest: dst}})
+	two := []block.Block{{Origin: 0, Dest: dst}, {Origin: 0, Dest: tor.MoveID(0, 0, 2)}}
+	if _, err := exec.Run(sc, exec.Options{Traffic: two}); err == nil {
+		t.Fatal("undelivered traffic should fail verification")
+	}
+	// Malformed traffic matrices are rejected up front.
+	if _, err := exec.Run(sc, exec.Options{Traffic: []block.Block{{Origin: 99, Dest: 0}}}); err == nil {
+		t.Fatal("out-of-range traffic should fail")
+	}
+	dup := []block.Block{{Origin: 0, Dest: dst}, {Origin: 0, Dest: dst}}
+	if _, err := exec.Run(sc, exec.Options{Traffic: dup}); err == nil {
+		t.Fatal("duplicate traffic should fail")
+	}
+}
+
+func TestRunSparseTraffic(t *testing.T) {
+	// A custom traffic matrix replaces the full all-to-all default.
+	tor := topology.MustNew(4, 4)
+	dst := tor.MoveID(0, 0, 1)
+	sc := singleHop(tor, 1, []block.Block{{Origin: 0, Dest: dst}})
+	res, err := exec.Run(sc, exec.Options{Traffic: []block.Block{{Origin: 0, Dest: dst}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Replayed {
+		t.Fatal("sparse run should be replayed")
+	}
+	if res.Buffers[dst].Len() != 1 || res.Buffers[0].Len() != 0 {
+		t.Fatal("block did not move to its destination")
+	}
+	if res.Measure.Steps != 1 || res.Measure.Blocks != 1 || res.Measure.Hops != 1 {
+		t.Fatalf("measure = %+v", res.Measure)
+	}
+}

@@ -109,14 +109,14 @@ func Simulate(msgs []Message) (Stats, error) {
 }
 
 // FromStep converts a schedule step into packets (1 header flit plus
-// the payload), mirroring wormhole.FromStep.
+// the payload), mirroring wormhole.FromStep; each packet follows the
+// transfer's full — possibly multi-dimensional — route.
 func FromStep(t *topology.Torus, s *schedule.Step, flitsPerBlock int) []Message {
 	msgs := make([]Message, 0, len(s.Transfers))
 	for i, tr := range s.Transfers {
-		src := t.CoordOf(tr.Src)
 		msgs = append(msgs, Message{
 			ID:    i,
-			Path:  t.PathLinks(src, tr.Dim, tr.Dir, tr.Hops),
+			Path:  tr.PathLinks(t),
 			Flits: 1 + tr.Blocks*flitsPerBlock,
 		})
 	}

@@ -1,0 +1,64 @@
+package schedule_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"torusx/internal/baseline"
+	"torusx/internal/schedule"
+	"torusx/internal/topology"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestDirectScheduleGoldenJSON pins the JSON wire format of a
+// baseline-emitted schedule: the Direct builder on a 4x4 torus, with
+// Shared steps, payload annotations and multi-segment routes all
+// present. The golden file is the compatibility contract for external
+// consumers of aapetrace -json; regenerate it deliberately with
+//
+//	go test ./internal/schedule -run Golden -update
+func TestDirectScheduleGoldenJSON(t *testing.T) {
+	sc := baseline.DirectSchedule(topology.MustNew(4, 4))
+	var buf bytes.Buffer
+	if err := sc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "direct_4x4.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("emitted JSON differs from %s (run with -update to accept):\n%s", golden, buf.String())
+	}
+
+	// The golden bytes reconstruct a schedule equivalent to the freshly
+	// built one: same torus, phases, Shared flags, routes and payloads —
+	// and it still passes the step checks.
+	back, err := schedule.ReadJSON(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Torus.String() != "4x4" {
+		t.Fatalf("torus = %s", back.Torus)
+	}
+	if !reflect.DeepEqual(back.Phases, sc.Phases) {
+		t.Fatal("round-tripped phases differ from the builder's output")
+	}
+	if !back.HasPayload() {
+		t.Fatal("payload annotations lost in the round trip")
+	}
+	if err := back.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

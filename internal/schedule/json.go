@@ -2,31 +2,48 @@ package schedule
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 
+	"torusx/internal/block"
 	"torusx/internal/topology"
 )
 
 // JSON export for external tooling (plotting, schedule inspection,
 // replaying on real hardware). The format is stable and
 // self-describing: dimensions, then phases with per-step transfers.
+// Optional fields carry the richer IR annotations — multi-leg routes
+// ("segs"), recorded payloads ("payload", as [origin, dest] pairs),
+// link-sharing steps ("shared") and per-phase rearrangement counts
+// ("rearrange") — and are omitted when absent, so schedules written by
+// older versions read back unchanged.
+
+type jsonSeg struct {
+	Dim  int    `json:"dim"`
+	Dir  string `json:"dir"`
+	Hops int    `json:"hops"`
+}
 
 type jsonTransfer struct {
-	Src    int    `json:"src"`
-	Dst    int    `json:"dst"`
-	Dim    int    `json:"dim"`
-	Dir    string `json:"dir"` // "+" or "-"
-	Hops   int    `json:"hops"`
-	Blocks int    `json:"blocks"`
+	Src     int       `json:"src"`
+	Dst     int       `json:"dst"`
+	Dim     int       `json:"dim"`
+	Dir     string    `json:"dir"` // "+" or "-"
+	Hops    int       `json:"hops"`
+	Blocks  int       `json:"blocks"`
+	Segs    []jsonSeg `json:"segs,omitempty"`
+	Payload [][2]int  `json:"payload,omitempty"`
 }
 
 type jsonStep struct {
 	Transfers []jsonTransfer `json:"transfers"`
+	Shared    bool           `json:"shared,omitempty"`
 }
 
 type jsonPhase struct {
-	Name  string     `json:"name"`
-	Steps []jsonStep `json:"steps"`
+	Name      string     `json:"name"`
+	Steps     []jsonStep `json:"steps"`
+	Rearrange int        `json:"rearrange,omitempty"`
 }
 
 type jsonSchedule struct {
@@ -34,19 +51,36 @@ type jsonSchedule struct {
 	Phases []jsonPhase `json:"phases"`
 }
 
+func parseDir(s string) (topology.Direction, error) {
+	switch s {
+	case "+":
+		return topology.Pos, nil
+	case "-":
+		return topology.Neg, nil
+	}
+	return topology.Pos, fmt.Errorf("schedule: bad direction %q", s)
+}
+
 // WriteJSON serializes the schedule to w.
 func (sc *Schedule) WriteJSON(w io.Writer) error {
 	out := jsonSchedule{Dims: sc.Torus.Dims()}
 	for _, ph := range sc.Phases {
-		jp := jsonPhase{Name: ph.Name}
+		jp := jsonPhase{Name: ph.Name, Rearrange: ph.Rearrange}
 		for _, st := range ph.Steps {
-			js := jsonStep{Transfers: make([]jsonTransfer, 0, len(st.Transfers))}
+			js := jsonStep{Transfers: make([]jsonTransfer, 0, len(st.Transfers)), Shared: st.Shared}
 			for _, tr := range st.Transfers {
-				js.Transfers = append(js.Transfers, jsonTransfer{
+				jt := jsonTransfer{
 					Src: int(tr.Src), Dst: int(tr.Dst),
 					Dim: tr.Dim, Dir: tr.Dir.String(),
 					Hops: tr.Hops, Blocks: tr.Blocks,
-				})
+				}
+				for _, s := range tr.Segs {
+					jt.Segs = append(jt.Segs, jsonSeg{Dim: s.Dim, Dir: s.Dir.String(), Hops: s.Hops})
+				}
+				for _, b := range tr.Payload {
+					jt.Payload = append(jt.Payload, [2]int{int(b.Origin), int(b.Dest)})
+				}
+				js.Transfers = append(js.Transfers, jt)
 			}
 			jp.Steps = append(jp.Steps, js)
 		}
@@ -70,18 +104,31 @@ func ReadJSON(r io.Reader) (*Schedule, error) {
 	}
 	sc := &Schedule{Torus: tor}
 	for _, jp := range in.Phases {
-		ph := Phase{Name: jp.Name}
+		ph := Phase{Name: jp.Name, Rearrange: jp.Rearrange}
 		for _, js := range jp.Steps {
-			var st Step
+			st := Step{Shared: js.Shared}
 			for _, jt := range js.Transfers {
-				dir := topology.Pos
-				if jt.Dir == "-" {
-					dir = topology.Neg
+				dir, err := parseDir(jt.Dir)
+				if err != nil {
+					return nil, err
 				}
-				st.Transfers = append(st.Transfers, Transfer{
+				tr := Transfer{
 					Src: topology.NodeID(jt.Src), Dst: topology.NodeID(jt.Dst),
 					Dim: jt.Dim, Dir: dir, Hops: jt.Hops, Blocks: jt.Blocks,
-				})
+				}
+				for _, s := range jt.Segs {
+					sdir, err := parseDir(s.Dir)
+					if err != nil {
+						return nil, err
+					}
+					tr.Segs = append(tr.Segs, Seg{Dim: s.Dim, Dir: sdir, Hops: s.Hops})
+				}
+				for _, p := range jt.Payload {
+					tr.Payload = append(tr.Payload, block.Block{
+						Origin: topology.NodeID(p[0]), Dest: topology.NodeID(p[1]),
+					})
+				}
+				st.Transfers = append(st.Transfers, tr)
 			}
 			ph.Steps = append(ph.Steps, st)
 		}

@@ -2,6 +2,7 @@ package schedule
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestJSONRoundTrip(t *testing.T) {
 	got := back.Phases[0].Steps[0].Transfers
 	want := sc.Phases[0].Steps[0].Transfers
 	for i := range want {
-		if got[i] != want[i] {
+		if !reflect.DeepEqual(got[i], want[i]) {
 			t.Fatalf("transfer %d: %+v != %+v", i, got[i], want[i])
 		}
 	}

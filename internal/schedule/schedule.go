@@ -1,39 +1,126 @@
 // Package schedule defines the structural representation of a
 // collective-communication schedule — phases, steps and per-step
-// transfers — together with the validity checks the Suh–Shin
-// algorithms must satisfy on a wormhole-switched torus:
+// transfers — the universal intermediate representation every
+// algorithm in this repository (the proposed Suh–Shin exchange, the
+// Direct/Ring/Factored/LogTime baselines and the collectives) lowers
+// to, and the one representation the shared executor in internal/exec
+// replays, verifies and measures.
+//
+// Validity on a wormhole-switched torus means:
 //
 //   - contention-freedom: within one step, no unidirectional physical
 //     link is used by more than one message (a wormhole message holds
-//     every link on its path for the duration of the step);
+//     every link on its path for the duration of the step). Steps that
+//     deliberately time-share links — e.g. the distance-2^r rounds of
+//     the minimum-startup baselines — declare Shared and are charged
+//     the link-sharing serialization factor instead of being rejected;
 //   - the one-port model: within one step, every node injects at most
-//     one message and consumes at most one message.
+//     one message and consumes at most one message. This holds for
+//     every step of every schedule, Shared or not.
 package schedule
 
 import (
 	"fmt"
 
+	"torusx/internal/block"
 	"torusx/internal/topology"
 )
 
+// Seg is one single-dimension leg of a transfer's route.
+type Seg struct {
+	Dim  int
+	Dir  topology.Direction
+	Hops int
+}
+
 // Transfer is one combined message within a step: Blocks message
 // blocks sent from Src to Dst, travelling Hops hops along dimension
-// Dim in direction Dir.
+// Dim in direction Dir. Transfers whose route spans several dimensions
+// (dimension-ordered routing, e.g. the Direct baseline's id-shift
+// sends) carry the full route in Segs; Dim/Dir/Hops then describe the
+// first leg and TotalHops/PathLinks cover the whole route.
 type Transfer struct {
 	Src, Dst topology.NodeID
 	Dim      int
 	Dir      topology.Direction
 	Hops     int
 	Blocks   int
+
+	// Segs is the dimension-ordered multi-leg route; nil means the
+	// route is the single leg (Dim, Dir, Hops).
+	Segs []Seg
+
+	// Payload lists the blocks this transfer moves, when the emitting
+	// algorithm recorded them (len(Payload) == Blocks). A schedule
+	// whose transfers all carry payloads can be replayed and
+	// delivery-verified by internal/exec; structural schedules (e.g.
+	// exchange.GenerateStructural at scale) leave it nil.
+	Payload []block.Block
+}
+
+// Segments returns the transfer's route legs: Segs when present,
+// otherwise the single (Dim, Dir, Hops) leg.
+func (tr Transfer) Segments() []Seg {
+	if tr.Segs != nil {
+		return tr.Segs
+	}
+	return []Seg{{Dim: tr.Dim, Dir: tr.Dir, Hops: tr.Hops}}
+}
+
+// TotalHops returns the hop count of the full route.
+func (tr Transfer) TotalHops() int {
+	if tr.Segs == nil {
+		return tr.Hops
+	}
+	h := 0
+	for _, s := range tr.Segs {
+		h += s.Hops
+	}
+	return h
+}
+
+// PathLinks expands the transfer's route into the ordered list of
+// unidirectional physical links it occupies on t.
+func (tr Transfer) PathLinks(t *topology.Torus) []topology.Link {
+	cur := t.CoordOf(tr.Src)
+	var links []topology.Link
+	for _, s := range tr.Segments() {
+		links = append(links, t.PathLinks(cur, s.Dim, s.Dir, s.Hops)...)
+		cur = t.Move(cur, s.Dim, s.Hops*int(s.Dir))
+	}
+	return links
+}
+
+// RouteString renders the route compactly: "dim0+h4" or
+// "dim0+h3,dim1-h2" for multi-leg routes.
+func (tr Transfer) RouteString() string {
+	if tr.Segs == nil {
+		return fmt.Sprintf("dim%d%sh%d", tr.Dim, tr.Dir, tr.Hops)
+	}
+	s := ""
+	for i, seg := range tr.Segs {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("dim%d%sh%d", seg.Dim, seg.Dir, seg.Hops)
+	}
+	return s
 }
 
 func (tr Transfer) String() string {
-	return fmt.Sprintf("%d->%d dim%d%s h%d b%d", tr.Src, tr.Dst, tr.Dim, tr.Dir, tr.Hops, tr.Blocks)
+	return fmt.Sprintf("%d->%d %s b%d", tr.Src, tr.Dst, tr.RouteString(), tr.Blocks)
 }
 
-// Step is one contention-free communication step.
+// Step is one communication step. A step is either contention-free
+// (the default, enforced by Check) or declared Shared, meaning its
+// transfers may time-share physical links and the step's transmission
+// time is serialized by SharingFactor.
 type Step struct {
 	Transfers []Transfer
+	// Shared declares that transfers in this step are allowed to
+	// occupy the same unidirectional link; the executor charges the
+	// link-sharing serialization factor instead of rejecting the step.
+	Shared bool
 }
 
 // MaxBlocks returns the largest block count carried by any single
@@ -49,16 +136,33 @@ func (s *Step) MaxBlocks() int {
 	return m
 }
 
-// MaxHops returns the largest hop count of any transfer in the step;
-// the step's propagation delay is proportional to it.
+// MaxHops returns the largest total hop count of any transfer in the
+// step; the step's propagation delay is proportional to it.
 func (s *Step) MaxHops() int {
 	h := 0
 	for _, tr := range s.Transfers {
-		if tr.Hops > h {
-			h = tr.Hops
+		if th := tr.TotalHops(); th > h {
+			h = th
 		}
 	}
 	return h
+}
+
+// SharingFactor returns the largest number of transfers in the step
+// that traverse any single unidirectional link — the wormhole
+// serialization factor of the step (1 when the step is link-disjoint).
+func (s *Step) SharingFactor(t *topology.Torus) int {
+	use := make(map[topology.Link]int)
+	max := 1
+	for _, tr := range s.Transfers {
+		for _, l := range tr.PathLinks(t) {
+			use[l]++
+			if use[l] > max {
+				max = use[l]
+			}
+		}
+	}
+	return max
 }
 
 // TotalBlocks sums the block counts of all transfers in the step.
@@ -74,6 +178,11 @@ func (s *Step) TotalBlocks() int {
 type Phase struct {
 	Name  string
 	Steps []Step
+	// Rearrange is the number of blocks every node rearranges in the
+	// data-rearrangement step associated with this phase (0 = none).
+	// The executor sums it into Measure.RearrangedBlocks, which is how
+	// the paper's (n+1)·N rearrangement accounting rides the IR.
+	Rearrange int
 }
 
 // Schedule is the full run: an ordered list of phases over a torus.
@@ -120,6 +229,31 @@ func (sc *Schedule) SumMaxHops() int {
 	return t
 }
 
+// RearrangedBlocks sums the per-phase rearrangement annotations: the
+// per-node rearranged-block cost of the whole schedule.
+func (sc *Schedule) RearrangedBlocks() int {
+	t := 0
+	for _, p := range sc.Phases {
+		t += p.Rearrange
+	}
+	return t
+}
+
+// HasPayload reports whether every transfer of the schedule carries
+// its block payload, i.e. the schedule can be replayed and
+// delivery-verified rather than only structurally checked.
+func (sc *Schedule) HasPayload() bool {
+	ok := true
+	sc.EachStep(func(_ *Phase, _ int, s *Step) {
+		for _, tr := range s.Transfers {
+			if len(tr.Payload) != tr.Blocks {
+				ok = false
+			}
+		}
+	})
+	return ok
+}
+
 // LinkUtilization returns, averaged over steps, the fraction of the
 // torus's unidirectional links occupied by some transfer. The group
 // phases of the Suh–Shin schedule keep exactly half of one dimension
@@ -134,8 +268,7 @@ func (sc *Schedule) LinkUtilization() float64 {
 	sc.EachStep(func(_ *Phase, _ int, s *Step) {
 		used := make(map[topology.Link]bool)
 		for _, tr := range s.Transfers {
-			src := sc.Torus.CoordOf(tr.Src)
-			for _, l := range sc.Torus.PathLinks(src, tr.Dim, tr.Dir, tr.Hops) {
+			for _, l := range tr.PathLinks(sc.Torus) {
 				used[l] = true
 			}
 		}
@@ -213,10 +346,10 @@ func (e *OnePortError) Error() string {
 		e.Phase, e.Step, e.Node, e.Role, e.A, e.B)
 }
 
-// CheckStep validates contention-freedom and the one-port model for a
-// single step. It returns the first violation found, or nil.
-func CheckStep(t *topology.Torus, phase string, stepIndex int, s *Step) error {
-	links := make(map[topology.Link]Transfer)
+// CheckStepOnePort validates the one-port model for a single step: no
+// node sends or receives more than one message. It returns the first
+// violation found, or nil.
+func CheckStepOnePort(phase string, stepIndex int, s *Step) error {
 	senders := make(map[topology.NodeID]Transfer)
 	receivers := make(map[topology.NodeID]Transfer)
 	for _, tr := range s.Transfers {
@@ -228,8 +361,20 @@ func CheckStep(t *topology.Torus, phase string, stepIndex int, s *Step) error {
 			return &OnePortError{Phase: phase, Step: stepIndex, Node: tr.Dst, Role: "receive", A: prev, B: tr}
 		}
 		receivers[tr.Dst] = tr
-		src := t.CoordOf(tr.Src)
-		for _, l := range t.PathLinks(src, tr.Dim, tr.Dir, tr.Hops) {
+	}
+	return nil
+}
+
+// CheckStep validates contention-freedom and the one-port model for a
+// single step, ignoring the step's Shared declaration. It returns the
+// first violation found, or nil.
+func CheckStep(t *topology.Torus, phase string, stepIndex int, s *Step) error {
+	if err := CheckStepOnePort(phase, stepIndex, s); err != nil {
+		return err
+	}
+	links := make(map[topology.Link]Transfer)
+	for _, tr := range s.Transfers {
+		for _, l := range tr.PathLinks(t) {
 			if prev, dup := links[l]; dup {
 				return &ContentionError{Phase: phase, Step: stepIndex, Link: l, A: prev, B: tr}
 			}
@@ -240,15 +385,22 @@ func CheckStep(t *topology.Torus, phase string, stepIndex int, s *Step) error {
 }
 
 // Check validates every step of the schedule, returning the first
-// violation found, or nil if the schedule is contention-free and
-// one-port compliant throughout.
+// violation found, or nil. Steps declared Shared are held to the
+// one-port model only (their link time-sharing is priced, not
+// forbidden); all other steps must additionally be link-disjoint.
 func (sc *Schedule) Check() error {
 	var firstErr error
 	sc.EachStep(func(p *Phase, si int, s *Step) {
 		if firstErr != nil {
 			return
 		}
-		if err := CheckStep(sc.Torus, p.Name, si, s); err != nil {
+		var err error
+		if s.Shared {
+			err = CheckStepOnePort(p.Name, si, s)
+		} else {
+			err = CheckStep(sc.Torus, p.Name, si, s)
+		}
+		if err != nil {
 			firstErr = err
 		}
 	})

@@ -19,10 +19,23 @@ func Summary(sc *schedule.Schedule) string {
 	fmt.Fprintf(&b, "schedule for %s torus: %d phases, %d steps\n",
 		sc.Torus, len(sc.Phases), sc.NumSteps())
 	sc.EachStep(func(p *schedule.Phase, si int, st *schedule.Step) {
-		fmt.Fprintf(&b, "  %-8s step %2d: %4d transfers, max %5d blocks, %d hops\n",
-			p.Name, si+1, len(st.Transfers), st.MaxBlocks(), st.MaxHops())
+		shared := ""
+		if st.Shared {
+			shared = "  (link-shared)"
+		}
+		fmt.Fprintf(&b, "  %-8s step %2d: %4d transfers, max %5d blocks, %d hops%s\n",
+			p.Name, si+1, len(st.Transfers), st.MaxBlocks(), st.MaxHops(), shared)
 	})
 	return b.String()
+}
+
+// routeLabel renders a transfer's route: the familiar single-leg form
+// for one-dimensional moves, the compact multi-leg form otherwise.
+func routeLabel(tr *schedule.Transfer) string {
+	if len(tr.Segs) > 1 {
+		return fmt.Sprintf("route %s  %d hops", tr.RouteString(), tr.TotalHops())
+	}
+	return fmt.Sprintf("dim %d%s  %d hops", tr.Dim, tr.Dir, tr.Hops)
 }
 
 // Detail renders every transfer of every step, ordered by source node,
@@ -41,8 +54,8 @@ func Detail(sc *schedule.Schedule, limit int) string {
 			}
 			src := sc.Torus.CoordOf(tr.Src)
 			dst := sc.Torus.CoordOf(tr.Dst)
-			fmt.Fprintf(&b, "  %v -> %v  dim %d%s  %d hops  %d blocks\n",
-				src, dst, tr.Dim, tr.Dir, tr.Hops, tr.Blocks)
+			fmt.Fprintf(&b, "  %v -> %v  %s  %d blocks\n",
+				src, dst, routeLabel(&tr), tr.Blocks)
 		}
 	})
 	return b.String()
@@ -56,8 +69,8 @@ func NodeHistory(sc *schedule.Schedule, node int) string {
 	sc.EachStep(func(p *schedule.Phase, si int, st *schedule.Step) {
 		for _, tr := range st.Transfers {
 			if int(tr.Src) == node {
-				fmt.Fprintf(&b, "  %-8s step %2d: send %4d blocks to %v (dim %d%s, %d hops)\n",
-					p.Name, si+1, tr.Blocks, sc.Torus.CoordOf(tr.Dst), tr.Dim, tr.Dir, tr.Hops)
+				fmt.Fprintf(&b, "  %-8s step %2d: send %4d blocks to %v (%s)\n",
+					p.Name, si+1, tr.Blocks, sc.Torus.CoordOf(tr.Dst), routeLabel(&tr))
 			}
 			if int(tr.Dst) == node {
 				fmt.Fprintf(&b, "  %-8s step %2d: recv %4d blocks from %v\n",

@@ -65,6 +65,50 @@ func Delivered(t *topology.Torus, bufs []*block.Buffer) error {
 	return nil
 }
 
+// DeliveredMatrix checks delivery of an arbitrary declared traffic
+// matrix: node i must hold exactly the blocks of traffic whose Dest is
+// i, no more and no fewer. Duplicate (origin, dest) pairs in traffic
+// are rejected. This is the post-condition the shared executor
+// enforces after replaying any payload-annotated schedule.
+func DeliveredMatrix(t *topology.Torus, bufs []*block.Buffer, traffic []block.Block) error {
+	n := t.Nodes()
+	if len(bufs) != n {
+		return fmt.Errorf("verify: %d buffers for %d nodes", len(bufs), n)
+	}
+	want := make(map[block.Block]bool, len(traffic))
+	perDest := make([]int, n)
+	for _, b := range traffic {
+		if int(b.Origin) < 0 || int(b.Origin) >= n || int(b.Dest) < 0 || int(b.Dest) >= n {
+			return fmt.Errorf("verify: traffic block %v out of range for %d nodes", b, n)
+		}
+		if want[b] {
+			return fmt.Errorf("verify: duplicate traffic block %v", b)
+		}
+		want[b] = true
+		perDest[b.Dest]++
+	}
+	for i, buf := range bufs {
+		if buf.Len() != perDest[i] {
+			return fmt.Errorf("verify: node %d holds %d blocks, want %d", i, buf.Len(), perDest[i])
+		}
+		for _, b := range buf.View() {
+			if b.Dest != topology.NodeID(i) {
+				return fmt.Errorf("verify: node %d holds misdelivered block %v", i, b)
+			}
+			if !want[b] {
+				return fmt.Errorf("verify: node %d holds block %v outside the traffic matrix (or duplicated)", i, b)
+			}
+			delete(want, b)
+		}
+	}
+	if len(want) != 0 {
+		for b := range want {
+			return fmt.Errorf("verify: traffic block %v was never delivered", b)
+		}
+	}
+	return nil
+}
+
 // DeliveredSubset checks delivery when only a subset of (origin, dest)
 // pairs participates (e.g. the virtual-node extension, where only real
 // nodes exchange): node i must hold exactly one block from each origin

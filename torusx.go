@@ -24,7 +24,9 @@
 //   - Predict/Completion:  the closed-form cost model of Table 1 and
 //     the machine-parameter completion-time conversion.
 //   - Compare:             measured costs of the executable baselines
-//     (Direct, Ring, Factored) next to the proposed algorithm.
+//     (Direct, Ring, Factored, LogTime) next to the proposed
+//     algorithm, every one lowered to the schedule IR and run through
+//     the same executor (internal/algorithm + internal/exec).
 //   - Broadcast, Scatter, Gather, AllGather, AllReduce (collectives.go):
 //     the sibling collectives on the same substrate.
 //
@@ -36,10 +38,11 @@ package torusx
 import (
 	"fmt"
 
-	"torusx/internal/baseline"
+	"torusx/internal/algorithm"
 	"torusx/internal/block"
 	"torusx/internal/costmodel"
 	"torusx/internal/exchange"
+	"torusx/internal/exec"
 	"torusx/internal/schedule"
 	"torusx/internal/simchan"
 	"torusx/internal/topology"
@@ -225,6 +228,8 @@ const (
 	// Proposed is the Suh–Shin n+2-phase message-combining exchange.
 	Proposed Algorithm = "proposed"
 	// Direct is the non-combining baseline: N−1 single-block sends.
+	// Its Blocks include the wormhole link-sharing serialization of
+	// the simultaneous id-shift worms.
 	Direct Algorithm = "direct"
 	// Ring is the stride-1 dimension-ordered combining baseline.
 	Ring Algorithm = "ring"
@@ -232,52 +237,42 @@ const (
 	// (minimum-startup class, arbitrary sizes); its Blocks include
 	// wormhole link-sharing serialization.
 	Factored Algorithm = "factored"
+	// LogTime is the power-of-two minimum-startup baseline [9].
+	LogTime Algorithm = "logtime"
 )
 
+// Algorithms lists every registered algorithm name Compare accepts,
+// sorted.
+func Algorithms() []string { return algorithm.Names() }
+
 // Compare executes the chosen algorithm on dims and returns its
-// measured costs. Proposed requires multiple-of-four dims; Direct and
-// Ring accept any torus.
+// measured costs. Every algorithm takes the same path: its registered
+// builder emits a schedule.Schedule, and the shared executor in
+// internal/exec validates each step (one-port always; wormhole
+// link-disjointness unless the step declares link time-sharing, which
+// is then charged as a serialization factor on Blocks), replays the
+// block movement of payload-annotated schedules, verifies delivery,
+// and derives the Measure. Proposed requires multiple-of-four dims;
+// Direct, Ring and Factored accept any torus; LogTime needs
+// power-of-two dims.
 func Compare(alg Algorithm, dims ...int) (Measure, error) {
 	t, err := topology.New(dims...)
 	if err != nil {
 		return Measure{}, err
 	}
-	switch alg {
-	case Proposed:
-		res, err := exchange.Run(t, exchange.Options{})
-		if err != nil {
-			return Measure{}, err
-		}
-		return Measure{
-			Steps:            res.Counters.Steps,
-			Blocks:           res.Counters.SumMaxBlocks,
-			Hops:             res.Counters.SumMaxHops,
-			RearrangedBlocks: res.Counters.RearrangedBlocksMaxPerNode,
-		}, nil
-	case Direct:
-		r := baseline.Direct(t)
-		if err := baseline.Verify(r); err != nil {
-			return Measure{}, err
-		}
-		return r.Measure, nil
-	case Ring:
-		r := baseline.Ring(t)
-		if err := baseline.Verify(r); err != nil {
-			return Measure{}, err
-		}
-		return r.Measure, nil
-	case Factored:
-		r, err := baseline.Factored(t)
-		if err != nil {
-			return Measure{}, err
-		}
-		if err := baseline.Verify(&baseline.Result{Torus: r.Torus, Buffers: r.Buffers}); err != nil {
-			return Measure{}, err
-		}
-		return r.Measure, nil
-	default:
-		return Measure{}, fmt.Errorf("torusx: unknown algorithm %q", alg)
+	b, err := algorithm.For(string(alg))
+	if err != nil {
+		return Measure{}, err
 	}
+	sc, err := b.BuildSchedule(t)
+	if err != nil {
+		return Measure{}, err
+	}
+	res, err := exec.Run(sc, exec.Options{})
+	if err != nil {
+		return Measure{}, err
+	}
+	return res.Measure, nil
 }
 
 // Pair identifies one personalized message of a sparse exchange.
