@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	aape -dims 12x12 [-alg proposed|direct|ring|factored|logtime|concurrent|virtual] [-m 64] [-ts 25 -tc 0.01 -tl 0.05 -rho 0.005]
+//	aape -dims 12x12 [-alg proposed|direct|ring|factored|logtime|concurrent|virtual] [-m 64] [-ts 25 -tc 0.01 -tl 0.05 -rho 0.005] [-parallel=true] [-workers N]
 //
 // Examples:
 //
@@ -12,6 +12,12 @@
 //	aape -dims 6x5 -alg virtual      # non-multiple-of-four torus
 //	aape -dims 8x8 -alg direct       # non-combining baseline
 //	aape -dims 16x16 -alg logtime    # minimum-startup baseline
+//	aape -dims 32x32 -alg proposed-sim -parallel=false  # serial reference executor
+//
+// Executor-backed algorithms (direct, ring, factored, logtime,
+// proposed-sim, broadcast, allgather) run through the shared executor,
+// which by default fans out across GOMAXPROCS workers; -parallel=false
+// selects the serial reference path, bit-identical by construction.
 package main
 
 import (
@@ -19,9 +25,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"torusx"
+	"torusx/internal/algorithm"
 	"torusx/internal/cli"
+	"torusx/internal/exec"
+	"torusx/internal/topology"
 )
 
 func main() {
@@ -35,17 +45,20 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("aape", flag.ContinueOnError)
 	var (
-		dimsFlag = fs.String("dims", "12x12", "torus shape, e.g. 12x8x4 (sizes non-increasing)")
-		algFlag  = fs.String("alg", "proposed", "algorithm: proposed, direct, ring, factored, logtime, concurrent, virtual")
-		mFlag    = fs.Int("m", 64, "block size in bytes")
-		tsFlag   = fs.Float64("ts", 25, "startup time per message (us)")
-		tcFlag   = fs.Float64("tc", 0.01, "transmission time per byte (us)")
-		tlFlag   = fs.Float64("tl", 0.05, "propagation delay per hop (us)")
-		rhoFlag  = fs.Float64("rho", 0.005, "rearrangement time per byte (us)")
+		dimsFlag     = fs.String("dims", "12x12", "torus shape, e.g. 12x8x4 (sizes non-increasing)")
+		algFlag      = fs.String("alg", "proposed", "algorithm: proposed, direct, ring, factored, logtime, concurrent, virtual, or any registered name ("+strings.Join(algorithm.Names(), ", ")+")")
+		mFlag        = fs.Int("m", 64, "block size in bytes")
+		tsFlag       = fs.Float64("ts", 25, "startup time per message (us)")
+		tcFlag       = fs.Float64("tc", 0.01, "transmission time per byte (us)")
+		tlFlag       = fs.Float64("tl", 0.05, "propagation delay per hop (us)")
+		rhoFlag      = fs.Float64("rho", 0.005, "rearrangement time per byte (us)")
+		parallelFlag = fs.Bool("parallel", true, "fan the executor out across GOMAXPROCS workers (results are bit-identical to -parallel=false)")
+		workersFlag  = fs.Int("workers", 0, "parallel executor worker count (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	execOpt := exec.Options{Serial: !*parallelFlag, Workers: *workersFlag}
 
 	dims, err := cli.ParseDims(*dimsFlag)
 	if err != nil {
@@ -88,15 +101,36 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "host-serialized steps: %d  max host load: %d\n",
 			rep.HostSerializedSteps, rep.MaxHostLoad)
 
-	case "direct", "ring", "factored", "logtime":
-		m, err := torusx.Compare(torusx.Algorithm(*algFlag), dims...)
+	default:
+		// Everything else resolves through the algorithm registry and
+		// runs through the shared executor, parallel unless
+		// -parallel=false.
+		b, err := algorithm.For(*algFlag)
+		if err != nil {
+			return fmt.Errorf("unknown algorithm %q (expected concurrent, virtual, or one of %s)",
+				*algFlag, strings.Join(algorithm.Names(), ", "))
+		}
+		tor, err := topology.New(dims...)
 		if err != nil {
 			return err
 		}
-		printReport(w, *algFlag+" baseline (replayed and delivery-verified by the shared executor)", m, params)
-
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algFlag)
+		sc, err := b.BuildSchedule(tor)
+		if err != nil {
+			return err
+		}
+		res, err := exec.Run(sc, execOpt)
+		if err != nil {
+			return err
+		}
+		mode := "parallel"
+		if execOpt.Serial {
+			mode = "serial"
+		}
+		verified := "checked by the shared executor"
+		if res.Replayed {
+			verified = "replayed and delivery-verified by the shared executor"
+		}
+		printReport(w, fmt.Sprintf("%s (%s, %s)", b.Name(), verified, mode), res.Measure, params)
 	}
 	return nil
 }

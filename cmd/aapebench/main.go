@@ -1,0 +1,180 @@
+// Command aapebench sweeps the registered algorithms over a grid of
+// torus shapes, times the shared executor on each cell, and emits the
+// machine-readable benchmark ledger BENCH_exec.json (see
+// internal/benchfmt) so the repository's perf trajectory has pinned
+// data points. Deterministic cost counters (startups, blocks, hops,
+// rearranged) ride along with every timing, so golden tests can gate
+// on the counters while the ns/op columns track each host.
+//
+// Usage:
+//
+//	aapebench                                  # default grid, BENCH_exec.json
+//	aapebench -dims 8x8,16x16,4x4x4 -algs proposed,direct
+//	aapebench -serial                          # time the serial reference
+//	aapebench -quick -out -                    # one run per cell, stdout only
+//
+// Cells whose builder rejects the shape (e.g. logtime on non-power-of-
+// two tori) are skipped and reported on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"torusx/internal/algorithm"
+	"torusx/internal/benchfmt"
+	"torusx/internal/cli"
+	"torusx/internal/exec"
+	"torusx/internal/schedule"
+	"torusx/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		cli.Fatalf("aapebench: %v", err)
+	}
+}
+
+// run parses args, sweeps the grid, and writes the summary to w plus
+// the JSON ledger to -out; extracted from main for testing.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("aapebench", flag.ContinueOnError)
+	var (
+		dimsFlag     = fs.String("dims", "8x8,16x16,4x4x4", "comma-separated torus shapes to sweep")
+		algsFlag     = fs.String("algs", "", "comma-separated algorithms (default: every registered algorithm: "+strings.Join(algorithm.Names(), ", ")+")")
+		outFlag      = fs.String("out", "BENCH_exec.json", "ledger path ('-' = stdout only)")
+		serialFlag   = fs.Bool("serial", false, "time the serial reference executor instead of the parallel one")
+		parallelFlag = fs.Bool("parallel", true, "run the executor's parallel fan-out path (overridden by -serial)")
+		workersFlag  = fs.Int("workers", 0, "parallel executor worker count (0 = GOMAXPROCS)")
+		quickFlag    = fs.Bool("quick", false, "single timed run per cell instead of a full benchmark (for tests and smoke runs)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	shapes, err := parseShapes(*dimsFlag)
+	if err != nil {
+		return err
+	}
+	algs := algorithm.Names()
+	if *algsFlag != "" {
+		algs = strings.Split(*algsFlag, ",")
+	}
+	serial := *serialFlag || !*parallelFlag
+	opt := exec.Options{Serial: serial, Workers: *workersFlag}
+
+	ledger := &benchfmt.File{
+		Schema: benchfmt.Schema,
+		GoOS:   runtime.GOOS, GoArch: runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	fmt.Fprintf(w, "%-14s %-10s %14s %12s %10s %8s\n", "alg", "dims", "ns/op", "allocs/op", "steps", "blocks")
+	for _, dims := range shapes {
+		tor, err := topology.New(dims...)
+		if err != nil {
+			return fmt.Errorf("shape %v: %v", dims, err)
+		}
+		for _, name := range algs {
+			b, err := algorithm.For(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			sc, err := b.BuildSchedule(tor)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aapebench: skip %s on %s: %v\n", b.Name(), shapeString(dims), err)
+				continue
+			}
+			res, err := exec.Run(sc, opt)
+			if err != nil {
+				return fmt.Errorf("%s on %s: %v", b.Name(), shapeString(dims), err)
+			}
+			entry := benchfmt.Entry{
+				Alg: b.Name(), Dims: dims, Parallel: !serial,
+				Steps: res.Measure.Steps, Blocks: res.Measure.Blocks,
+				Hops: res.Measure.Hops, Rearranged: res.Measure.RearrangedBlocks,
+				MaxSharing: res.MaxSharing,
+			}
+			if *quickFlag {
+				entry.NsPerOp, entry.AllocsPerOp, entry.BytesPerOp = timeOnce(sc, opt)
+			} else {
+				br := testing.Benchmark(func(bb *testing.B) {
+					bb.ReportAllocs()
+					for i := 0; i < bb.N; i++ {
+						if _, err := exec.Run(sc, opt); err != nil {
+							bb.Fatal(err)
+						}
+					}
+				})
+				entry.NsPerOp = float64(br.NsPerOp())
+				entry.AllocsPerOp = br.AllocsPerOp()
+				entry.BytesPerOp = br.AllocedBytesPerOp()
+			}
+			ledger.Entries = append(ledger.Entries, entry)
+			fmt.Fprintf(w, "%-14s %-10s %14.0f %12d %10d %8d\n",
+				entry.Alg, shapeString(dims), entry.NsPerOp, entry.AllocsPerOp, entry.Steps, entry.Blocks)
+		}
+	}
+
+	if err := ledger.Validate(); err != nil {
+		return err
+	}
+	if *outFlag != "-" && *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ledger.Write(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d entries to %s\n", len(ledger.Entries), *outFlag)
+	} else if err := ledger.Write(w); err != nil {
+		return err
+	}
+	return nil
+}
+
+// timeOnce measures a single executor run — enough for smoke tests,
+// where benchmark-grade statistics would cost seconds per cell. The
+// schedule has already executed once, so Run cannot fail here.
+func timeOnce(sc *schedule.Schedule, opt exec.Options) (ns float64, allocs, bytes int64) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if _, err := exec.Run(sc, opt); err != nil {
+		panic("aapebench: timed schedule stopped executing: " + err.Error())
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	ns = float64(elapsed.Nanoseconds())
+	if ns < 1 {
+		ns = 1
+	}
+	return ns, int64(after.Mallocs - before.Mallocs), int64(after.TotalAlloc - before.TotalAlloc)
+}
+
+func parseShapes(s string) ([][]int, error) {
+	var shapes [][]int
+	for _, part := range strings.Split(s, ",") {
+		dims, err := cli.ParseDims(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		shapes = append(shapes, dims)
+	}
+	return shapes, nil
+}
+
+func shapeString(dims []int) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = fmt.Sprint(d)
+	}
+	return strings.Join(parts, "x")
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"torusx/internal/benchfmt"
+)
+
+// TestBenchSmoke8x8 runs the sweep on 8x8 in -quick mode and checks
+// the emitted ledger round-trips through the schema validator.
+func TestBenchSmoke8x8(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_exec.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-dims", "8x8", "-quick", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ledger, err := benchfmt.Decode(f) // Decode validates
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ledger.Entries) < 6 {
+		t.Fatalf("only %d entries for 8x8 across the registry", len(ledger.Entries))
+	}
+	if !strings.Contains(buf.String(), "proposed") {
+		t.Fatalf("summary table missing algorithms:\n%s", buf.String())
+	}
+}
+
+// TestBenchGolden8x8 pins the deterministic columns of the committed
+// BENCH_exec.json: a fresh 8x8 sweep must reproduce every golden
+// entry's steps/blocks/hops/rearranged/max_sharing exactly (the
+// timing columns are host-specific and ignored). A drift here means an
+// algorithm's cost profile changed and the golden must be regenerated
+// deliberately with `go run ./cmd/aapebench -dims 8x8 -out
+// BENCH_exec.json`.
+func TestBenchGolden8x8(t *testing.T) {
+	gf, err := os.Open(filepath.Join("..", "..", "BENCH_exec.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	golden, err := benchfmt.Decode(gf)
+	if err != nil {
+		t.Fatalf("committed BENCH_exec.json invalid: %v", err)
+	}
+
+	out := filepath.Join(t.TempDir(), "BENCH_exec.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-dims", "8x8", "-quick", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	ff, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ff.Close()
+	fresh, err := benchfmt.Decode(ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	freshBy := fresh.ByKey()
+	compared := 0
+	for _, g := range golden.Entries {
+		if len(g.Dims) != 2 || g.Dims[0] != 8 || g.Dims[1] != 8 {
+			continue // golden may carry other shapes; the smoke pin is 8x8
+		}
+		got, ok := freshBy[g.Key()]
+		if !ok {
+			t.Errorf("golden entry %s missing from fresh sweep", g.Key())
+			continue
+		}
+		gd := [5]int{g.Steps, g.Blocks, g.Hops, g.Rearranged, g.MaxSharing}
+		fd := [5]int{got.Steps, got.Blocks, got.Hops, got.Rearranged, got.MaxSharing}
+		if !reflect.DeepEqual(gd, fd) {
+			t.Errorf("%s deterministic fields drifted: golden %v, fresh %v", g.Key(), gd, fd)
+		}
+		compared++
+	}
+	if compared == 0 {
+		t.Fatal("no 8x8 entries in committed BENCH_exec.json")
+	}
+}
+
+// TestBenchSerialMatchesParallelCounters: the ledger's deterministic
+// columns must not depend on which executor path timed them.
+func TestBenchSerialMatchesParallelCounters(t *testing.T) {
+	sweep := func(extra ...string) *benchfmt.File {
+		out := filepath.Join(t.TempDir(), "b.json")
+		args := append([]string{"-dims", "8x8", "-algs", "proposed,direct,factored", "-quick", "-out", out}, extra...)
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		ledger, err := benchfmt.Decode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ledger
+	}
+	par := sweep()
+	ser := sweep("-serial")
+	serBy := ser.ByKey()
+	for _, pe := range par.Entries {
+		se := serBy[pe.Key()]
+		if se == nil {
+			t.Fatalf("serial sweep missing %s", pe.Key())
+		}
+		if pe.Steps != se.Steps || pe.Blocks != se.Blocks || pe.Hops != se.Hops ||
+			pe.Rearranged != se.Rearranged || pe.MaxSharing != se.MaxSharing {
+			t.Errorf("%s: parallel %+v vs serial %+v", pe.Key(), pe, se)
+		}
+	}
+}
+
+// TestBenchRejectsBadShape: an invalid shape must fail cleanly.
+func TestBenchRejectsBadShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-dims", "8xqq"}, &buf); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+}

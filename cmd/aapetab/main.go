@@ -33,14 +33,16 @@ import (
 
 func main() {
 	var (
-		tableFlag = flag.String("table", "1", "artifact: 1, 2, sweep, ablation, crossover, switching, replay")
-		algFlag   = flag.String("alg", "proposed", "algorithm for -table replay: "+strings.Join(algorithm.Names(), ", "))
-		mFlag     = flag.Int("m", 64, "block size in bytes")
-		tsFlag    = flag.Float64("ts", 25, "startup time per message (us)")
-		tcFlag    = flag.Float64("tc", 0.01, "transmission time per byte (us)")
-		tlFlag    = flag.Float64("tl", 0.05, "propagation delay per hop (us)")
-		rhoFlag   = flag.Float64("rho", 0.005, "rearrangement time per byte (us)")
-		csvFlag   = flag.Bool("csv", false, "emit comma-separated values instead of an aligned table")
+		tableFlag    = flag.String("table", "1", "artifact: 1, 2, sweep, ablation, crossover, switching, replay")
+		algFlag      = flag.String("alg", "proposed", "algorithm for -table replay: "+strings.Join(algorithm.Names(), ", "))
+		mFlag        = flag.Int("m", 64, "block size in bytes")
+		tsFlag       = flag.Float64("ts", 25, "startup time per message (us)")
+		tcFlag       = flag.Float64("tc", 0.01, "transmission time per byte (us)")
+		tlFlag       = flag.Float64("tl", 0.05, "propagation delay per hop (us)")
+		rhoFlag      = flag.Float64("rho", 0.005, "rearrangement time per byte (us)")
+		csvFlag      = flag.Bool("csv", false, "emit comma-separated values instead of an aligned table")
+		parallelFlag = flag.Bool("parallel", true, "run -table replay backends on their parallel paths (bit-identical to serial)")
+		workersFlag  = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	p := costmodel.Params{Ts: *tsFlag, Tc: *tcFlag, Tl: *tlFlag, Rho: *rhoFlag, M: *mFlag}
@@ -65,7 +67,7 @@ func main() {
 	case "switching":
 		fmt.Print(SwitchingTable(p))
 	case "replay":
-		out, err := Replay(p, *algFlag)
+		out, err := Replay(p, *algFlag, ReplayOpt{Serial: !*parallelFlag, Workers: *workersFlag})
 		if err != nil {
 			cli.Fatalf("aapetab: %v", err)
 		}
@@ -291,6 +293,15 @@ func crossTs(p costmodel.Params, a, b costmodel.Measure) string {
 // replayShapes is the shape sweep of the replay table.
 var replayShapes = [][]int{{8, 8}, {12, 12}, {16, 16}}
 
+// ReplayOpt selects the execution path of every Replay backend.
+// Serial forces the single-goroutine reference implementations;
+// otherwise each backend fans out across Workers goroutines
+// (0 = GOMAXPROCS). Both paths produce bit-identical tables.
+type ReplayOpt struct {
+	Serial  bool
+	Workers int
+}
+
 // Replay lowers the chosen algorithm to the schedule IR on each shape,
 // runs it through the shared executor (validation, replay when the
 // schedule carries payloads, uniform measure), and times the same
@@ -298,7 +309,7 @@ var replayShapes = [][]int{{8, 8}, {12, 12}, {16, 16}}
 // asynchronous event simulator, and the flit-level wormhole and
 // store-and-forward simulators (4 flits per block, per-step cycles
 // summed over the whole schedule).
-func Replay(p costmodel.Params, algName string) (string, error) {
+func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 	b, err := algorithm.For(algName)
 	if err != nil {
 		return "", err
@@ -316,11 +327,12 @@ func Replay(p costmodel.Params, algName string) (string, error) {
 				fmt.Sprintf("(%v)", berr))
 			continue
 		}
-		res, err := exec.Run(sc, exec.Options{})
+		res, err := exec.Run(sc, exec.Options{Serial: opt.Serial, Workers: opt.Workers})
 		if err != nil {
 			return "", err
 		}
-		ev := eventsim.Run(tor, sc, p, tor.Nodes())
+		ev := eventsim.RunOpt(tor, sc, p, tor.Nodes(),
+			eventsim.Options{Serial: opt.Serial, Workers: opt.Workers})
 		// A completing step on these shapes needs < 20k cycles; the cap
 		// only bounds how long a deadlocked step spins before detection.
 		const cycleCap = 1 << 20
@@ -332,7 +344,14 @@ func Replay(p costmodel.Params, algName string) (string, error) {
 				return
 			}
 			if wh == "" {
-				wst, err := wormhole.Simulate(wormhole.FromStep(tor, st, flitsPerBlock), cycleCap)
+				wmsgs := wormhole.FromStep(tor, st, flitsPerBlock)
+				var wst wormhole.Stats
+				var err error
+				if opt.Serial {
+					wst, err = wormhole.Simulate(wmsgs, cycleCap)
+				} else {
+					wst, err = wormhole.SimulateParallel(wmsgs, cycleCap, opt.Workers)
+				}
 				if err != nil {
 					// Simultaneous wrap-around worms (e.g. Direct's
 					// id-shifts) cyclically block head flits: a genuine
@@ -343,7 +362,14 @@ func Replay(p costmodel.Params, algName string) (string, error) {
 					whCycles += wst.Cycles
 				}
 			}
-			pst, err := packetsim.Simulate(packetsim.FromStep(tor, st, flitsPerBlock))
+			pmsgs := packetsim.FromStep(tor, st, flitsPerBlock)
+			var pst packetsim.Stats
+			var err error
+			if opt.Serial {
+				pst, err = packetsim.Simulate(pmsgs)
+			} else {
+				pst, err = packetsim.SimulateParallel(pmsgs, opt.Workers)
+			}
 			if err != nil {
 				simErr = err
 				return

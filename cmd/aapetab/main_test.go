@@ -81,7 +81,7 @@ func TestSwitchingRenders(t *testing.T) {
 func TestReplayRenders(t *testing.T) {
 	// Ring lowers to a payload-annotated schedule: the executor replays
 	// and delivery-verifies it, and every timing backend completes.
-	out, err := Replay(p, "ring")
+	out, err := Replay(p, "ring", ReplayOpt{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestReplayRenders(t *testing.T) {
 		t.Fatalf("ring is contention-free and must not deadlock the wormhole model:\n%s", out)
 	}
 	// Unknown algorithms are rejected by the registry.
-	if _, err := Replay(p, "bogus"); err == nil {
+	if _, err := Replay(p, "bogus", ReplayOpt{}); err == nil {
 		t.Fatal("unknown algorithm should error")
 	}
 }
@@ -103,7 +103,7 @@ func TestReplayReportsBuildErrors(t *testing.T) {
 	// Shapes an algorithm cannot run on become annotated dash rows, and
 	// the Direct-style wrap-around worms show up as a wormhole deadlock
 	// rather than a crash.
-	out, err := Replay(p, "logtime")
+	out, err := Replay(p, "logtime", ReplayOpt{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,14 +43,16 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("aapetrace", flag.ContinueOnError)
 	var (
-		dimsFlag   = fs.String("dims", "12x12", "torus shape, e.g. 12x8x4")
-		algFlag    = fs.String("alg", "proposed", "algorithm to trace: "+strings.Join(algorithm.Names(), ", "))
-		detailFlag = fs.Bool("detail", false, "print every transfer")
-		limitFlag  = fs.Int("limit", 8, "max transfers shown per step in -detail (0 = all)")
-		nodeFlag   = fs.Int("node", -1, "print one node's history instead")
-		figFlag    = fs.String("figure", "", "render a Figure-1/2-style diagram: groups, phase1..phase3, quad1, quad2")
-		planeFlag  = fs.Int("plane", 0, "Z plane for 3D -figure renderings")
-		jsonFlag   = fs.Bool("json", false, "emit the schedule as JSON instead of text")
+		dimsFlag     = fs.String("dims", "12x12", "torus shape, e.g. 12x8x4")
+		algFlag      = fs.String("alg", "proposed", "algorithm to trace: "+strings.Join(algorithm.Names(), ", "))
+		detailFlag   = fs.Bool("detail", false, "print every transfer")
+		limitFlag    = fs.Int("limit", 8, "max transfers shown per step in -detail (0 = all)")
+		nodeFlag     = fs.Int("node", -1, "print one node's history instead")
+		figFlag      = fs.String("figure", "", "render a Figure-1/2-style diagram: groups, phase1..phase3, quad1, quad2")
+		planeFlag    = fs.Int("plane", 0, "Z plane for 3D -figure renderings")
+		jsonFlag     = fs.Bool("json", false, "emit the schedule as JSON instead of text")
+		parallelFlag = fs.Bool("parallel", true, "validate with the parallel executor (bit-identical to serial)")
+		workersFlag  = fs.Int("workers", 0, "parallel executor worker count (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,7 +105,7 @@ func run(args []string, w io.Writer) error {
 	}
 	// Validate (and, for payload-carrying schedules, replay and
 	// delivery-verify) before printing anything.
-	if _, err := exec.Run(sc, exec.Options{}); err != nil {
+	if _, err := exec.Run(sc, exec.Options{Serial: !*parallelFlag, Workers: *workersFlag}); err != nil {
 		return err
 	}
 

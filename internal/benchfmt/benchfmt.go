@@ -1,0 +1,150 @@
+// Package benchfmt defines the on-disk schema of BENCH_exec.json, the
+// benchmark ledger emitted by cmd/aapebench: one entry per
+// (algorithm, torus shape) with the executor's timing (ns/op, allocs)
+// next to the deterministic cost counters (startups, blocks, hops,
+// rearranged blocks). The deterministic fields pin regressions in
+// golden tests — they never vary across machines — while the timing
+// fields chart the perf trajectory per host. Tools and tests decode
+// with Decode and gate on Validate.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Schema is the format identifier of the current layout.
+const Schema = "torusx-bench/v1"
+
+// File is one benchmark ledger.
+type File struct {
+	// Schema must equal the Schema constant.
+	Schema string `json:"schema"`
+	// GoOS/GoArch/GoMaxProcs describe the host the timings came from.
+	GoOS       string `json:"goos"`
+	GoArch     string `json:"goarch"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// Entries is one row per (algorithm, shape) swept.
+	Entries []Entry `json:"entries"`
+}
+
+// Entry is one benchmarked (algorithm, shape) cell.
+type Entry struct {
+	Alg  string `json:"alg"`
+	Dims []int  `json:"dims"`
+	// Parallel records whether the executor ran its fan-out path.
+	Parallel bool `json:"parallel"`
+
+	// Timing fields: host-dependent, never compared against goldens.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+
+	// Deterministic fields: the executor's Measure, identical on every
+	// machine, compared field-for-field in golden tests.
+	Steps      int `json:"steps"`
+	Blocks     int `json:"blocks"`
+	Hops       int `json:"hops"`
+	Rearranged int `json:"rearranged"`
+	// MaxSharing is the largest link-sharing serialization factor of
+	// any step.
+	MaxSharing int `json:"max_sharing"`
+}
+
+// Key identifies an entry's cell: algorithm plus shape.
+func (e *Entry) Key() string {
+	s := e.Alg
+	for i, d := range e.Dims {
+		if i == 0 {
+			s += "@"
+		} else {
+			s += "x"
+		}
+		s += fmt.Sprint(d)
+	}
+	return s
+}
+
+// Validate checks the schema invariants: correct schema tag, a sane
+// host stanza, and per-entry well-formedness (named algorithm,
+// positive dims, positive timings, positive step count).
+func (f *File) Validate() error {
+	if f.Schema != Schema {
+		return fmt.Errorf("benchfmt: schema %q, want %q", f.Schema, Schema)
+	}
+	if f.GoOS == "" || f.GoArch == "" {
+		return fmt.Errorf("benchfmt: missing goos/goarch")
+	}
+	if f.GoMaxProcs < 1 {
+		return fmt.Errorf("benchfmt: gomaxprocs %d < 1", f.GoMaxProcs)
+	}
+	if len(f.Entries) == 0 {
+		return fmt.Errorf("benchfmt: no entries")
+	}
+	seen := make(map[string]bool, len(f.Entries))
+	for i := range f.Entries {
+		e := &f.Entries[i]
+		if e.Alg == "" {
+			return fmt.Errorf("benchfmt: entry %d has no algorithm", i)
+		}
+		if len(e.Dims) == 0 {
+			return fmt.Errorf("benchfmt: entry %d (%s) has no dims", i, e.Alg)
+		}
+		for _, d := range e.Dims {
+			if d < 1 {
+				return fmt.Errorf("benchfmt: entry %d (%s) has dim %d < 1", i, e.Alg, d)
+			}
+		}
+		if e.NsPerOp <= 0 {
+			return fmt.Errorf("benchfmt: entry %d (%s) ns_per_op %v <= 0", i, e.Key(), e.NsPerOp)
+		}
+		if e.AllocsPerOp < 0 || e.BytesPerOp < 0 {
+			return fmt.Errorf("benchfmt: entry %d (%s) negative alloc stats", i, e.Key())
+		}
+		if e.Steps < 1 {
+			return fmt.Errorf("benchfmt: entry %d (%s) steps %d < 1", i, e.Key(), e.Steps)
+		}
+		if e.Blocks < 0 || e.Hops < 0 || e.Rearranged < 0 {
+			return fmt.Errorf("benchfmt: entry %d (%s) negative cost counter", i, e.Key())
+		}
+		if e.MaxSharing < 1 {
+			return fmt.Errorf("benchfmt: entry %d (%s) max_sharing %d < 1", i, e.Key(), e.MaxSharing)
+		}
+		if seen[e.Key()] {
+			return fmt.Errorf("benchfmt: duplicate entry %s", e.Key())
+		}
+		seen[e.Key()] = true
+	}
+	return nil
+}
+
+// Write encodes the ledger as indented JSON.
+func (f *File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Decode reads and validates a ledger.
+func Decode(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("benchfmt: %v", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// ByKey indexes the entries by Key for golden comparisons.
+func (f *File) ByKey() map[string]*Entry {
+	m := make(map[string]*Entry, len(f.Entries))
+	for i := range f.Entries {
+		m[f.Entries[i].Key()] = &f.Entries[i]
+	}
+	return m
+}

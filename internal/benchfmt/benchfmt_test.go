@@ -1,0 +1,68 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func valid() *File {
+	return &File{
+		Schema: Schema, GoOS: "linux", GoArch: "amd64", GoMaxProcs: 4,
+		Entries: []Entry{
+			{Alg: "proposed", Dims: []int{8, 8}, Parallel: true,
+				NsPerOp: 1234.5, AllocsPerOp: 10, BytesPerOp: 2048,
+				Steps: 10, Blocks: 144, Hops: 20, Rearranged: 192, MaxSharing: 1},
+			{Alg: "direct", Dims: []int{8, 8}, Parallel: true,
+				NsPerOp: 99, AllocsPerOp: 1, BytesPerOp: 64,
+				Steps: 63, Blocks: 184, Hops: 300, Rearranged: 0, MaxSharing: 1},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := valid()
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 || got.Entries[0].Key() != "proposed@8x8" {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.ByKey()["direct@8x8"].Steps != 63 {
+		t.Fatalf("ByKey lookup broken")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	for name, mutate := range map[string]func(*File){
+		"wrong schema":    func(f *File) { f.Schema = "torusx-bench/v0" },
+		"no goos":         func(f *File) { f.GoOS = "" },
+		"zero gomaxprocs": func(f *File) { f.GoMaxProcs = 0 },
+		"no entries":      func(f *File) { f.Entries = nil },
+		"empty alg":       func(f *File) { f.Entries[0].Alg = "" },
+		"no dims":         func(f *File) { f.Entries[0].Dims = nil },
+		"zero dim":        func(f *File) { f.Entries[0].Dims = []int{8, 0} },
+		"zero ns":         func(f *File) { f.Entries[0].NsPerOp = 0 },
+		"negative allocs": func(f *File) { f.Entries[0].AllocsPerOp = -1 },
+		"zero steps":      func(f *File) { f.Entries[0].Steps = 0 },
+		"zero sharing":    func(f *File) { f.Entries[0].MaxSharing = 0 },
+		"duplicate":       func(f *File) { f.Entries[1] = f.Entries[0] },
+	} {
+		f := valid()
+		mutate(f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"schema":"torusx-bench/v1","surprise":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

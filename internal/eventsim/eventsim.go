@@ -36,21 +36,53 @@ type Result struct {
 	Slack float64
 }
 
+// Options configures a simulation run.
+type Options struct {
+	// Skew injects per-node compute noise: before its send in global
+	// step s, node i is delayed by Skew(i, s) microseconds — modelling
+	// OS jitter, cache effects or imbalanced local work. Nil means no
+	// noise.
+	Skew func(node, step int) float64
+	// Serial forces the single-goroutine reference path. The default
+	// fans each step's send/arrival bookkeeping out across transfers
+	// (sharded by sender and receiver) and the per-node updates across
+	// nodes; every parallel reduction is a float max or a per-node
+	// exclusive write, so the result is bit-identical to the serial
+	// path (no reassociated additions).
+	Serial bool
+	// Workers is the fan-out width of the parallel path
+	// (0 = runtime.GOMAXPROCS).
+	Workers int
+}
+
 // Run simulates the schedule asynchronously under params.
 // blocksPerNode is the data-array size a node rearranges at each phase
 // boundary (N for a standard all-to-all).
 func Run(t *topology.Torus, sc *schedule.Schedule, p costmodel.Params, blocksPerNode int) *Result {
-	return RunSkewed(t, sc, p, blocksPerNode, nil)
+	return RunOpt(t, sc, p, blocksPerNode, Options{})
 }
 
-// RunSkewed is Run with per-node compute noise injected: before its
-// send in step s (global step index), node i is delayed by
-// skew(i, s) microseconds — modelling OS jitter, cache effects or
-// imbalanced local work. The synchronous reference (SyncCompletion)
-// charges each step the worst skew plus the step time, which is how a
+// RunSkewed is Run with per-node compute noise injected; see
+// Options.Skew. The synchronous reference (SyncCompletion) charges
+// each step the worst skew plus the step time, which is how a
 // barrier-synchronized machine actually behaves; Slack then measures
 // how much of the noise amplification barrier-free execution absorbs.
 func RunSkewed(t *topology.Torus, sc *schedule.Schedule, p costmodel.Params, blocksPerNode int, skew func(node, step int) float64) *Result {
+	return RunOpt(t, sc, p, blocksPerNode, Options{Skew: skew})
+}
+
+// RunOpt simulates the schedule under params with explicit Options;
+// Run and RunSkewed are thin wrappers over it.
+func RunOpt(t *topology.Torus, sc *schedule.Schedule, p costmodel.Params, blocksPerNode int, opt Options) *Result {
+	if !opt.Serial {
+		return runParallel(t, sc, p, blocksPerNode, opt)
+	}
+	return runSerial(t, sc, p, blocksPerNode, opt.Skew)
+}
+
+// runSerial is the single-goroutine reference implementation; the
+// parallel path in parallel.go is differentially tested against it.
+func runSerial(t *topology.Torus, sc *schedule.Schedule, p costmodel.Params, blocksPerNode int, skew func(node, step int) float64) *Result {
 	n := t.Nodes()
 	ready := make([]float64, n)
 

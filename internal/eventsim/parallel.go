@@ -1,0 +1,124 @@
+package eventsim
+
+import (
+	"torusx/internal/costmodel"
+	"torusx/internal/par"
+	"torusx/internal/schedule"
+	"torusx/internal/topology"
+)
+
+// runParallel is the fan-out twin of runSerial. Per step it shards the
+// send bookkeeping by sender, the arrival bookkeeping by receiver and
+// the ready-time updates by node, so every worker owns the slots it
+// writes. Determinism holds bit-for-bit because no floating-point sum
+// is reassociated: the only cross-transfer reductions are maxima
+// (exact in any order), per-node times are written by exactly one
+// worker, and the synchronous reference accumulates on the caller's
+// goroutine in step order exactly as the serial path does.
+func runParallel(t *topology.Torus, sc *schedule.Schedule, p costmodel.Params, blocksPerNode int, opt Options) *Result {
+	n := t.Nodes()
+	workers := opt.Workers
+	ready := make([]float64, n)
+	// Per-step scratch, reset after each step via the touched list.
+	sendDone := make([]float64, n)
+	sendSet := make([]bool, n)
+	arrival := make([]float64, n)
+	arrSet := make([]bool, n)
+	skewScratch := make([]float64, n)
+
+	sync := 0.0
+	stepIdx := 0
+	for pi := range sc.Phases {
+		ph := &sc.Phases[pi]
+		if pi > 0 {
+			rb := blocksPerNode
+			if ph.Rearrange > 0 {
+				rb = ph.Rearrange
+			}
+			rearr := p.Rho * float64(rb*p.M)
+			par.ForEach(workers, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					ready[i] += rearr
+				}
+			})
+			sync += rearr
+		}
+		for si := range ph.Steps {
+			st := &ph.Steps[si]
+			if opt.Skew != nil {
+				step := stepIdx
+				par.ForEach(workers, n, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						d := opt.Skew(i, step)
+						if d < 0 {
+							d = 0
+						}
+						ready[i] += d
+						skewScratch[i] = d
+					}
+				})
+				worst := 0.0
+				for i := 0; i < n; i++ {
+					if skewScratch[i] > worst {
+						worst = skewScratch[i]
+					}
+				}
+				sync += worst
+			}
+			stepIdx++
+			sync += p.StepTime(costmodel.Wormhole, st.MaxBlocks(), st.MaxHops())
+
+			m := len(st.Transfers)
+			// Sends, sharded by sender: equal senders stay on one
+			// worker in transfer order, matching the serial map's
+			// last-write-wins semantics.
+			srcBuckets := par.Buckets(workers, m, func(i int) int { return int(st.Transfers[i].Src) })
+			par.RunBuckets(srcBuckets, func(i int) {
+				tr := &st.Transfers[i]
+				drain := ready[tr.Src] + p.Ts + p.Tc*float64(tr.Blocks*p.M)
+				sendDone[tr.Src] = drain
+				sendSet[tr.Src] = true
+			})
+			// Arrivals, sharded by receiver: the per-receiver max is
+			// exact under any evaluation order.
+			dstBuckets := par.Buckets(workers, m, func(i int) int { return int(st.Transfers[i].Dst) })
+			par.RunBuckets(dstBuckets, func(i int) {
+				tr := &st.Transfers[i]
+				drain := ready[tr.Src] + p.Ts + p.Tc*float64(tr.Blocks*p.M)
+				arr := drain + p.Tl*float64(tr.TotalHops())
+				if arr > arrival[tr.Dst] {
+					arrival[tr.Dst] = arr
+					arrSet[tr.Dst] = true
+				}
+			})
+			// Apply and reset, sharded by node (exclusive writes).
+			par.ForEach(workers, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if sendSet[i] {
+						if sendDone[i] > ready[i] {
+							ready[i] = sendDone[i]
+						}
+						sendDone[i] = 0
+						sendSet[i] = false
+					}
+					if arrSet[i] {
+						if arrival[i] > ready[i] {
+							ready[i] = arrival[i]
+						}
+						arrSet[i] = false
+					}
+					arrival[i] = 0
+				}
+			})
+		}
+	}
+
+	res := &Result{PerNode: ready, SyncCompletion: sync}
+	for _, v := range ready {
+		if v > res.Makespan {
+			res.Makespan = v
+		}
+	}
+	res.Slack = res.SyncCompletion - res.Makespan
+	return res
+}

@@ -1,0 +1,65 @@
+package eventsim
+
+import (
+	"math"
+	"testing"
+
+	"torusx/internal/costmodel"
+	"torusx/internal/exchange"
+	"torusx/internal/topology"
+)
+
+// TestDifferentialEventsimParallel: the parallel event simulation must
+// be bit-identical to the serial reference — same Makespan, same
+// SyncCompletion, same per-node finish times, no float divergence —
+// on square and non-square tori, with and without skew, across worker
+// counts.
+func TestDifferentialEventsimParallel(t *testing.T) {
+	p := costmodel.T3D(64)
+	for _, dims := range [][]int{{8, 8}, {16, 8}, {4, 4, 4}} {
+		tor := topology.MustNew(dims...)
+		sc, err := exchange.GenerateStructural(tor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		skews := []func(node, step int) float64{
+			nil,
+			func(node, step int) float64 { return float64((node*31+step*17)%7) * 0.25 },
+			func(node, step int) float64 { return float64(node%3) - 1 }, // negative values clamp to 0
+		}
+		for si, skew := range skews {
+			want := RunOpt(tor, sc, p, tor.Nodes(), Options{Skew: skew, Serial: true})
+			for _, workers := range []int{1, 2, 3, 8} {
+				got := RunOpt(tor, sc, p, tor.Nodes(), Options{Skew: skew, Workers: workers})
+				if want.Makespan != got.Makespan || want.SyncCompletion != got.SyncCompletion || want.Slack != got.Slack {
+					t.Fatalf("%v skew#%d workers=%d: serial (mk=%v sync=%v) parallel (mk=%v sync=%v)",
+						dims, si, workers, want.Makespan, want.SyncCompletion, got.Makespan, got.SyncCompletion)
+				}
+				for i := range want.PerNode {
+					if want.PerNode[i] != got.PerNode[i] {
+						t.Fatalf("%v skew#%d workers=%d node %d: %v vs %v (diff %g)",
+							dims, si, workers, i, want.PerNode[i], got.PerNode[i],
+							math.Abs(want.PerNode[i]-got.PerNode[i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEventsimDefault: Run and RunSkewed (the public wrappers)
+// use the parallel path and still reproduce the documented square-tori
+// property that the asynchronous makespan equals the synchronous
+// completion.
+func TestParallelEventsimDefault(t *testing.T) {
+	p := costmodel.T3D(64)
+	tor := topology.MustNew(8, 8)
+	sc, err := exchange.GenerateStructural(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(tor, sc, p, tor.Nodes())
+	if math.Abs(res.Slack) > 1e-6 {
+		t.Fatalf("square torus slack = %v, want ~0", res.Slack)
+	}
+}

@@ -42,6 +42,15 @@ type Options struct {
 	// SkipChecks disables the per-step one-port and contention
 	// validation (for schedules already checked by their builder).
 	SkipChecks bool
+	// Serial forces the reference single-goroutine path. The default
+	// (false) fans structural checks out across steps and payload
+	// replay across senders/receivers on a par.Workers()-wide pool; the
+	// two paths are differentially tested to produce bit-identical
+	// Measure counters and delivery matrices.
+	Serial bool
+	// Workers overrides the fan-out width of the parallel path
+	// (0 = runtime.GOMAXPROCS). Ignored when Serial is set.
+	Workers int
 }
 
 // Result is the outcome of executing a schedule.
@@ -77,11 +86,25 @@ func FullTraffic(t *topology.Torus) []block.Block {
 // Run executes sc: validates every step, replays block movement when
 // the schedule carries payloads, verifies delivery, and derives the
 // cost measure. It is the one execution path behind torusx.Compare and
-// the -alg modes of the command-line tools.
+// the -alg modes of the command-line tools. By default the structural
+// checks fan out across steps and the payload replay across
+// senders/receivers (see runParallel); Options.Serial selects the
+// single-goroutine reference path. Both paths produce bit-identical
+// results on valid schedules.
 func Run(sc *schedule.Schedule, opt Options) (*Result, error) {
 	if sc == nil || sc.Torus == nil {
 		return nil, fmt.Errorf("exec: nil schedule")
 	}
+	if opt.Serial {
+		return runSerial(sc, opt)
+	}
+	return runParallel(sc, opt)
+}
+
+// runSerial is the reference implementation: one goroutine, steps
+// walked strictly in order. The parallel path is differentially tested
+// against it.
+func runSerial(sc *schedule.Schedule, opt Options) (*Result, error) {
 	t := sc.Torus
 	res := &Result{Schedule: sc, MaxSharing: 1}
 	// Replay whenever any transfer carries payload: a partially

@@ -1,0 +1,202 @@
+package exec
+
+import (
+	"fmt"
+
+	"torusx/internal/block"
+	"torusx/internal/par"
+	"torusx/internal/schedule"
+	"torusx/internal/verify"
+)
+
+// stepRef pins one step with its phase context and in-phase index.
+type stepRef struct {
+	phase *schedule.Phase
+	index int
+	step  *schedule.Step
+}
+
+// stepCost is the structural outcome of one step, computed
+// independently per step and merged in step order.
+type stepCost struct {
+	err       error
+	sharing   int
+	maxBlocks int
+	maxHops   int
+}
+
+// runParallel is the fan-out twin of runSerial. Two independences
+// make it safe and deterministic:
+//
+//   - steps are structurally independent: validity checks and the
+//     per-step cost terms (max blocks, max hops, sharing factor) read
+//     only the step itself, so they shard across steps and reduce in
+//     step order;
+//   - within a step, the one-port model makes senders and receivers
+//     the natural conflict-free partitions of the replay: each node
+//     appears as Src in at most one transfer and as Dst in at most
+//     one, so sharding extraction by sender and insertion by receiver
+//     gives every worker exclusive ownership of the buffers it
+//     touches. (Schedules run with SkipChecks may violate one-port;
+//     par.Buckets still routes equal keys to one worker, preserving
+//     serial per-node ordering.)
+//
+// All reductions are ordered (step order, then transfer order), so
+// Measure counters, MaxSharing, buffer contents and buffer order are
+// bit-identical to the serial path — enforced by the differential
+// tests in differential_test.go.
+func runParallel(sc *schedule.Schedule, opt Options) (*Result, error) {
+	t := sc.Torus
+	res := &Result{Schedule: sc, MaxSharing: 1}
+
+	var steps []stepRef
+	replay := false
+	sc.EachStep(func(p *schedule.Phase, si int, s *schedule.Step) {
+		steps = append(steps, stepRef{phase: p, index: si, step: s})
+		for i := range s.Transfers {
+			if len(s.Transfers[i].Payload) > 0 {
+				replay = true
+			}
+		}
+	})
+
+	// (1)+(2) Validity and cost, step-parallel: each step is checked
+	// and priced on its own, partial results merged in step order.
+	// Steps are dealt round-robin so the few heavy steps of a phase
+	// spread across workers instead of landing in one chunk.
+	costs := make([]stepCost, len(steps))
+	stepBuckets := par.Buckets(opt.Workers, len(steps), func(i int) int { return i })
+	par.RunBuckets(stepBuckets, func(i int) {
+		r, c := steps[i], &costs[i]
+		if !opt.SkipChecks {
+			if r.step.Shared {
+				c.err = schedule.CheckStepOnePort(r.phase.Name, r.index, r.step)
+			} else {
+				c.err = schedule.CheckStep(t, r.phase.Name, r.index, r.step)
+			}
+			if c.err != nil {
+				return
+			}
+		}
+		c.sharing = 1
+		if r.step.Shared {
+			c.sharing = r.step.SharingFactor(t)
+		}
+		c.maxBlocks = r.step.MaxBlocks()
+		c.maxHops = r.step.MaxHops()
+	})
+	for i := range costs {
+		if costs[i].err != nil {
+			return nil, costs[i].err
+		}
+		if costs[i].sharing > res.MaxSharing {
+			res.MaxSharing = costs[i].sharing
+		}
+		res.Measure.Steps++
+		res.Measure.Blocks += costs[i].maxBlocks * costs[i].sharing
+		res.Measure.Hops += costs[i].maxHops
+	}
+	res.Measure.RearrangedBlocks = sc.RearrangedBlocks()
+
+	// (3) Replay, step-ordered with intra-step fan-out.
+	if replay {
+		traffic := opt.Traffic
+		if traffic == nil {
+			traffic = FullTraffic(t)
+		}
+		n := t.Nodes()
+		bufs := make([]*block.Buffer, n)
+		held := make([]map[block.Block]bool, n)
+		for i := range bufs {
+			bufs[i] = block.NewBuffer(0)
+			held[i] = make(map[block.Block]bool)
+		}
+		for _, b := range traffic {
+			if int(b.Origin) < 0 || int(b.Origin) >= n || int(b.Dest) < 0 || int(b.Dest) >= n {
+				return nil, fmt.Errorf("exec: traffic block %v out of range", b)
+			}
+			if held[b.Origin][b] {
+				return nil, fmt.Errorf("exec: duplicate traffic block %v", b)
+			}
+			bufs[b.Origin].Add(b)
+			held[b.Origin][b] = true
+		}
+		for _, r := range steps {
+			if err := replayStepParallel(r, bufs, held, opt.Workers); err != nil {
+				return nil, err
+			}
+		}
+		if err := verify.DeliveredMatrix(t, bufs, traffic); err != nil {
+			return nil, err
+		}
+		res.Replayed = true
+		res.Buffers = bufs
+	}
+	return res, nil
+}
+
+// replayStepParallel replays one step in two barriers: extraction from
+// the sender buffers (sharded by Src) and then insertion into the
+// receiver buffers (sharded by Dst). Splitting at the barrier also
+// enforces synchronous-step semantics — a transfer can only carry
+// blocks its sender held when the step began, which is what every
+// builder in this repository emits. Errors surface with the transfer
+// index that a serial walk would have reached first.
+func replayStepParallel(r stepRef, bufs []*block.Buffer, held []map[block.Block]bool, workers int) error {
+	s := r.step
+	nt := len(s.Transfers)
+	if nt == 0 {
+		return nil
+	}
+	moved := make([][]block.Block, nt)
+	var ferr par.FirstError
+
+	srcBuckets := par.Buckets(workers, nt, func(i int) int { return int(s.Transfers[i].Src) })
+	par.RunBuckets(srcBuckets, func(i int) {
+		tr := &s.Transfers[i]
+		if len(tr.Payload) != tr.Blocks {
+			ferr.Report(i, fmt.Errorf("exec: phase %q step %d transfer %v carries %d payload blocks, declares %d",
+				r.phase.Name, r.index, *tr, len(tr.Payload), tr.Blocks))
+			return
+		}
+		src := tr.Src
+		for _, b := range tr.Payload {
+			if !held[src][b] {
+				ferr.Report(i, fmt.Errorf("exec: phase %q step %d: node %d transmits %v it does not hold",
+					r.phase.Name, r.index, src, b))
+				return
+			}
+			delete(held[src], b)
+		}
+		want := make(map[block.Block]bool, len(tr.Payload))
+		for _, b := range tr.Payload {
+			want[b] = true
+		}
+		mv, _ := bufs[src].TakeIf(func(b block.Block) bool { return want[b] })
+		if len(mv) != len(tr.Payload) {
+			ferr.Report(i, fmt.Errorf("exec: phase %q step %d: node %d extracted %d blocks, want %d",
+				r.phase.Name, r.index, src, len(mv), len(tr.Payload)))
+			return
+		}
+		moved[i] = mv
+	})
+	if err := ferr.Err(); err != nil {
+		return err
+	}
+
+	dstBuckets := par.Buckets(workers, nt, func(i int) int { return int(s.Transfers[i].Dst) })
+	par.RunBuckets(dstBuckets, func(i int) {
+		tr := &s.Transfers[i]
+		dst := tr.Dst
+		bufs[dst].Add(moved[i]...)
+		for _, b := range moved[i] {
+			if held[dst][b] {
+				ferr.Report(i, fmt.Errorf("exec: phase %q step %d: node %d receives duplicate %v",
+					r.phase.Name, r.index, dst, b))
+				return
+			}
+			held[dst][b] = true
+		}
+	})
+	return ferr.Err()
+}

@@ -1,0 +1,105 @@
+// Benchmarks pitting the parallel executor against the serial
+// reference on the proposed schedule. The 16x16x16 pair backs the
+// repo's scaling claim: on a machine with >= 4 cores
+//
+//	go test -bench BenchmarkExec ./internal/exec
+//
+// should show BenchmarkExecParallel16x16x16 completing in well under
+// half the ns/op of BenchmarkExecSerial16x16x16 (the structural checks
+// shard across the schedule's steps). The 16x16 and 32x32 pairs feed
+// the runtime-scaling table in EXPERIMENTS.md.
+package exec_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"torusx/internal/exchange"
+	"torusx/internal/exec"
+	"torusx/internal/topology"
+)
+
+func benchmarkExec(b *testing.B, dims []int, opt exec.Options) {
+	b.Helper()
+	tor := topology.MustNew(dims...)
+	sc, err := exchange.GenerateStructural(tor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Run(sc, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecSerial16x16(b *testing.B) {
+	benchmarkExec(b, []int{16, 16}, exec.Options{Serial: true})
+}
+
+func BenchmarkExecParallel16x16(b *testing.B) {
+	benchmarkExec(b, []int{16, 16}, exec.Options{})
+}
+
+func BenchmarkExecSerial32x32(b *testing.B) {
+	benchmarkExec(b, []int{32, 32}, exec.Options{Serial: true})
+}
+
+func BenchmarkExecParallel32x32(b *testing.B) {
+	benchmarkExec(b, []int{32, 32}, exec.Options{})
+}
+
+func BenchmarkExecSerial16x16x16(b *testing.B) {
+	benchmarkExec(b, []int{16, 16, 16}, exec.Options{Serial: true})
+}
+
+func BenchmarkExecParallel16x16x16(b *testing.B) {
+	benchmarkExec(b, []int{16, 16, 16}, exec.Options{})
+}
+
+// TestParallelExecSpeedup pins the scaling claim as a test where the
+// hardware can support it: with >= 4 cores and no race detector, the
+// parallel executor must beat the serial reference by at least 1.5x on
+// 16x16x16 (the benchmark above typically shows >= 2x; the test keeps
+// slack for noisy shared runners).
+func TestParallelExecSpeedup(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing assertion meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need >= 4 cores for the speedup claim, have %d", runtime.GOMAXPROCS(0))
+	}
+	tor := topology.MustNew(16, 16, 16)
+	sc, err := exchange.GenerateStructural(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(opt exec.Options) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if _, err := exec.Run(sc, opt); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	measure(exec.Options{}) // warm up
+	serial := measure(exec.Options{Serial: true})
+	parallel := measure(exec.Options{})
+	if float64(serial) < 1.5*float64(parallel) {
+		t.Errorf("parallel executor not >= 1.5x faster: serial %v, parallel %v (%.2fx on %d cores)",
+			serial, parallel, float64(serial)/float64(parallel), runtime.GOMAXPROCS(0))
+	}
+	t.Logf("16x16x16: serial %v, parallel %v (%.2fx on %d cores)",
+		serial, parallel, float64(serial)/float64(parallel), runtime.GOMAXPROCS(0))
+}

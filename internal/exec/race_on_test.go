@@ -1,0 +1,8 @@
+//go:build race
+
+package exec_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; timing-sensitive speedup assertions and the largest
+// invariant shapes are skipped under it.
+const raceEnabled = true

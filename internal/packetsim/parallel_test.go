@@ -1,0 +1,58 @@
+package packetsim
+
+import (
+	"reflect"
+	"testing"
+
+	"torusx/internal/exchange"
+	"torusx/internal/schedule"
+	"torusx/internal/topology"
+)
+
+// TestDifferentialPacketsimParallel: SimulateParallel must return
+// bit-identical Stats to Simulate on every step of the proposed
+// schedule, across worker counts.
+func TestDifferentialPacketsimParallel(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	sc, err := exchange.GenerateStructural(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.EachStep(func(p *schedule.Phase, si int, s *schedule.Step) {
+		msgs := FromStep(tor, s, 4)
+		want, werr := Simulate(msgs)
+		for _, workers := range []int{1, 2, 3, 8} {
+			got, gerr := SimulateParallel(msgs, workers)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%s step %d workers=%d: err %v vs %v", p.Name, si, workers, werr, gerr)
+			}
+			if werr == nil && !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s step %d workers=%d:\nserial   %+v\nparallel %+v", p.Name, si, workers, want, got)
+			}
+		}
+	})
+}
+
+// TestDifferentialPacketsimContended: packets queuing on a shared link
+// must serialize identically in both simulators, including the
+// request-order tie-break, while disjoint traffic overlaps.
+func TestDifferentialPacketsimContended(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	c0 := topology.Coord{0, 0}
+	msgs := []Message{
+		{ID: 0, Path: tor.PathLinks(c0, 0, topology.Pos, 3), Flits: 6},
+		{ID: 1, Path: tor.PathLinks(c0, 0, topology.Pos, 1), Flits: 2},
+		{ID: 2, Path: tor.PathLinks(topology.Coord{3, 3}, 1, topology.Pos, 2), Flits: 4},
+	}
+	want, werr := Simulate(msgs)
+	got, gerr := SimulateParallel(msgs, 4)
+	if werr != nil || gerr != nil {
+		t.Fatalf("errors: %v / %v", werr, gerr)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("serial %+v, parallel %+v", want, got)
+	}
+	if want.QueueWaits == 0 {
+		t.Fatal("expected queue waits on the shared link")
+	}
+}

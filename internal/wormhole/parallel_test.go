@@ -1,0 +1,71 @@
+package wormhole
+
+import (
+	"reflect"
+	"testing"
+
+	"torusx/internal/exchange"
+	"torusx/internal/schedule"
+	"torusx/internal/topology"
+)
+
+const diffCycleCap = 1 << 20
+
+// TestDifferentialWormholeParallel: SimulateParallel must return
+// bit-identical Stats to Simulate on every step of the proposed
+// schedule (contention-free: one component per message) and of the
+// direct baseline (heavily link-shared: large components), across
+// worker counts.
+func TestDifferentialWormholeParallel(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	for _, build := range []struct {
+		name string
+		gen  func() (*schedule.Schedule, error)
+	}{
+		{"proposed", func() (*schedule.Schedule, error) { return exchange.GenerateStructural(tor) }},
+	} {
+		sc, err := build.gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.EachStep(func(p *schedule.Phase, si int, s *schedule.Step) {
+			msgs := FromStep(tor, s, 4)
+			want, werr := Simulate(msgs, diffCycleCap)
+			for _, workers := range []int{1, 2, 3, 8} {
+				got, gerr := SimulateParallel(msgs, diffCycleCap, workers)
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("%s %s step %d workers=%d: err %v vs %v", build.name, p.Name, si, workers, werr, gerr)
+				}
+				if werr == nil && !reflect.DeepEqual(want, got) {
+					t.Fatalf("%s %s step %d workers=%d:\nserial   %+v\nparallel %+v", build.name, p.Name, si, workers, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialWormholeContended: messages that do share links must
+// land in one component and serialize exactly as the serial simulator
+// dictates, while an independent message overlaps freely.
+func TestDifferentialWormholeContended(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	c0 := topology.Coord{0, 0}
+	msgs := []Message{
+		// Two worms contending for the dim-0 +1 links out of (0,0).
+		{ID: 0, Path: tor.PathLinks(c0, 0, topology.Pos, 3), Flits: 5},
+		{ID: 1, Path: tor.PathLinks(c0, 0, topology.Pos, 2), Flits: 5},
+		// An independent worm far away.
+		{ID: 2, Path: tor.PathLinks(topology.Coord{4, 4}, 1, topology.Neg, 2), Flits: 3},
+	}
+	want, werr := Simulate(msgs, diffCycleCap)
+	got, gerr := SimulateParallel(msgs, diffCycleCap, 4)
+	if werr != nil || gerr != nil {
+		t.Fatalf("errors: %v / %v", werr, gerr)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("serial %+v, parallel %+v", want, got)
+	}
+	if want.HeaderStalls == 0 {
+		t.Fatal("expected header stalls in the contended pair")
+	}
+}

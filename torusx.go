@@ -327,6 +327,80 @@ func AllToAllSparse(t *Torus, pairs []Pair) (*Report, error) {
 	return reportFrom(res), nil
 }
 
+// AllToAllSparseArbitrary routes a sparse pair list among the nodes of
+// an arbitrary torus shape (sizes not necessarily multiples of four)
+// via the Section 6 virtual-node extension: pairs are expressed in the
+// real torus's node numbering, mapped onto the padded multiple-of-four
+// torus, routed by the unmodified schedule (virtual nodes relay but
+// originate nothing), and delivery is verified back in real numbering.
+// Out-of-range and duplicate pairs are rejected with an error.
+func AllToAllSparseArbitrary(dims []int, pairs []Pair) (*Report, error) {
+	real, err := topology.New(dims...)
+	if err != nil {
+		return nil, err
+	}
+	if !real.SortedNonIncreasing() {
+		return nil, fmt.Errorf("torusx: dimensions %v must be non-increasing", dims)
+	}
+	padded, err := topology.New(exchange.PadDims(dims)...)
+	if err != nil {
+		return nil, err
+	}
+	toPadded := func(id int) topology.NodeID {
+		return padded.ID(real.CoordOf(topology.NodeID(id)))
+	}
+	n := real.Nodes()
+	seen := make(map[Pair]bool, len(pairs))
+	blocks := make([]block.Block, 0, len(pairs))
+	for _, pr := range pairs {
+		if pr.Src < 0 || pr.Src >= n || pr.Dst < 0 || pr.Dst >= n {
+			return nil, fmt.Errorf("torusx: pair %+v out of range for %d nodes", pr, n)
+		}
+		if seen[pr] {
+			return nil, fmt.Errorf("torusx: duplicate pair %+v", pr)
+		}
+		seen[pr] = true
+		blocks = append(blocks, block.Block{Origin: toPadded(pr.Src), Dest: toPadded(pr.Dst)})
+	}
+	res, err := exchange.RunSparse(padded, blocks, exchange.Options{CheckSteps: true})
+	if err != nil {
+		return nil, err
+	}
+	// Verify in real numbering: real node i ends holding exactly the
+	// pairs destined to it; virtual relays end empty.
+	realOf := make(map[topology.NodeID]int, n)
+	for id := 0; id < n; id++ {
+		realOf[toPadded(id)] = id
+	}
+	total := 0
+	for i, buf := range res.Buffers {
+		ri, isReal := realOf[topology.NodeID(i)]
+		if !isReal && buf.Len() != 0 {
+			return nil, fmt.Errorf("torusx: virtual node %d ended with %d blocks", i, buf.Len())
+		}
+		for _, b := range buf.View() {
+			src, ok := realOf[b.Origin]
+			if !ok {
+				return nil, fmt.Errorf("torusx: block %v originates at a virtual node", b)
+			}
+			if int(b.Dest) != i {
+				return nil, fmt.Errorf("torusx: misdelivered sparse block %v at node %d", b, i)
+			}
+			if !seen[Pair{Src: src, Dst: ri}] {
+				return nil, fmt.Errorf("torusx: unexpected block %v", b)
+			}
+			total++
+		}
+	}
+	if total != len(pairs) {
+		return nil, fmt.Errorf("torusx: %d blocks delivered, want %d", total, len(pairs))
+	}
+	rep := reportFrom(res)
+	rep.Dims = dims
+	rep.Nodes = n
+	return rep, nil
+}
+
 // ExchangeData performs a complete exchange of real payloads over the
 // simulated network: data[i][j] is the payload node i holds for node
 // j, and the result out satisfies out[i][j] = data[j][i]. Every

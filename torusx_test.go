@@ -288,28 +288,55 @@ func TestExchangeDataValidation(t *testing.T) {
 	}
 }
 
+// fuzzShapes is the shape table indexed by the first fuzz-input byte.
+// The first entries are native multiple-of-four tori; the rest have
+// sides that are NOT multiples of four and therefore exercise the
+// Section 6 virtual-node padding path end to end.
+var fuzzShapes = [][]int{
+	{4, 4}, {8, 4}, {4, 4, 4}, // native shapes
+	{5, 4}, {6, 5}, {7, 5}, {9, 7}, // virtual-node 2D shapes
+	{5, 4, 4}, {3, 2}, // virtual-node 3D and minimal shapes
+}
+
 // FuzzAllToAllSparse exercises the pair-validation and delivery paths
-// of the sparse exchange with arbitrary pair lists: in-range duplicate-
-// free inputs must route and verify, everything else must be rejected
-// with an error (never a panic or a silent misdelivery).
+// of the sparse exchange with arbitrary pair lists over both native
+// and virtual-node (Section 6) torus shapes. Input format: byte 0
+// selects the shape from fuzzShapes (mod len); the rest is consumed
+// pairwise as int8 (src, dst) pairs. In-range duplicate-free inputs
+// must route and verify, everything else must be rejected with an
+// error (never a panic or a silent misdelivery).
 func FuzzAllToAllSparse(f *testing.F) {
-	f.Add([]byte{})                 // empty exchange
-	f.Add([]byte{0, 5, 5, 0, 7, 7}) // valid sparse traffic
-	f.Add([]byte{0, 99})            // destination out of range
-	f.Add([]byte{0, 1, 0, 1})       // duplicate pair
-	full := make([]byte, 0, 2*16*16)
+	f.Add([]byte{})                    // shape 4x4, empty exchange
+	f.Add([]byte{0, 0, 5, 5, 0, 7, 7}) // 4x4, valid sparse traffic
+	f.Add([]byte{0, 0, 99})            // 4x4, destination out of range
+	f.Add([]byte{0, 0, 1, 0, 1})       // 4x4, duplicate pair
+	f.Add([]byte{3, 0, 5, 19, 0})      // 5x4 virtual: valid corner traffic
+	f.Add([]byte{4, 0, 1, 0, 1})       // 6x5 virtual: duplicate pair
+	f.Add([]byte{7, 0, 79})            // 5x4x4 virtual: valid 3D pair
+	f.Add([]byte{8, 0, 251})           // 3x2 virtual: negative dst (int8)
+	full := make([]byte, 0, 1+2*16*16)
+	full = append(full, 0)
 	for s := 0; s < 16; s++ {
 		for d := 0; d < 16; d++ {
 			full = append(full, byte(s), byte(d))
 		}
 	}
-	f.Add(full) // the full all-to-all matrix as a sparse instance
+	f.Add(full) // the full 4x4 all-to-all matrix as a sparse instance
 	f.Fuzz(func(t *testing.T, data []byte) {
-		tor, err := NewTorus(4, 4)
-		if err != nil {
-			t.Fatal(err)
+		shape := 0
+		if len(data) > 0 {
+			shape = int(data[0]) % len(fuzzShapes)
+			data = data[1:]
 		}
-		n := tor.Nodes()
+		dims := fuzzShapes[shape]
+		virtual := false
+		n := 1
+		for _, d := range dims {
+			n *= d
+			if d%4 != 0 {
+				virtual = true
+			}
+		}
 		pairs := make([]Pair, 0, len(data)/2)
 		for i := 0; i+1 < len(data); i += 2 {
 			// int8 so the fuzzer reaches negative values too.
@@ -324,12 +351,22 @@ func FuzzAllToAllSparse(f *testing.F) {
 			}
 			seen[pr] = true
 		}
-		rep, err := AllToAllSparse(tor, pairs)
+		var rep *Report
+		var err error
+		if virtual {
+			rep, err = AllToAllSparseArbitrary(dims, pairs)
+		} else {
+			tor, terr := NewTorus(dims...)
+			if terr != nil {
+				t.Fatal(terr)
+			}
+			rep, err = AllToAllSparse(tor, pairs)
+		}
 		if valid && err != nil {
-			t.Fatalf("valid pairs %v rejected: %v", pairs, err)
+			t.Fatalf("valid pairs %v on %v rejected: %v", pairs, dims, err)
 		}
 		if !valid && err == nil {
-			t.Fatalf("invalid pairs %v accepted", pairs)
+			t.Fatalf("invalid pairs %v on %v accepted", pairs, dims)
 		}
 		if valid && rep == nil {
 			t.Fatal("valid exchange returned nil report")
