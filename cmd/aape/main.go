@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	aape -dims 12x12 [-alg proposed|direct|ring|factored|logtime|concurrent|virtual] [-m 64] [-ts 25 -tc 0.01 -tl 0.05 -rho 0.005] [-parallel=true] [-workers N]
+//	aape -dims 12x12 [-alg proposed|direct|ring|factored|logtime|concurrent|virtual] [-m 64] [-ts 25 -tc 0.01 -tl 0.05 -rho 0.005] [-parallel=true] [-workers N] [-telemetry ev.jsonl] [-trace-out t.json] [-heatmap]
 //
 // Examples:
 //
@@ -55,6 +55,7 @@ func run(args []string, w io.Writer) error {
 		parallelFlag = fs.Bool("parallel", true, "fan the executor out across GOMAXPROCS workers (results are bit-identical to -parallel=false)")
 		workersFlag  = fs.Int("workers", 0, "parallel executor worker count (0 = GOMAXPROCS)")
 	)
+	tel := cli.RegisterTelemetry(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,7 +67,21 @@ func run(args []string, w io.Writer) error {
 	}
 	params := torusx.CostParams{Ts: *tsFlag, Tc: *tcFlag, Tl: *tlFlag, Rho: *rhoFlag, M: *mFlag}
 
-	switch *algFlag {
+	alg := *algFlag
+	if tel.Enabled() {
+		switch alg {
+		case "proposed":
+			// The block-level simulator behind the plain "proposed" path
+			// does not run through the instrumented executor; the
+			// registry's structural builder emits the same schedule and
+			// does.
+			return runExecutor(w, tel, alg, dims, params, execOpt)
+		case "concurrent", "virtual":
+			return fmt.Errorf("telemetry is only available for executor-backed algorithms, not %q", alg)
+		}
+	}
+
+	switch alg {
 	case "proposed":
 		tor, err := torusx.NewTorus(dims...)
 		if err != nil {
@@ -105,33 +120,52 @@ func run(args []string, w io.Writer) error {
 		// Everything else resolves through the algorithm registry and
 		// runs through the shared executor, parallel unless
 		// -parallel=false.
-		b, err := algorithm.For(*algFlag)
-		if err != nil {
+		if _, err := algorithm.For(alg); err != nil {
 			return fmt.Errorf("unknown algorithm %q (expected concurrent, virtual, or one of %s)",
-				*algFlag, strings.Join(algorithm.Names(), ", "))
+				alg, strings.Join(algorithm.Names(), ", "))
 		}
-		tor, err := topology.New(dims...)
-		if err != nil {
-			return err
-		}
-		sc, err := b.BuildSchedule(tor)
-		if err != nil {
-			return err
-		}
-		res, err := exec.Run(sc, execOpt)
-		if err != nil {
-			return err
-		}
-		mode := "parallel"
-		if execOpt.Serial {
-			mode = "serial"
-		}
-		verified := "checked by the shared executor"
-		if res.Replayed {
-			verified = "replayed and delivery-verified by the shared executor"
-		}
-		printReport(w, fmt.Sprintf("%s (%s, %s)", b.Name(), verified, mode), res.Measure, params)
+		return runExecutor(w, tel, alg, dims, params, execOpt)
 	}
+	return nil
+}
+
+// runExecutor runs a registry algorithm through the shared executor,
+// with telemetry attached when requested, and prints the cost report.
+func runExecutor(w io.Writer, tel *cli.Telemetry, alg string, dims []int, params torusx.CostParams, execOpt exec.Options) error {
+	b, err := algorithm.For(alg)
+	if err != nil {
+		return err
+	}
+	tor, err := topology.New(dims...)
+	if err != nil {
+		return err
+	}
+	sc, err := b.BuildSchedule(tor)
+	if err != nil {
+		return err
+	}
+	label := b.Name() + "@" + tor.String()
+	rec, err := tel.Labeled(params, label)
+	if err != nil {
+		return err
+	}
+	execOpt.Telemetry = rec
+	res, err := exec.Run(sc, execOpt)
+	if err != nil {
+		return err
+	}
+	if err := tel.Finish(w, tor, label); err != nil {
+		return err
+	}
+	mode := "parallel"
+	if execOpt.Serial {
+		mode = "serial"
+	}
+	verified := "checked by the shared executor"
+	if res.Replayed {
+		verified = "replayed and delivery-verified by the shared executor"
+	}
+	printReport(w, fmt.Sprintf("%s (%s, %s)", b.Name(), verified, mode), res.Measure, params)
 	return nil
 }
 

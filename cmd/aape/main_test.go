@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -84,6 +86,28 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-dims", "5x9", "-alg", "virtual"}, &b); err == nil {
 		t.Fatal("increasing dims should fail")
+	}
+}
+
+func TestTelemetryFlags(t *testing.T) {
+	// With telemetry requested, the proposed algorithm reroutes through
+	// the executor so the run has a timeline to record.
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	out := runOut(t, "-dims", "8x8", "-heatmap", "-trace-out", tracePath)
+	if !strings.Contains(out, "link utilization of the 8x8 torus") {
+		t.Fatalf("missing heatmap:\n%s", out)
+	}
+	if !strings.Contains(out, "wrote Chrome trace") {
+		t.Fatalf("missing trace confirmation:\n%s", out)
+	}
+	if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+	// Block-level simulators bypass the executor, so telemetry on them
+	// is an explicit error rather than a silent no-op.
+	var b strings.Builder
+	if err := run([]string{"-dims", "8x8", "-alg", "concurrent", "-heatmap"}, &b); err == nil {
+		t.Fatal("telemetry on a non-executor algorithm should error")
 	}
 }
 

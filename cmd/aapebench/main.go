@@ -12,15 +12,22 @@
 //	aapebench -dims 8x8,16x16,4x4x4 -algs proposed,direct
 //	aapebench -serial                          # time the serial reference
 //	aapebench -quick -out -                    # one run per cell, stdout only
+//	aapebench -samples 10                      # spread columns from 10 repeats
+//	aapebench -pprof localhost:6060            # live pprof + expvar while sweeping
+//	aapebench -quick -trace-out t.json -heatmap  # telemetry from an untimed run
 //
 // Cells whose builder rejects the shape (e.g. logtime on non-power-of-
 // two tori) are skipped and reported on stderr.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
@@ -30,10 +37,15 @@ import (
 	"torusx/internal/algorithm"
 	"torusx/internal/benchfmt"
 	"torusx/internal/cli"
+	"torusx/internal/costmodel"
 	"torusx/internal/exec"
 	"torusx/internal/schedule"
 	"torusx/internal/topology"
 )
+
+// benchCells counts completed sweep cells, exported on /debug/vars
+// when -pprof is set so a long sweep's progress is observable.
+var benchCells = expvar.NewInt("aapebench_cells")
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -53,9 +65,22 @@ func run(args []string, w io.Writer) error {
 		parallelFlag = fs.Bool("parallel", true, "run the executor's parallel fan-out path (overridden by -serial)")
 		workersFlag  = fs.Int("workers", 0, "parallel executor worker count (0 = GOMAXPROCS)")
 		quickFlag    = fs.Bool("quick", false, "single timed run per cell instead of a full benchmark (for tests and smoke runs)")
+		samplesFlag  = fs.Int("samples", 5, "repeat timings per cell behind the ns_min/ns_max/ns_stddev ledger columns (<2 disables)")
+		pprofFlag    = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) for the sweep's duration")
 	)
+	tel := cli.RegisterTelemetry(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprofFlag != "" {
+		ln, err := net.Listen("tcp", *pprofFlag)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		go http.Serve(ln, nil)
+		fmt.Fprintf(w, "profiling: http://%s/debug/pprof/ and http://%s/debug/vars\n", ln.Addr(), ln.Addr())
 	}
 
 	shapes, err := parseShapes(*dimsFlag)
@@ -75,6 +100,8 @@ func run(args []string, w io.Writer) error {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	fmt.Fprintf(w, "%-14s %-10s %14s %12s %10s %8s\n", "alg", "dims", "ns/op", "allocs/op", "steps", "blocks")
+	var firstLabel string
+	var firstTor *topology.Torus
 	for _, dims := range shapes {
 		tor, err := topology.New(dims...)
 		if err != nil {
@@ -115,12 +142,46 @@ func run(args []string, w io.Writer) error {
 				entry.AllocsPerOp = br.AllocsPerOp()
 				entry.BytesPerOp = br.AllocedBytesPerOp()
 			}
+			// Repeat single-run timings estimate the cell's spread; the
+			// ns/op column above stays the primary (benchmark-grade in
+			// full mode) figure.
+			if *samplesFlag >= 2 {
+				samples := make([]float64, *samplesFlag)
+				for i := range samples {
+					samples[i], _, _ = timeOnce(sc, opt)
+				}
+				entry.NsMin, entry.NsMax, entry.NsStddev = benchfmt.SampleStats(samples)
+				entry.Samples = len(samples)
+			}
+			// Telemetry rides on a separate, untimed run so sinks never
+			// perturb the timings recorded above.
+			if tel.Enabled() {
+				rec, err := tel.Labeled(costmodel.T3D(64), entry.Key())
+				if err != nil {
+					return err
+				}
+				topt := opt
+				topt.Telemetry = rec
+				if _, err := exec.Run(sc, topt); err != nil {
+					return err
+				}
+				if firstLabel == "" {
+					firstLabel = entry.Key()
+					firstTor = tor
+				}
+			}
+			benchCells.Add(1)
 			ledger.Entries = append(ledger.Entries, entry)
 			fmt.Fprintf(w, "%-14s %-10s %14.0f %12d %10d %8d\n",
 				entry.Alg, shapeString(dims), entry.NsPerOp, entry.AllocsPerOp, entry.Steps, entry.Blocks)
 		}
 	}
 
+	if firstTor != nil {
+		if err := tel.Finish(w, firstTor, firstLabel); err != nil {
+			return err
+		}
+	}
 	if err := ledger.Validate(); err != nil {
 		return err
 	}

@@ -129,6 +129,41 @@ func TestBenchSerialMatchesParallelCounters(t *testing.T) {
 }
 
 // TestBenchRejectsBadShape: an invalid shape must fail cleanly.
+// TestBenchTelemetryAndSamples checks the observability riders: the
+// -samples spread columns land in the ledger, and -heatmap/-trace-out
+// render from the untimed telemetry run without perturbing validation.
+func TestBenchTelemetryAndSamples(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH.json")
+	tracePath := filepath.Join(dir, "trace.json")
+	var buf bytes.Buffer
+	args := []string{"-dims", "8x8", "-algs", "proposed,direct", "-quick",
+		"-samples", "3", "-heatmap", "-trace-out", tracePath, "-out", out}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "link utilization of the 8x8 torus") {
+		t.Fatalf("missing heatmap:\n%s", buf.String())
+	}
+	if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ledger, err := benchfmt.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ledger.Entries {
+		if e.Samples != 3 || e.NsMin <= 0 || e.NsMax < e.NsMin || e.NsStddev < 0 {
+			t.Fatalf("spread columns malformed: %+v", e)
+		}
+	}
+}
+
 func TestBenchRejectsBadShape(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-dims", "8xqq"}, &buf); err == nil {

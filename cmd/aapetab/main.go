@@ -44,7 +44,11 @@ func main() {
 		parallelFlag = flag.Bool("parallel", true, "run -table replay backends on their parallel paths (bit-identical to serial)")
 		workersFlag  = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
 	)
+	tel := cli.RegisterTelemetry(flag.CommandLine)
 	flag.Parse()
+	if tel.Enabled() && *tableFlag != "replay" {
+		cli.Fatalf("aapetab: -telemetry/-trace-out/-heatmap apply to -table replay only")
+	}
 	p := costmodel.Params{Ts: *tsFlag, Tc: *tcFlag, Tl: *tlFlag, Rho: *rhoFlag, M: *mFlag}
 	render = func(t *stats.Table) string {
 		if *csvFlag {
@@ -67,7 +71,7 @@ func main() {
 	case "switching":
 		fmt.Print(SwitchingTable(p))
 	case "replay":
-		out, err := Replay(p, *algFlag, ReplayOpt{Serial: !*parallelFlag, Workers: *workersFlag})
+		out, err := Replay(p, *algFlag, ReplayOpt{Serial: !*parallelFlag, Workers: *workersFlag, Telemetry: tel})
 		if err != nil {
 			cli.Fatalf("aapetab: %v", err)
 		}
@@ -297,9 +301,15 @@ var replayShapes = [][]int{{8, 8}, {12, 12}, {16, 16}}
 // Serial forces the single-goroutine reference implementations;
 // otherwise each backend fans out across Workers goroutines
 // (0 = GOMAXPROCS). Both paths produce bit-identical tables.
+// Telemetry, when enabled, attaches a per-shape recorder (label
+// "alg@shape") to the executor and the event simulator, switches the
+// flit simulators to their link-tracking entry points, and appends the
+// requested trace/heatmap outputs (heatmap laid out on the first
+// shape) after the table.
 type ReplayOpt struct {
-	Serial  bool
-	Workers int
+	Serial    bool
+	Workers   int
+	Telemetry *cli.Telemetry
 }
 
 // Replay lowers the chosen algorithm to the schedule IR on each shape,
@@ -319,6 +329,7 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 		fmt.Sprintf("Replay of %q through the shared executor; %s", algName, p),
 		"network", "steps", "blocks", "hops", "rearr", "replayed",
 		"model", "eventsim", "WH cycles", "SAF cycles")
+	var firstTor *topology.Torus
 	for _, dims := range replayShapes {
 		tor := topology.MustNew(dims...)
 		sc, berr := b.BuildSchedule(tor)
@@ -327,15 +338,29 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 				fmt.Sprintf("(%v)", berr))
 			continue
 		}
-		res, err := exec.Run(sc, exec.Options{Serial: opt.Serial, Workers: opt.Workers})
+		if firstTor == nil {
+			firstTor = tor
+		}
+		rec, err := opt.Telemetry.Labeled(p, algName+"@"+tor.String())
+		if err != nil {
+			return "", err
+		}
+		res, err := exec.Run(sc, exec.Options{Serial: opt.Serial, Workers: opt.Workers, Telemetry: rec})
 		if err != nil {
 			return "", err
 		}
 		ev := eventsim.RunOpt(tor, sc, p, tor.Nodes(),
-			eventsim.Options{Serial: opt.Serial, Workers: opt.Workers})
+			eventsim.Options{Serial: opt.Serial, Workers: opt.Workers, Telemetry: rec})
 		// A completing step on these shapes needs < 20k cycles; the cap
 		// only bounds how long a deadlocked step spins before detection.
 		const cycleCap = 1 << 20
+		track := rec.Enabled()
+		whTotal := wormhole.Stats{}
+		safTotal := packetsim.Stats{}
+		if track {
+			whTotal.LinkBusy = make(map[topology.Link]int)
+			safTotal.LinkBusy = make(map[topology.Link]int)
+		}
 		whCycles, safCycles := 0, 0
 		wh := ""
 		var simErr error
@@ -347,9 +372,14 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 				wmsgs := wormhole.FromStep(tor, st, flitsPerBlock)
 				var wst wormhole.Stats
 				var err error
-				if opt.Serial {
+				switch {
+				case track && opt.Serial:
+					wst, err = wormhole.SimulateTracked(wmsgs, cycleCap)
+				case track:
+					wst, err = wormhole.SimulateParallelTracked(wmsgs, cycleCap, opt.Workers)
+				case opt.Serial:
 					wst, err = wormhole.Simulate(wmsgs, cycleCap)
-				} else {
+				default:
 					wst, err = wormhole.SimulateParallel(wmsgs, cycleCap, opt.Workers)
 				}
 				if err != nil {
@@ -360,14 +390,24 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 					wh = "deadlock"
 				} else {
 					whCycles += wst.Cycles
+					whTotal.Cycles += wst.Cycles
+					whTotal.HeaderStalls += wst.HeaderStalls
+					for l, c := range wst.LinkBusy {
+						whTotal.LinkBusy[l] += c
+					}
 				}
 			}
 			pmsgs := packetsim.FromStep(tor, st, flitsPerBlock)
 			var pst packetsim.Stats
 			var err error
-			if opt.Serial {
+			switch {
+			case track && opt.Serial:
+				pst, err = packetsim.SimulateTracked(pmsgs)
+			case track:
+				pst, err = packetsim.SimulateParallelTracked(pmsgs, opt.Workers)
+			case opt.Serial:
 				pst, err = packetsim.Simulate(pmsgs)
-			} else {
+			default:
 				pst, err = packetsim.SimulateParallel(pmsgs, opt.Workers)
 			}
 			if err != nil {
@@ -375,9 +415,23 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 				return
 			}
 			safCycles += pst.Cycles
+			safTotal.Cycles += pst.Cycles
+			safTotal.QueueWaits += pst.QueueWaits
+			for l, c := range pst.LinkBusy {
+				safTotal.LinkBusy[l] += c
+			}
 		})
 		if simErr != nil {
 			return "", simErr
+		}
+		if track {
+			// Whole-schedule flit-level aggregates: per-link busy cycles
+			// summed over steps, utilization relative to the summed
+			// critical path.
+			if wh != "deadlock" {
+				wormhole.EmitTelemetry(rec, tor, "wormhole", whTotal)
+			}
+			packetsim.EmitTelemetry(rec, tor, "saf", safTotal)
 		}
 		if wh == "" {
 			wh = fmt.Sprint(whCycles)
@@ -391,7 +445,14 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 			replayed, stats.FmtUS(p.Completion(m)), stats.FmtUS(ev.Makespan),
 			wh, safCycles)
 	}
-	return render(tb), nil
+	out := strings.Builder{}
+	out.WriteString(render(tb))
+	if firstTor != nil {
+		if err := opt.Telemetry.Finish(&out, firstTor, algName+"@"+firstTor.String()); err != nil {
+			return "", err
+		}
+	}
+	return out.String(), nil
 }
 
 // SwitchingTable renders the proposed-vs-ring comparison under

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"torusx/internal/cli"
 	"torusx/internal/costmodel"
 )
 
@@ -96,6 +101,43 @@ func TestReplayRenders(t *testing.T) {
 	// Unknown algorithms are rejected by the registry.
 	if _, err := Replay(p, "bogus", ReplayOpt{}); err == nil {
 		t.Fatal("unknown algorithm should error")
+	}
+}
+
+func TestReplayTelemetry(t *testing.T) {
+	// Restrict the sweep to one shape so the tracked flit simulators
+	// stay cheap, then ask for both post-run renderings.
+	old := replayShapes
+	replayShapes = [][]int{{8, 8}}
+	defer func() { replayShapes = old }()
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tel := cli.RegisterTelemetry(fs)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	if err := fs.Parse([]string{"-heatmap", "-trace-out", tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Replay(p, "ring", ReplayOpt{Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"link utilization of the 8x8 torus", "wrote Chrome trace"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("replay trace is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("replay trace has no events")
 	}
 }
 

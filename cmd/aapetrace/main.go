@@ -16,6 +16,9 @@
 //	aapetrace -dims 12x12x12 -figure phase1 -plane 1   # one Z plane of a 3D torus
 //	aapetrace -dims 12x12 -figure quad1    # quad-phase step directions
 //	aapetrace -dims 12x12 -json            # machine-readable schedule
+//	aapetrace -dims 8x8 -trace-out t.json  # Perfetto-loadable timeline
+//	aapetrace -dims 8x8 -heatmap           # ASCII link-utilization map
+//	aapetrace -dims 8x8 -telemetry ev.jsonl  # raw event stream
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 
 	"torusx/internal/algorithm"
 	"torusx/internal/cli"
+	"torusx/internal/costmodel"
 	"torusx/internal/exec"
 	"torusx/internal/topology"
 	"torusx/internal/trace"
@@ -54,6 +58,7 @@ func run(args []string, w io.Writer) error {
 		parallelFlag = fs.Bool("parallel", true, "validate with the parallel executor (bit-identical to serial)")
 		workersFlag  = fs.Int("workers", 0, "parallel executor worker count (0 = GOMAXPROCS)")
 	)
+	tel := cli.RegisterTelemetry(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,8 +109,17 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	// Validate (and, for payload-carrying schedules, replay and
-	// delivery-verify) before printing anything.
-	if _, err := exec.Run(sc, exec.Options{Serial: !*parallelFlag, Workers: *workersFlag}); err != nil {
+	// delivery-verify) before printing anything. The timeline's
+	// attribution uses the paper's T3D machine parameters.
+	label := *algFlag + "@" + tor.String()
+	rec, err := tel.Labeled(costmodel.T3D(64), label)
+	if err != nil {
+		return err
+	}
+	if _, err := exec.Run(sc, exec.Options{Serial: !*parallelFlag, Workers: *workersFlag, Telemetry: rec}); err != nil {
+		return err
+	}
+	if err := tel.Finish(w, tor, label); err != nil {
 		return err
 	}
 

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceOutGolden pins the committed example trace: the timeline is
+// a pure function of the schedule and the T3D parameters, so the 8x8
+// proposed trace must regenerate byte-for-byte on every host. When the
+// telemetry layout changes intentionally, regenerate with
+//
+//	go run ./cmd/aapetrace -dims 8x8 -alg proposed \
+//	    -trace-out cmd/aapetrace/testdata/trace_8x8_proposed.json
+func TestTraceOutGolden(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "trace_8x8_proposed.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "trace.json")
+	var b strings.Builder
+	if err := run([]string{"-dims", "8x8", "-alg", "proposed", "-trace-out", out}, &b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Fatalf("regenerated trace (%d bytes) differs from committed testdata (%d bytes); "+
+			"if the change is intentional, regenerate the golden (see test comment)", len(got), len(golden))
+	}
+	// And it must actually be a Chrome trace a viewer would load.
+	var tf struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(golden, &tf); err != nil {
+		t.Fatalf("committed trace is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("committed trace has no events")
+	}
+}
+
+func TestTelemetryFlags(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "ev.jsonl")
+	var b strings.Builder
+	if err := run([]string{"-dims", "8x8", "-telemetry", jsonl, "-heatmap"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "link utilization of the 8x8 torus") {
+		t.Errorf("missing heatmap in output:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("suspiciously short JSONL stream: %d lines", len(lines))
+	}
+	for _, ln := range lines[:5] {
+		var ev map[string]interface{}
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", ln, err)
+		}
+		if ev["label"] != "proposed@8x8" {
+			t.Fatalf("event label %v, want proposed@8x8", ev["label"])
+		}
+	}
+}

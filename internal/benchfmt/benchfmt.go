@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Schema is the format identifier of the current layout.
@@ -40,6 +41,16 @@ type Entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Variance of the per-sample timings across the cell's repeat runs
+	// (all zero when the sweep took a single sample — e.g. older
+	// ledgers, which decode unchanged). NsStddev is the population
+	// standard deviation.
+	NsMin    float64 `json:"ns_min,omitempty"`
+	NsMax    float64 `json:"ns_max,omitempty"`
+	NsStddev float64 `json:"ns_stddev,omitempty"`
+	// Samples is the number of repeat timings behind the variance
+	// fields (0 for single-sample ledgers).
+	Samples int `json:"samples,omitempty"`
 
 	// Deterministic fields: the executor's Measure, identical on every
 	// machine, compared field-for-field in golden tests.
@@ -99,6 +110,9 @@ func (f *File) Validate() error {
 		if e.NsPerOp <= 0 {
 			return fmt.Errorf("benchfmt: entry %d (%s) ns_per_op %v <= 0", i, e.Key(), e.NsPerOp)
 		}
+		if err := e.validateVariance(); err != nil {
+			return fmt.Errorf("benchfmt: entry %d (%s): %v", i, e.Key(), err)
+		}
 		if e.AllocsPerOp < 0 || e.BytesPerOp < 0 {
 			return fmt.Errorf("benchfmt: entry %d (%s) negative alloc stats", i, e.Key())
 		}
@@ -117,6 +131,53 @@ func (f *File) Validate() error {
 		seen[e.Key()] = true
 	}
 	return nil
+}
+
+// validateVariance checks the optional spread fields as a group:
+// either absent (all zero, single-sample ledgers) or coherent —
+// min <= ns/op's order of magnitude is not enforced, but min <= max,
+// non-negative stddev, and at least two samples.
+func (e *Entry) validateVariance() error {
+	if e.Samples == 0 && e.NsMin == 0 && e.NsMax == 0 && e.NsStddev == 0 {
+		return nil
+	}
+	if e.Samples < 2 {
+		return fmt.Errorf("variance fields need samples >= 2, have %d", e.Samples)
+	}
+	if e.NsMin <= 0 || e.NsMax < e.NsMin {
+		return fmt.Errorf("bad ns_min/ns_max %v/%v", e.NsMin, e.NsMax)
+	}
+	if e.NsStddev < 0 {
+		return fmt.Errorf("negative ns_stddev %v", e.NsStddev)
+	}
+	return nil
+}
+
+// SampleStats summarizes repeat timings into the variance fields,
+// returning min, max and the population standard deviation.
+func SampleStats(ns []float64) (min, max, stddev float64) {
+	if len(ns) == 0 {
+		return 0, 0, 0
+	}
+	min, max = ns[0], ns[0]
+	sum := 0.0
+	for _, v := range ns {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	mean := sum / float64(len(ns))
+	var sq float64
+	for _, v := range ns {
+		d := v - mean
+		sq += d * d
+	}
+	stddev = math.Sqrt(sq / float64(len(ns)))
+	return min, max, stddev
 }
 
 // Write encodes the ledger as indented JSON.

@@ -52,12 +52,57 @@ func TestValidateRejects(t *testing.T) {
 		"zero steps":      func(f *File) { f.Entries[0].Steps = 0 },
 		"zero sharing":    func(f *File) { f.Entries[0].MaxSharing = 0 },
 		"duplicate":       func(f *File) { f.Entries[1] = f.Entries[0] },
+		"one sample":      func(f *File) { f.Entries[0].Samples = 1; f.Entries[0].NsMin = 1; f.Entries[0].NsMax = 2 },
+		"min > max":       func(f *File) { f.Entries[0].Samples = 3; f.Entries[0].NsMin = 5; f.Entries[0].NsMax = 2 },
+		"zero min":        func(f *File) { f.Entries[0].Samples = 3; f.Entries[0].NsMax = 2 },
+		"neg stddev": func(f *File) {
+			f.Entries[0].Samples = 3
+			f.Entries[0].NsMin, f.Entries[0].NsMax, f.Entries[0].NsStddev = 1, 2, -1
+		},
 	} {
 		f := valid()
 		mutate(f)
 		if err := f.Validate(); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+func TestVarianceFieldsRoundTrip(t *testing.T) {
+	f := valid()
+	f.Entries[0].NsMin, f.Entries[0].NsMax, f.Entries[0].NsStddev = 900, 1500, 210.5
+	f.Entries[0].Samples = 5
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := got.ByKey()["proposed@8x8"]
+	if e.NsMin != 900 || e.NsMax != 1500 || e.NsStddev != 210.5 || e.Samples != 5 {
+		t.Fatalf("variance fields lost: %+v", e)
+	}
+	// Entries without spread (old ledgers) stay valid.
+	if e2 := got.ByKey()["direct@8x8"]; e2.Samples != 0 {
+		t.Fatalf("single-sample entry grew samples: %+v", e2)
+	}
+}
+
+func TestSampleStats(t *testing.T) {
+	min, max, sd := SampleStats([]float64{4, 2, 6})
+	if min != 2 || max != 6 {
+		t.Fatalf("min/max = %v/%v", min, max)
+	}
+	if d := sd - 1.632993161855452; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("stddev = %v", sd)
+	}
+	if a, b, c := SampleStats(nil); a != 0 || b != 0 || c != 0 {
+		t.Fatal("empty sample set should be all-zero")
+	}
+	if _, _, sd := SampleStats([]float64{7, 7, 7}); sd != 0 {
+		t.Fatalf("constant samples stddev = %v", sd)
 	}
 }
 

@@ -1,0 +1,139 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"torusx/internal/costmodel"
+	"torusx/internal/telemetry"
+	"torusx/internal/topology"
+	"torusx/internal/trace"
+)
+
+// Telemetry is the shared -telemetry/-trace-out/-heatmap plumbing of
+// the command-line tools: it owns the sinks behind a run's recorder and
+// renders the requested outputs once the run is over. The zero value is
+// the disabled state and costs the instrumented code one Enabled
+// branch.
+type Telemetry struct {
+	jsonlPath string
+	tracePath string
+	heatmap   bool
+
+	mem  *telemetry.MemorySink
+	jl   *telemetry.JSONLSink
+	file *os.File
+	rec  *telemetry.Recorder
+}
+
+// RegisterTelemetry registers the telemetry flags on fs and returns the
+// handle the tool finishes with. Pass flag.CommandLine for tools using
+// the global flag set.
+func RegisterTelemetry(fs *flag.FlagSet) *Telemetry {
+	t := &Telemetry{}
+	fs.StringVar(&t.jsonlPath, "telemetry", "", "stream execution telemetry as JSONL to this file ('-' = stdout)")
+	fs.StringVar(&t.tracePath, "trace-out", "", "write a Chrome/Perfetto trace-event JSON timeline to this file")
+	fs.BoolVar(&t.heatmap, "heatmap", false, "render an ASCII link-utilization heatmap after the run")
+	return t
+}
+
+// Enabled reports whether any telemetry output was requested.
+func (t *Telemetry) Enabled() bool {
+	return t != nil && (t.jsonlPath != "" || t.tracePath != "" || t.heatmap)
+}
+
+// Recorder builds (once) and returns the recorder the run should emit
+// into, or nil when no telemetry was requested — nil is the executor's
+// disabled state, so tools pass the result through unconditionally.
+func (t *Telemetry) Recorder(p costmodel.Params) (*telemetry.Recorder, error) {
+	if !t.Enabled() {
+		return nil, nil
+	}
+	if t.rec != nil {
+		return t.rec, nil
+	}
+	var sinks []telemetry.Sink
+	if t.tracePath != "" || t.heatmap {
+		t.mem = &telemetry.MemorySink{}
+		sinks = append(sinks, t.mem)
+	}
+	if t.jsonlPath != "" {
+		out := io.Writer(os.Stdout)
+		if t.jsonlPath != "-" {
+			f, err := os.Create(t.jsonlPath)
+			if err != nil {
+				return nil, err
+			}
+			t.file = f
+			out = f
+		}
+		t.jl = telemetry.NewJSONLSink(out)
+		sinks = append(sinks, t.jl)
+	}
+	t.rec = telemetry.New(telemetry.Multi(sinks...), p)
+	return t.rec, nil
+}
+
+// Labeled returns a recorder stamping label into every event, sharing
+// this handle's sinks; nil when telemetry is disabled. Tools sweeping
+// several cells give each its own label ("proposed@8x8").
+func (t *Telemetry) Labeled(p costmodel.Params, label string) (*telemetry.Recorder, error) {
+	rec, err := t.Recorder(p)
+	if err != nil || rec == nil {
+		return rec, err
+	}
+	labeled := *rec
+	labeled.Label = label
+	return &labeled, nil
+}
+
+// Finish renders the requested post-run outputs: the Chrome trace file,
+// the heatmap (on w, from the "link.util" gauges, laid out on tor), and
+// closes the JSONL stream, surfacing any deferred write error.
+// heatmapLabel restricts the heatmap to one cell's gauges — node IDs
+// collide across shapes in a sweep, so a blended map would be
+// meaningless; "" uses every event. Safe to call when disabled.
+func (t *Telemetry) Finish(w io.Writer, tor *topology.Torus, heatmapLabel string) error {
+	if !t.Enabled() || t.rec == nil {
+		return nil
+	}
+	if t.tracePath != "" {
+		f, err := os.Create(t.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteChromeTrace(f, t.mem.Events()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote Chrome trace (%d events) to %s\n", t.mem.Len(), t.tracePath)
+	}
+	if t.heatmap {
+		evs := t.mem.Events()
+		if heatmapLabel != "" {
+			kept := evs[:0]
+			for _, ev := range evs {
+				if ev.Label == heatmapLabel {
+					kept = append(kept, ev)
+				}
+			}
+			evs = kept
+		}
+		util := telemetry.UtilizationByLink(evs, "link.util")
+		fmt.Fprint(w, trace.LinkHeatmap(tor, util, 0))
+	}
+	if t.file != nil {
+		if err := t.file.Close(); err != nil {
+			return err
+		}
+	}
+	if t.jl != nil {
+		return t.jl.Err()
+	}
+	return nil
+}

@@ -19,6 +19,7 @@ package eventsim
 import (
 	"torusx/internal/costmodel"
 	"torusx/internal/schedule"
+	"torusx/internal/telemetry"
 	"torusx/internal/topology"
 )
 
@@ -53,6 +54,12 @@ type Options struct {
 	// Workers is the fan-out width of the parallel path
 	// (0 = runtime.GOMAXPROCS).
 	Workers int
+	// Telemetry receives the simulation's counters (makespan, the
+	// synchronous reference, recovered slack) and per-node finish-time
+	// gauges. Nil disables emission; the simulation paths themselves
+	// are untouched, so serial and parallel runs emit identical
+	// streams (both derive from the same bit-identical Result).
+	Telemetry *telemetry.Recorder
 }
 
 // Run simulates the schedule asynchronously under params.
@@ -74,10 +81,28 @@ func RunSkewed(t *topology.Torus, sc *schedule.Schedule, p costmodel.Params, blo
 // RunOpt simulates the schedule under params with explicit Options;
 // Run and RunSkewed are thin wrappers over it.
 func RunOpt(t *topology.Torus, sc *schedule.Schedule, p costmodel.Params, blocksPerNode int, opt Options) *Result {
+	var res *Result
 	if !opt.Serial {
-		return runParallel(t, sc, p, blocksPerNode, opt)
+		res = runParallel(t, sc, p, blocksPerNode, opt)
+	} else {
+		res = runSerial(t, sc, p, blocksPerNode, opt.Skew)
 	}
-	return runSerial(t, sc, p, blocksPerNode, opt.Skew)
+	if opt.Telemetry.Enabled() {
+		emitTelemetry(opt.Telemetry, t, res)
+	}
+	return res
+}
+
+// emitTelemetry publishes the simulation outcome: run-level counters
+// plus one finish-time gauge per node (in node order, so the stream is
+// deterministic).
+func emitTelemetry(rec *telemetry.Recorder, t *topology.Torus, res *Result) {
+	rec.Counter("eventsim.makespan_us", res.Makespan, res.Makespan)
+	rec.Counter("eventsim.sync_completion_us", res.Makespan, res.SyncCompletion)
+	rec.Counter("eventsim.slack_us", res.Makespan, res.Slack)
+	for i, v := range res.PerNode {
+		rec.NodeGauge("eventsim.node_finish_us", t, i, v)
+	}
 }
 
 // runSerial is the single-goroutine reference implementation; the

@@ -28,6 +28,7 @@ import (
 	"torusx/internal/block"
 	"torusx/internal/costmodel"
 	"torusx/internal/schedule"
+	"torusx/internal/telemetry"
 	"torusx/internal/topology"
 	"torusx/internal/verify"
 )
@@ -51,6 +52,11 @@ type Options struct {
 	// Workers overrides the fan-out width of the parallel path
 	// (0 = runtime.GOMAXPROCS). Ignored when Serial is set.
 	Workers int
+	// Telemetry receives the run's span events, counters and per-link
+	// gauges (see internal/telemetry). Nil disables telemetry entirely:
+	// the executor takes exactly the uninstrumented code path behind a
+	// single branch, which the overhead guard benchmarks.
+	Telemetry *telemetry.Recorder
 }
 
 // Result is the outcome of executing a schedule.
@@ -232,6 +238,9 @@ func runSerial(sc *schedule.Schedule, opt Options) (*Result, error) {
 		}
 		res.Replayed = true
 		res.Buffers = bufs
+	}
+	if opt.Telemetry.Enabled() {
+		emitRun(opt.Telemetry, sc, res, nil)
 	}
 	return res, nil
 }

@@ -132,6 +132,9 @@ func runParallel(sc *schedule.Schedule, opt Options) (*Result, error) {
 		res.Replayed = true
 		res.Buffers = bufs
 	}
+	if opt.Telemetry.Enabled() {
+		emitRun(opt.Telemetry, sc, res, workersOf(stepBuckets, len(steps)))
+	}
 	return res, nil
 }
 

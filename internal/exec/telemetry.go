@@ -1,0 +1,149 @@
+package exec
+
+import (
+	"torusx/internal/schedule"
+	"torusx/internal/telemetry"
+	"torusx/internal/topology"
+)
+
+// Telemetry emission. Both executor paths emit from this single serial
+// post-pass, which walks the schedule in phase/step/transfer order
+// after the run has validated: serial and parallel runs of the same
+// schedule therefore produce identical streams by construction (the
+// only divergence is the diagnostic Worker field, which records which
+// pool worker checked each step and which telemetry.Canonical clears).
+// Emission runs only when the run asked for it — the hot path pays one
+// Recorder.Enabled branch and nothing else, enforced by the overhead
+// guard in telemetry_guard_test.go.
+//
+// The timeline follows the paper's synchronous model: each step lasts
+// ts + tc·maxBlocks·sharing·m + tl·maxHops, phases with a Rearrange
+// annotation open with a rho·blocks·m rearrangement slice, and every
+// transfer's slice spans its own ts + tc·blocks·m + tl·hops inside its
+// step (unserialized — per-transfer attribution reports the message's
+// own cost; the step span carries the sharing-serialized total).
+func emitRun(rec *telemetry.Recorder, sc *schedule.Schedule, res *Result, stepWorkers []int) {
+	p := rec.Params
+	t := sc.Torus
+	m := float64(p.M)
+
+	// Per-link accumulation for the run-level utilization and
+	// contention gauges.
+	type linkStat struct {
+		busySteps int // steps in which the link carried any transfer
+		maxShare  int // worst per-step transfer count on the link
+	}
+	linkUse := make(map[topology.Link]*linkStat)
+
+	rec.Emit(telemetry.Event{Kind: telemetry.SpanBegin, Scope: telemetry.ScopeRun,
+		Name: "run", Phase: -1, Step: -1, Transfer: -1})
+
+	now := 0.0
+	global := 0
+	for pi := range sc.Phases {
+		ph := &sc.Phases[pi]
+		rec.Emit(telemetry.Event{Kind: telemetry.SpanBegin, Scope: telemetry.ScopePhase,
+			Name: ph.Name, Phase: pi, Step: -1, Transfer: -1, Time: now})
+		var rearr float64
+		if ph.Rearrange > 0 {
+			rearr = p.Rho * float64(ph.Rearrange) * m
+			rec.Emit(telemetry.Event{Kind: telemetry.SpanBegin, Scope: telemetry.ScopePhase,
+				Name: "rearrange", Phase: pi, Step: -1, Transfer: -1, Time: now,
+				Blocks: ph.Rearrange})
+			rec.Emit(telemetry.Event{Kind: telemetry.SpanEnd, Scope: telemetry.ScopePhase,
+				Name: "rearrange", Phase: pi, Step: -1, Transfer: -1, Time: now + rearr,
+				Blocks: ph.Rearrange, Rearrange: rearr})
+			now += rearr
+		}
+		for si := range ph.Steps {
+			st := &ph.Steps[si]
+			sharing := 1
+			if st.Shared {
+				sharing = st.SharingFactor(t)
+			}
+			startup := p.Ts
+			trans := p.Tc * float64(st.MaxBlocks()*sharing) * m
+			prop := p.Tl * float64(st.MaxHops())
+			worker := 0
+			if stepWorkers != nil {
+				worker = stepWorkers[global]
+			}
+			rec.Emit(telemetry.Event{Kind: telemetry.SpanBegin, Scope: telemetry.ScopeStep,
+				Name: "step", Phase: pi, Step: global, Transfer: -1, Time: now, Worker: worker})
+			perLink := make(map[topology.Link]int)
+			for ti := range st.Transfers {
+				tr := &st.Transfers[ti]
+				tStartup := p.Ts
+				tTrans := p.Tc * float64(tr.Blocks) * m
+				tProp := p.Tl * float64(tr.TotalHops())
+				ev := telemetry.Event{Scope: telemetry.ScopeTransfer,
+					Name: tr.String(), Phase: pi, Step: global, Transfer: ti,
+					Worker: worker, Src: int(tr.Src), Dst: int(tr.Dst),
+					Blocks: tr.Blocks, Hops: tr.TotalHops(),
+					Dim: tr.Dim, Dir: int(tr.Dir)}
+				ev.Kind, ev.Time = telemetry.SpanBegin, now
+				rec.Emit(ev)
+				ev.Kind, ev.Time = telemetry.SpanEnd, now+tStartup+tTrans+tProp
+				ev.Startup, ev.Transmit, ev.Propagate = tStartup, tTrans, tProp
+				rec.Emit(ev)
+				for _, l := range tr.PathLinks(t) {
+					perLink[l]++
+				}
+			}
+			for l, c := range perLink {
+				ls := linkUse[l]
+				if ls == nil {
+					ls = &linkStat{}
+					linkUse[l] = ls
+				}
+				ls.busySteps++
+				if c > ls.maxShare {
+					ls.maxShare = c
+				}
+			}
+			end := now + startup + trans + prop
+			rec.Emit(telemetry.Event{Kind: telemetry.SpanEnd, Scope: telemetry.ScopeStep,
+				Name: "step", Phase: pi, Step: global, Transfer: -1,
+				Time: end, Worker: worker,
+				Startup: startup, Transmit: trans, Propagate: prop,
+				Value: float64(sharing)})
+			now = end
+			global++
+		}
+		rec.Emit(telemetry.Event{Kind: telemetry.SpanEnd, Scope: telemetry.ScopePhase,
+			Name: ph.Name, Phase: pi, Step: -1, Transfer: -1, Time: now, Rearrange: rearr})
+	}
+	rec.Emit(telemetry.Event{Kind: telemetry.SpanEnd, Scope: telemetry.ScopeRun,
+		Name: "run", Phase: -1, Step: -1, Transfer: -1, Time: now})
+
+	rec.Counter("exec.steps", now, float64(res.Measure.Steps))
+	rec.Counter("exec.blocks", now, float64(res.Measure.Blocks))
+	rec.Counter("exec.hops", now, float64(res.Measure.Hops))
+	rec.Counter("exec.rearranged_blocks", now, float64(res.Measure.RearrangedBlocks))
+	rec.Counter("exec.max_sharing", now, float64(res.MaxSharing))
+	rec.Counter("exec.completion_us", now, p.Completion(res.Measure))
+
+	// Per-link gauges in the torus's canonical link order, so the
+	// stream stays deterministic.
+	steps := float64(res.Measure.Steps)
+	for _, l := range t.AllLinks() {
+		ls := linkUse[l]
+		if ls == nil {
+			continue
+		}
+		rec.LinkGauge("link.util", t, l, float64(ls.busySteps)/steps)
+		rec.LinkGauge("link.contention", t, l, float64(ls.maxShare))
+	}
+}
+
+// workersOf flattens a bucket partition into a per-item worker index
+// (the bucket that processed each item).
+func workersOf(buckets [][]int, n int) []int {
+	w := make([]int, n)
+	for b, idx := range buckets {
+		for _, i := range idx {
+			w[i] = b
+		}
+	}
+	return w
+}

@@ -1,0 +1,97 @@
+// Differential coverage for the telemetry layer: a parallel run must
+// emit exactly the serial reference's event stream. Both paths emit
+// from the same serial post-pass, so the only tolerated divergence is
+// the diagnostic Worker field (which pool worker checked each step) and
+// arrival interleaving — telemetry.Canonical normalizes both, and these
+// tests require the canonical streams to be deep-equal.
+package exec_test
+
+import (
+	"reflect"
+	"testing"
+
+	"torusx/internal/algorithm"
+	"torusx/internal/costmodel"
+	"torusx/internal/exec"
+	"torusx/internal/telemetry"
+	"torusx/internal/topology"
+)
+
+// telemetryShapes are the tori of the serial-vs-parallel stream
+// comparison: square 2D, cubic 3D, and a rectangular shape whose
+// shorter dimension idles groups early.
+var telemetryShapes = [][]int{{8, 8}, {4, 4, 4}, {12, 8}}
+
+// recordRun executes alg on dims with a fresh memory sink attached and
+// returns the raw stream.
+func recordRun(t *testing.T, alg string, dims []int, serial bool, workers int) []telemetry.Event {
+	t.Helper()
+	tor := topology.MustNew(dims...)
+	b, err := algorithm.For(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := b.BuildSchedule(tor)
+	if err != nil {
+		t.Skipf("%s rejects %v: %v", alg, dims, err)
+	}
+	sink := &telemetry.MemorySink{}
+	rec := telemetry.New(sink, costmodel.T3D(64))
+	if _, err := exec.Run(sc, exec.Options{Serial: serial, Workers: workers, Telemetry: rec}); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Events()
+}
+
+func TestTelemetryDifferentialSerialVsParallel(t *testing.T) {
+	for _, alg := range []string{"proposed", "direct", "ring"} {
+		for _, dims := range telemetryShapes {
+			dims := dims
+			t.Run(alg+"/"+topology.MustNew(dims...).String(), func(t *testing.T) {
+				serial := recordRun(t, alg, dims, true, 0)
+				if len(serial) == 0 {
+					t.Fatal("serial run emitted nothing")
+				}
+				for _, workers := range []int{0, 1, 3} {
+					parallel := recordRun(t, alg, dims, false, workers)
+					if len(parallel) != len(serial) {
+						t.Fatalf("workers=%d: %d events vs serial's %d",
+							workers, len(parallel), len(serial))
+					}
+					a, b := telemetry.Canonical(serial), telemetry.Canonical(parallel)
+					if !reflect.DeepEqual(a, b) {
+						for i := range a {
+							if !reflect.DeepEqual(a[i], b[i]) {
+								t.Fatalf("workers=%d: canonical streams diverge at %d:\n serial  %+v\n parallel %+v",
+									workers, i, a[i], b[i])
+							}
+						}
+						t.Fatalf("workers=%d: canonical streams diverge", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTelemetryDifferentialRawOrder pins the stronger property the
+// post-pass design buys: even the RAW streams agree once Worker is
+// cleared — emission is a serial walk in schedule order on both paths,
+// not a per-worker race that Canonical has to repair.
+func TestTelemetryDifferentialRawOrder(t *testing.T) {
+	for _, dims := range telemetryShapes {
+		serial := recordRun(t, "proposed", dims, true, 0)
+		parallel := recordRun(t, "proposed", dims, false, 4)
+		if len(serial) != len(parallel) {
+			t.Fatalf("%v: length mismatch %d vs %d", dims, len(serial), len(parallel))
+		}
+		for i := range parallel {
+			ev := parallel[i]
+			ev.Worker = serial[i].Worker
+			if !reflect.DeepEqual(serial[i], ev) {
+				t.Fatalf("%v: raw stream diverges at event %d:\n serial   %+v\n parallel %+v",
+					dims, i, serial[i], parallel[i])
+			}
+		}
+	}
+}

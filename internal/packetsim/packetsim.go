@@ -37,6 +37,10 @@ type Stats struct {
 	// QueueWaits is the total number of cycles messages spent waiting
 	// for busy links.
 	QueueWaits int
+	// LinkBusy counts, per physical link, the cycles the link spent
+	// transmitting. Populated only by the Tracked entry points; the
+	// plain Simulate leaves it nil.
+	LinkBusy map[topology.Link]int
 }
 
 // event is a message becoming ready to request its next hop.
@@ -68,6 +72,17 @@ func (q *eventQueue) Pop() interface{} {
 // Simulate runs all messages to completion and returns the statistics.
 // Messages start requesting their first link at cycle 0.
 func Simulate(msgs []Message) (Stats, error) {
+	return simulate(msgs, false)
+}
+
+// SimulateTracked is Simulate with per-link occupancy accounting: the
+// returned Stats.LinkBusy maps every link to the cycles it spent
+// transmitting (a link carries a packet for Flits cycles per hop).
+func SimulateTracked(msgs []Message) (Stats, error) {
+	return simulate(msgs, true)
+}
+
+func simulate(msgs []Message, trackLinks bool) (Stats, error) {
 	for _, m := range msgs {
 		if m.Flits < 1 {
 			return Stats{}, fmt.Errorf("packetsim: message %d has %d flits", m.ID, m.Flits)
@@ -77,6 +92,9 @@ func Simulate(msgs []Message) (Stats, error) {
 		}
 	}
 	stats := Stats{Completion: make([]int, len(msgs))}
+	if trackLinks {
+		stats.LinkBusy = make(map[topology.Link]int)
+	}
 	linkFree := make(map[topology.Link]int)
 	q := make(eventQueue, 0, len(msgs))
 	for i := range msgs {
@@ -96,6 +114,9 @@ func Simulate(msgs []Message) (Stats, error) {
 		// The hop transmits Flits flits then one propagation delay.
 		arrive := start + m.Flits + 1
 		linkFree[link] = start + m.Flits
+		if trackLinks {
+			stats.LinkBusy[link] += m.Flits
+		}
 		if e.hop == len(m.Path)-1 {
 			stats.Completion[e.id] = arrive
 			if arrive > stats.Cycles {

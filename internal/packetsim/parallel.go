@@ -14,9 +14,21 @@ import (
 // maximum, QueueWaits the sum — is bit-identical to Simulate.
 // workers <= 0 means runtime.GOMAXPROCS.
 func SimulateParallel(msgs []Message, workers int) (Stats, error) {
+	return simulateParallel(msgs, workers, false)
+}
+
+// SimulateParallelTracked is SimulateParallel with per-link occupancy
+// accounting (see SimulateTracked). Components are link-disjoint, so
+// their LinkBusy maps merge without collisions and the result is
+// bit-identical to SimulateTracked.
+func SimulateParallelTracked(msgs []Message, workers int) (Stats, error) {
+	return simulateParallel(msgs, workers, true)
+}
+
+func simulateParallel(msgs []Message, workers int, trackLinks bool) (Stats, error) {
 	groups := par.Components(len(msgs), func(i int) []topology.Link { return msgs[i].Path })
 	if len(groups) <= 1 || par.Normalize(workers, len(groups)) == 1 {
-		return Simulate(msgs)
+		return simulate(msgs, trackLinks)
 	}
 	stats := make([]Stats, len(groups))
 	errs := make([]error, len(groups))
@@ -26,10 +38,13 @@ func SimulateParallel(msgs []Message, workers int) (Stats, error) {
 			for k, mi := range groups[g] {
 				sub[k] = msgs[mi]
 			}
-			stats[g], errs[g] = Simulate(sub)
+			stats[g], errs[g] = simulate(sub, trackLinks)
 		}
 	})
 	merged := Stats{Completion: make([]int, len(msgs))}
+	if trackLinks {
+		merged.LinkBusy = make(map[topology.Link]int)
+	}
 	for g := range groups {
 		if errs[g] != nil {
 			return merged, errs[g]
@@ -41,6 +56,9 @@ func SimulateParallel(msgs []Message, workers int) (Stats, error) {
 			merged.Cycles = stats[g].Cycles
 		}
 		merged.QueueWaits += stats[g].QueueWaits
+		for l, c := range stats[g].LinkBusy {
+			merged.LinkBusy[l] += c
+		}
 	}
 	return merged, nil
 }

@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: renders a recorded stream as the JSON
+// object format of the Chrome/Perfetto trace-event specification, so
+// a schedule run opens directly in https://ui.perfetto.dev.
+//
+// Track layout:
+//
+//   - process 0 "schedule": one thread per phase (plus thread 0 for
+//     the whole-run span); phase spans and step slices live here, each
+//     step slice carrying its ts/tc/tl attribution and sharing factor;
+//   - process 1 "transfers": one thread per sending node; each
+//     transfer is a slice on its sender's thread. The one-port model
+//     guarantees a node sends at most once per step, so slices on one
+//     thread never overlap — every track renders flat;
+//   - counters become Chrome "C" events on process 0.
+//
+// Timestamps are the stream's model-clock microseconds, the trace
+// format's native unit.
+
+// traceEvent is one entry of the traceEvents array. Fields follow the
+// trace-event format: ph is the event type ("X" complete slice, "M"
+// metadata, "C" counter), ts/dur are microseconds.
+type traceEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  *float64               `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Cat  string                 `json:"cat,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object form of the format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const (
+	schedulePid  = 0
+	transfersPid = 1
+	runTid       = 0 // thread 0 of process 0; phase p uses tid p+1
+)
+
+// spanPair is a matched begin/end with the end's attribution.
+type spanPair struct {
+	begin, end *Event
+}
+
+// key identifies a span by its ordinal coordinates and name.
+type spanKey struct {
+	label    string
+	scope    Scope
+	name     string
+	phase    int
+	step     int
+	transfer int
+}
+
+func durPtr(v float64) *float64 { return &v }
+
+// matchSpans pairs SpanBegin/SpanEnd events. Unbalanced spans are an
+// emitter bug and reported as an error.
+func matchSpans(events []Event) (map[spanKey]spanPair, []spanKey, error) {
+	pairs := make(map[spanKey]spanPair)
+	var order []spanKey
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != SpanBegin && ev.Kind != SpanEnd {
+			continue
+		}
+		k := spanKey{label: ev.Label, scope: ev.Scope, name: ev.Name,
+			phase: ev.Phase, step: ev.Step, transfer: ev.Transfer}
+		p := pairs[k]
+		if ev.Kind == SpanBegin {
+			if p.begin != nil {
+				return nil, nil, fmt.Errorf("telemetry: duplicate span begin %+v", k)
+			}
+			p.begin = ev
+			order = append(order, k)
+		} else {
+			if p.end != nil {
+				return nil, nil, fmt.Errorf("telemetry: duplicate span end %+v", k)
+			}
+			p.end = ev
+		}
+		pairs[k] = p
+	}
+	for _, k := range order {
+		p := pairs[k]
+		if p.end == nil {
+			return nil, nil, fmt.Errorf("telemetry: span %+v never ended", k)
+		}
+		if p.end.Time < p.begin.Time {
+			return nil, nil, fmt.Errorf("telemetry: span %+v ends at %g before its begin %g",
+				k, p.end.Time, p.begin.Time)
+		}
+	}
+	return pairs, order, nil
+}
+
+// attribution collects the non-zero cost components of a span end.
+func attribution(end *Event) map[string]interface{} {
+	args := map[string]interface{}{}
+	if end.Startup != 0 {
+		args["ts_us"] = end.Startup
+	}
+	if end.Transmit != 0 {
+		args["tc_us"] = end.Transmit
+	}
+	if end.Propagate != 0 {
+		args["tl_us"] = end.Propagate
+	}
+	if end.Rearrange != 0 {
+		args["rho_us"] = end.Rearrange
+	}
+	return args
+}
+
+// WriteChromeTrace renders the recorded stream as Chrome trace-event
+// JSON. The input may mix labels (e.g. several benchmark cells); each
+// label's spans must be internally balanced.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	pairs, order, err := matchSpans(events)
+	if err != nil {
+		return err
+	}
+
+	var out []traceEvent
+	meta := func(pid, tid int, key, value string) {
+		out = append(out, traceEvent{Name: key, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]interface{}{"name": value}})
+	}
+	meta(schedulePid, runTid, "process_name", "schedule")
+	meta(transfersPid, runTid, "process_name", "transfers")
+	meta(schedulePid, runTid, "thread_name", "run")
+
+	// Stable track naming: phases in index order, sender threads in
+	// node order.
+	phaseName := map[int]string{}
+	senders := map[int]bool{}
+	for _, k := range order {
+		p := pairs[k]
+		switch k.scope {
+		case ScopePhase:
+			if _, ok := phaseName[k.phase]; !ok && k.name != "rearrange" {
+				phaseName[k.phase] = k.name
+			}
+		case ScopeTransfer:
+			senders[p.begin.Src] = true
+		}
+	}
+	var phaseIdx []int
+	for pi := range phaseName {
+		phaseIdx = append(phaseIdx, pi)
+	}
+	sort.Ints(phaseIdx)
+	for _, pi := range phaseIdx {
+		meta(schedulePid, pi+1, "thread_name", fmt.Sprintf("phase %d: %s", pi+1, phaseName[pi]))
+	}
+	var senderIdx []int
+	for n := range senders {
+		senderIdx = append(senderIdx, n)
+	}
+	sort.Ints(senderIdx)
+	for _, n := range senderIdx {
+		meta(transfersPid, n, "thread_name", fmt.Sprintf("node %d", n))
+	}
+
+	for _, k := range order {
+		p := pairs[k]
+		te := traceEvent{Ts: p.begin.Time, Ph: "X", Dur: durPtr(p.end.Time - p.begin.Time)}
+		args := attribution(p.end)
+		if k.label != "" {
+			args["label"] = k.label
+		}
+		switch k.scope {
+		case ScopeRun:
+			te.Name, te.Pid, te.Tid, te.Cat = "run", schedulePid, runTid, "run"
+		case ScopePhase:
+			te.Name, te.Pid, te.Tid, te.Cat = k.name, schedulePid, k.phase+1, "phase"
+		case ScopeStep:
+			te.Name, te.Pid, te.Tid, te.Cat = fmt.Sprintf("step %d", k.step+1), schedulePid, k.phase+1, "step"
+			if p.end.Value > 1 {
+				args["sharing"] = p.end.Value
+			}
+			args["worker"] = p.begin.Worker
+		case ScopeTransfer:
+			te.Name, te.Pid, te.Tid, te.Cat = k.name, transfersPid, p.begin.Src, "transfer"
+			args["src"] = p.begin.Src
+			args["dst"] = p.begin.Dst
+			args["blocks"] = p.begin.Blocks
+			args["hops"] = p.begin.Hops
+			args["worker"] = p.begin.Worker
+		default:
+			continue
+		}
+		if len(args) > 0 {
+			te.Args = args
+		}
+		out = append(out, te)
+	}
+
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != CounterKind {
+			continue
+		}
+		out = append(out, traceEvent{Name: ev.Name, Ph: "C", Ts: ev.Time,
+			Pid: schedulePid, Tid: runTid,
+			Args: map[string]interface{}{"value": ev.Value}})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&traceFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

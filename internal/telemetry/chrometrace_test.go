@@ -1,0 +1,170 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"torusx/internal/algorithm"
+	"torusx/internal/costmodel"
+	"torusx/internal/exec"
+	"torusx/internal/telemetry"
+	"torusx/internal/topology"
+)
+
+// traceShape is the decoded Chrome trace-event file, loosely typed the
+// way a viewer would read it.
+type traceShape struct {
+	TraceEvents []struct {
+		Name string                 `json:"name"`
+		Ph   string                 `json:"ph"`
+		Ts   float64                `json:"ts"`
+		Dur  *float64               `json:"dur"`
+		Pid  *int                   `json:"pid"`
+		Tid  *int                   `json:"tid"`
+		Cat  string                 `json:"cat"`
+		Args map[string]interface{} `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// record runs alg on an 8x8 torus with a memory recorder attached and
+// returns the stream.
+func record(t *testing.T, alg string) []telemetry.Event {
+	t.Helper()
+	tor, err := topology.New(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := algorithm.For(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := b.BuildSchedule(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &telemetry.MemorySink{}
+	rec := telemetry.New(sink, costmodel.T3D(64))
+	if _, err := exec.Run(sc, exec.Options{Telemetry: rec}); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Events()
+}
+
+func TestWriteChromeTraceSchema8x8(t *testing.T) {
+	events := record(t, "proposed")
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var tf traceShape
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+
+	phaseTracks := map[int]string{}
+	sliceCats := map[string]int{}
+	var counters int
+	for i, te := range tf.TraceEvents {
+		if te.Name == "" || te.Ph == "" || te.Pid == nil || te.Tid == nil {
+			t.Fatalf("event %d missing required fields: %+v", i, te)
+		}
+		switch te.Ph {
+		case "M":
+			if te.Name == "thread_name" && *te.Pid == 0 && *te.Tid > 0 {
+				phaseTracks[*te.Tid] = te.Args["name"].(string)
+			}
+		case "X":
+			if te.Dur == nil || *te.Dur < 0 {
+				t.Fatalf("slice %d (%s) has bad duration %v", i, te.Name, te.Dur)
+			}
+			sliceCats[te.Cat]++
+			if te.Cat == "transfer" {
+				for _, k := range []string{"src", "dst", "blocks", "hops", "ts_us", "tc_us"} {
+					if _, ok := te.Args[k]; !ok {
+						t.Fatalf("transfer slice %q lacks %s: %v", te.Name, k, te.Args)
+					}
+				}
+				// The slice sits on its sender's thread in the transfers
+				// process.
+				if *te.Pid != 1 || float64(*te.Tid) != te.Args["src"].(float64) {
+					t.Fatalf("transfer %q on pid %d tid %d, want pid 1 tid src=%v",
+						te.Name, *te.Pid, *te.Tid, te.Args["src"])
+				}
+			}
+		case "C":
+			counters++
+		default:
+			t.Fatalf("unexpected ph %q", te.Ph)
+		}
+	}
+
+	// One track per phase: the proposed 8x8 exchange has n+2 = 4 phases.
+	if len(phaseTracks) != 4 {
+		t.Errorf("got %d phase tracks (%v), want 4", len(phaseTracks), phaseTracks)
+	}
+	for tid, name := range phaseTracks {
+		if !strings.HasPrefix(name, fmt.Sprintf("phase %d:", tid)) {
+			t.Errorf("phase track %d named %q", tid, name)
+		}
+	}
+	if sliceCats["run"] != 1 || sliceCats["phase"] < 4 || sliceCats["step"] == 0 || sliceCats["transfer"] == 0 {
+		t.Errorf("slice census %v lacks run/phase/step/transfer coverage", sliceCats)
+	}
+	if counters == 0 {
+		t.Error("no counter events in trace")
+	}
+}
+
+func TestChromeTraceStepSpansTileRun(t *testing.T) {
+	events := record(t, "proposed")
+	// The synchronous model makes the step spans partition each phase:
+	// collect them from the raw stream and check they abut.
+	type span struct{ begin, end float64 }
+	var steps []span
+	begins := map[int]float64{}
+	var runEnd float64
+	for _, ev := range events {
+		switch {
+		case ev.Scope == telemetry.ScopeStep && ev.Kind == telemetry.SpanBegin:
+			begins[ev.Step] = ev.Time
+		case ev.Scope == telemetry.ScopeStep && ev.Kind == telemetry.SpanEnd:
+			steps = append(steps, span{begins[ev.Step], ev.Time})
+		case ev.Scope == telemetry.ScopeRun && ev.Kind == telemetry.SpanEnd:
+			runEnd = ev.Time
+		}
+	}
+	if len(steps) == 0 {
+		t.Fatal("no step spans recorded")
+	}
+	for i, s := range steps {
+		if s.end <= s.begin {
+			t.Fatalf("step %d spans [%g, %g]", i, s.begin, s.end)
+		}
+	}
+	if last := steps[len(steps)-1].end; last != runEnd {
+		t.Errorf("last step ends at %g but run ends at %g", last, runEnd)
+	}
+	// The run span must equal the analytic completion time: same params,
+	// same measure.
+	tor, _ := topology.New(8, 8)
+	b, _ := algorithm.For("proposed")
+	sc, _ := b.BuildSchedule(tor)
+	res, err := exec.Run(sc, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := costmodel.T3D(64).Completion(res.Measure)
+	if diff := runEnd - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("run span ends at %g, analytic completion is %g", runEnd, want)
+	}
+}

@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"torusx/internal/costmodel"
+	"torusx/internal/topology"
+)
+
+func TestKindScopeJSONRoundTrip(t *testing.T) {
+	for _, k := range []Kind{SpanBegin, SpanEnd, CounterKind, GaugeKind} {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		var back Kind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != k {
+			t.Errorf("kind %v round-tripped to %v via %s", k, back, b)
+		}
+	}
+	for _, s := range []Scope{ScopeRun, ScopePhase, ScopeStep, ScopeTransfer, ScopeLink, ScopeNode} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", s, err)
+		}
+		var back Scope
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != s {
+			t.Errorf("scope %v round-tripped to %v via %s", s, back, b)
+		}
+	}
+}
+
+func TestNilRecorderIsDisabledAndSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	// None of these may panic or emit.
+	r.Emit(Event{Name: "x"})
+	r.Counter("c", 1, 2)
+	r.LinkGauge("g", nil, topology.Link{}, 1)
+	r.NodeGauge("n", nil, 0, 1)
+
+	empty := &Recorder{}
+	if empty.Enabled() {
+		t.Fatal("recorder with nil sink reports enabled")
+	}
+	empty.Counter("c", 1, 2)
+}
+
+func TestRecorderStampsLabel(t *testing.T) {
+	sink := &MemorySink{}
+	rec := New(sink, costmodel.T3D(64))
+	rec.Label = "proposed@8x8"
+	rec.Counter("exec.steps", 10, 18)
+	rec.Emit(Event{Name: "explicit", Label: "other"})
+	evs := sink.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Label != "proposed@8x8" {
+		t.Errorf("counter label = %q, want recorder label", evs[0].Label)
+	}
+	if evs[1].Label != "other" {
+		t.Errorf("pre-labelled event overwritten: %q", evs[1].Label)
+	}
+}
+
+func TestMultiFanOut(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("Multi of no live sinks should be nil (disabled)")
+	}
+	one := &MemorySink{}
+	if Multi(nil, one) != Sink(one) {
+		t.Fatal("Multi of one live sink should return it directly")
+	}
+	other := &MemorySink{}
+	m := Multi(one, nil, other)
+	m.Emit(Event{Name: "fan"})
+	if one.Len() != 1 || other.Len() != 1 {
+		t.Fatalf("fan-out reached %d/%d sinks, want 1/1", one.Len(), other.Len())
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	tor, err := topology.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	jl := NewJSONLSink(&buf)
+	mem := &MemorySink{}
+	rec := New(Multi(jl, mem), costmodel.T3D(64))
+	rec.Label = "cell"
+	rec.Emit(Event{Kind: SpanBegin, Scope: ScopeRun, Name: "run", Phase: -1, Step: -1, Transfer: -1})
+	rec.Emit(Event{Kind: SpanEnd, Scope: ScopeRun, Name: "run", Phase: -1, Step: -1, Transfer: -1,
+		Time: 123.5, Startup: 25, Transmit: 90, Propagate: 8.5})
+	rec.Counter("exec.steps", 123.5, 18)
+	rec.LinkGauge("link.util", tor, topology.Link{From: 5, Dim: 1, Dir: topology.Neg}, 0.75)
+	if err := jl.Err(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+
+	var decoded []Event
+	scan := bufio.NewScanner(&buf)
+	for scan.Scan() {
+		var ev Event
+		if err := json.Unmarshal(scan.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", scan.Text(), err)
+		}
+		decoded = append(decoded, ev)
+	}
+	if !reflect.DeepEqual(decoded, mem.Events()) {
+		t.Errorf("JSONL round trip diverged:\n got %+v\nwant %+v", decoded, mem.Events())
+	}
+	link := decoded[3].Link()
+	want := topology.Link{From: 5, Dim: 1, Dir: topology.Neg}
+	if link != want {
+		t.Errorf("link key round-tripped to %+v, want %+v", link, want)
+	}
+	if got := decoded[3].Coord; !reflect.DeepEqual(got, []int{1, 1}) {
+		t.Errorf("gauge coord = %v, want [1 1]", got)
+	}
+}
+
+func TestJSONLSinkStickyError(t *testing.T) {
+	jl := NewJSONLSink(failWriter{})
+	jl.Emit(Event{Name: "a"})
+	if jl.Err() == nil {
+		t.Fatal("write error not reported")
+	}
+	jl.Emit(Event{Name: "b"}) // must not panic, error stays
+	if jl.Err() == nil {
+		t.Fatal("error not sticky")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestCanonicalNormalizesWorkersAndOrder(t *testing.T) {
+	base := []Event{
+		{Kind: SpanBegin, Scope: ScopeRun, Name: "run", Phase: -1, Step: -1, Transfer: -1},
+		{Kind: SpanBegin, Scope: ScopePhase, Name: "p0", Phase: 0, Step: -1, Transfer: -1},
+		{Kind: SpanBegin, Scope: ScopeStep, Name: "step", Phase: 0, Step: 0, Transfer: -1, Worker: 3},
+		{Kind: SpanEnd, Scope: ScopeStep, Name: "step", Phase: 0, Step: 0, Transfer: -1, Worker: 3, Time: 30},
+		{Kind: SpanBegin, Scope: ScopeTransfer, Name: "0->1", Phase: 0, Step: 0, Transfer: 0, Worker: 3},
+		{Kind: GaugeKind, Scope: ScopeLink, Name: "link.util", Phase: -1, Step: -1, Transfer: -1, Dim: 1, Node: 2, Value: 0.5},
+		{Kind: GaugeKind, Scope: ScopeLink, Name: "link.util", Phase: -1, Step: -1, Transfer: -1, Dim: 0, Node: 7, Value: 0.25},
+	}
+	// A parallel run delivers the same events with different workers and
+	// possibly a different arrival order.
+	shuffled := make([]Event, len(base))
+	copy(shuffled, base)
+	for i := range shuffled {
+		if shuffled[i].Worker != 0 {
+			shuffled[i].Worker = 9
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	a, b := Canonical(base), Canonical(shuffled)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("canonical streams diverge:\n got %+v\nwant %+v", b, a)
+	}
+	for i, ev := range a {
+		if ev.Worker != 0 {
+			t.Errorf("event %d retains worker %d after Canonical", i, ev.Worker)
+		}
+	}
+	// Canonical must not mutate its input.
+	if base[2].Worker != 3 {
+		t.Error("Canonical mutated its input")
+	}
+	// Link gauges sort by link key: dim 0 before dim 1.
+	var gauges []Event
+	for _, ev := range a {
+		if ev.Kind == GaugeKind {
+			gauges = append(gauges, ev)
+		}
+	}
+	if len(gauges) != 2 || gauges[0].Dim != 0 || gauges[1].Dim != 1 {
+		t.Errorf("gauges not in canonical link order: %+v", gauges)
+	}
+}
+
+func TestUtilizationByLink(t *testing.T) {
+	events := []Event{
+		{Kind: GaugeKind, Scope: ScopeLink, Name: "link.util", Dim: 0, Dir: 1, Node: 3, Value: 0.5},
+		{Kind: GaugeKind, Scope: ScopeLink, Name: "link.util", Dim: 1, Dir: -1, Node: 4, Value: 0.25},
+		{Kind: GaugeKind, Scope: ScopeLink, Name: "link.contention", Dim: 0, Dir: 1, Node: 3, Value: 2},
+		{Kind: CounterKind, Scope: ScopeRun, Name: "link.util", Value: 9},
+	}
+	m := UtilizationByLink(events, "link.util")
+	if len(m) != 2 {
+		t.Fatalf("got %d links, want 2 (contention/counter events must be ignored)", len(m))
+	}
+	if v := m[topology.Link{From: 3, Dim: 0, Dir: topology.Pos}]; v != 0.5 {
+		t.Errorf("link (0,+,3) = %v, want 0.5", v)
+	}
+	if v := m[topology.Link{From: 4, Dim: 1, Dir: topology.Neg}]; v != 0.25 {
+		t.Errorf("link (1,-,4) = %v, want 0.25", v)
+	}
+}
+
+func TestWriteChromeTraceRejectsUnbalancedSpans(t *testing.T) {
+	cases := map[string][]Event{
+		"unmatched begin": {
+			{Kind: SpanBegin, Scope: ScopeRun, Name: "run", Phase: -1, Step: -1, Transfer: -1},
+		},
+		"duplicate begin": {
+			{Kind: SpanBegin, Scope: ScopeRun, Name: "run", Phase: -1, Step: -1, Transfer: -1},
+			{Kind: SpanBegin, Scope: ScopeRun, Name: "run", Phase: -1, Step: -1, Transfer: -1},
+		},
+		"end before begin": {
+			{Kind: SpanBegin, Scope: ScopeRun, Name: "run", Phase: -1, Step: -1, Transfer: -1, Time: 10},
+			{Kind: SpanEnd, Scope: ScopeRun, Name: "run", Phase: -1, Step: -1, Transfer: -1, Time: 5},
+		},
+	}
+	for name, evs := range cases {
+		if err := WriteChromeTrace(new(bytes.Buffer), evs); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"torusx/internal/topology"
+)
+
+// Link-utilization heatmaps, in the style of the Figure-1 renderings
+// above: one glyph grid per (dimension, direction) channel class,
+// each cell shading how busy the unidirectional link *leaving* that
+// node is. This is the per-link load view behind the paper's
+// contention-freedom argument — the group phases of the proposed
+// exchange keep exactly half of one dimension pair's links busy, which
+// the grids make visible at a glance.
+
+// heatRamp maps utilization [0,1] to a glyph, darkest last. The first
+// glyph is reserved for exactly zero (an idle link).
+const heatRamp = " .:-=+*#%@"
+
+// heatGlyph shades a single utilization value.
+func heatGlyph(v float64) byte {
+	if v <= 0 {
+		return heatRamp[0]
+	}
+	if v >= 1 {
+		return heatRamp[len(heatRamp)-1]
+	}
+	// Nonzero values start at the second glyph so any activity is
+	// visible against idle links.
+	idx := 1 + int(v*float64(len(heatRamp)-1))
+	if idx >= len(heatRamp) {
+		idx = len(heatRamp) - 1
+	}
+	return heatRamp[idx]
+}
+
+// linkDirs enumerates the torus's (dim, dir) channel classes in
+// canonical order.
+func linkDirs(t *topology.Torus) [][2]int {
+	var out [][2]int
+	for d := 0; d < t.NDims(); d++ {
+		out = append(out, [2]int{d, int(topology.Pos)}, [2]int{d, int(topology.Neg)})
+	}
+	return out
+}
+
+// LinkHeatmap renders per-link utilization (0..1, e.g. the "link.util"
+// gauges of a telemetry stream) as ASCII heat grids. 2D tori get one
+// grid per (dimension, direction) — rows are the paper's r axis,
+// columns the c axis, matching Groups2D — and higher-dimensional tori
+// fall back to a per-channel-class summary with the hottest links
+// listed. maxListed bounds the hottest-link list (0 means 5).
+func LinkHeatmap(t *topology.Torus, util map[topology.Link]float64, maxListed int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "link utilization of the %s torus (%d links, %d busy):\n",
+		t, len(t.AllLinks()), len(util))
+	if t.NDims() == 2 {
+		cSize, rSize := t.Dim(0), t.Dim(1)
+		for _, dd := range linkDirs(t) {
+			dim, dir := dd[0], topology.Direction(dd[1])
+			axis := "c"
+			if dim == 1 {
+				axis = "r"
+			}
+			fmt.Fprintf(&b, "\nlinks leaving each node along dim %d (%s%s):\n", dim, dir, axis)
+			for r := 0; r < rSize; r++ {
+				for c := 0; c < cSize; c++ {
+					l := topology.Link{From: t.ID(topology.Coord{c, r}), Dim: dim, Dir: dir}
+					b.WriteByte(heatGlyph(util[l]))
+					b.WriteByte(' ')
+				}
+				b.WriteString("\n")
+			}
+		}
+		fmt.Fprintf(&b, "\nlegend: '%s' = idle .. '%s' = saturated (ramp %q)\n",
+			string(heatRamp[0]), string(heatRamp[len(heatRamp)-1]), heatRamp)
+		return b.String()
+	}
+
+	// N-dimensional fallback: per-channel-class aggregates plus the
+	// hottest individual links.
+	for _, dd := range linkDirs(t) {
+		dim, dir := dd[0], topology.Direction(dd[1])
+		var sum, max float64
+		busy, total := 0, 0
+		for _, l := range t.AllLinks() {
+			if l.Dim != dim || l.Dir != dir {
+				continue
+			}
+			total++
+			v := util[l]
+			if v > 0 {
+				busy++
+			}
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		mean := 0.0
+		if total > 0 {
+			mean = sum / float64(total)
+		}
+		fmt.Fprintf(&b, "  dim %d %s: %4d/%4d links busy, mean %5.3f max %5.3f  |%s|\n",
+			dim, dir, busy, total, mean, max, heatBar(mean, 20))
+	}
+	if maxListed <= 0 {
+		maxListed = 5
+	}
+	type hot struct {
+		l topology.Link
+		v float64
+	}
+	var hots []hot
+	for _, l := range t.AllLinks() {
+		if v, ok := util[l]; ok && v > 0 {
+			hots = append(hots, hot{l, v})
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].v != hots[j].v {
+			return hots[i].v > hots[j].v
+		}
+		return lessLink(hots[i].l, hots[j].l)
+	})
+	if len(hots) > maxListed {
+		hots = hots[:maxListed]
+	}
+	for _, h := range hots {
+		fmt.Fprintf(&b, "  hottest: %v from %v  util %5.3f\n", h.l, t.CoordOf(h.l.From), h.v)
+	}
+	return b.String()
+}
+
+// heatBar renders a horizontal bar of width cells shaded to v.
+func heatBar(v float64, width int) string {
+	filled := int(v*float64(width) + 0.5)
+	if filled > width {
+		filled = width
+	}
+	return strings.Repeat("#", filled) + strings.Repeat(" ", width-filled)
+}
+
+// lessLink is the canonical link order used for stable tie-breaks.
+func lessLink(a, b topology.Link) bool {
+	if a.Dim != b.Dim {
+		return a.Dim < b.Dim
+	}
+	if a.Dir != b.Dir {
+		return a.Dir < b.Dir
+	}
+	return a.From < b.From
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"torusx/internal/topology"
+)
+
+func TestHeatGlyphRamp(t *testing.T) {
+	if g := heatGlyph(0); g != ' ' {
+		t.Errorf("idle glyph = %q, want space", g)
+	}
+	if g := heatGlyph(1); g != '@' {
+		t.Errorf("saturated glyph = %q, want '@'", g)
+	}
+	if g := heatGlyph(2); g != '@' {
+		t.Errorf("overflow glyph = %q, want '@'", g)
+	}
+	if g := heatGlyph(0.01); g == ' ' {
+		t.Error("tiny nonzero utilization renders as idle")
+	}
+	prev := -1
+	for _, v := range []float64{0, 0.15, 0.35, 0.55, 0.75, 0.99} {
+		idx := strings.IndexByte(heatRamp, heatGlyph(v))
+		if idx < prev {
+			t.Fatalf("ramp not monotone at %g", v)
+		}
+		prev = idx
+	}
+}
+
+func TestLinkHeatmap2D(t *testing.T) {
+	tor, err := topology.New(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := map[topology.Link]float64{}
+	// Saturate every +c link out of row 0, half-load one -r link.
+	for c := 0; c < 8; c++ {
+		util[topology.Link{From: tor.ID(topology.Coord{c, 0}), Dim: 0, Dir: topology.Pos}] = 1
+	}
+	util[topology.Link{From: tor.ID(topology.Coord{3, 5}), Dim: 1, Dir: topology.Neg}] = 0.5
+	out := LinkHeatmap(tor, util, 0)
+
+	if !strings.Contains(out, "8x8") {
+		t.Errorf("missing torus shape header:\n%s", out)
+	}
+	for _, hdr := range []string{
+		"dim 0 (+c)", "dim 0 (-c)", "dim 1 (+r)", "dim 1 (-r)",
+	} {
+		if !strings.Contains(out, hdr) {
+			t.Errorf("missing channel-class grid %q:\n%s", hdr, out)
+		}
+	}
+	// The +c grid's first row must be fully saturated, the rest idle.
+	sections := strings.Split(out, "links leaving each node along ")
+	if len(sections) != 5 {
+		t.Fatalf("got %d grid sections, want 4", len(sections)-1)
+	}
+	plusC := strings.Split(sections[1], "\n")
+	if got, want := plusC[1], "@ @ @ @ @ @ @ @ "; got != want {
+		t.Errorf("+c row 0 = %q, want %q", got, want)
+	}
+	if got, want := plusC[2], "                "; got != want {
+		t.Errorf("+c row 1 = %q, want all idle", got)
+	}
+	// The half-loaded link shades mid-ramp at (c=3, r=5) of the -r grid.
+	minusR := strings.Split(sections[4], "\n")
+	row := minusR[1+5]
+	glyph := row[2*3]
+	if glyph == ' ' || glyph == '@' {
+		t.Errorf("half-loaded link renders %q, want mid-ramp glyph in %q", glyph, row)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Error("missing legend")
+	}
+}
+
+func TestLinkHeatmapNDFallback(t *testing.T) {
+	tor, err := topology.New(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := map[topology.Link]float64{
+		{From: 0, Dim: 2, Dir: topology.Pos}: 0.9,
+		{From: 7, Dim: 0, Dir: topology.Neg}: 0.4,
+	}
+	out := LinkHeatmap(tor, util, 1)
+	for d := 0; d < 3; d++ {
+		if !strings.Contains(out, "dim "+string(rune('0'+d))) {
+			t.Errorf("missing dim %d summary:\n%s", d, out)
+		}
+	}
+	// maxListed=1 keeps only the hottest link.
+	if n := strings.Count(out, "hottest:"); n != 1 {
+		t.Errorf("got %d hottest lines, want 1:\n%s", n, out)
+	}
+	if !strings.Contains(out, "util 0.900") {
+		t.Errorf("hottest line should carry the 0.9 link:\n%s", out)
+	}
+}
+
+func TestLinkHeatmapDeterministic(t *testing.T) {
+	tor, err := topology.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := map[topology.Link]float64{}
+	for _, l := range tor.AllLinks() {
+		util[l] = float64(int(l.From)%5) / 5
+	}
+	first := LinkHeatmap(tor, util, 0)
+	for i := 0; i < 10; i++ {
+		if got := LinkHeatmap(tor, util, 0); got != first {
+			t.Fatal("heatmap output varies across calls on identical input")
+		}
+	}
+}

@@ -21,9 +21,21 @@ import (
 // exceeding maxCycles), the first failing component by smallest member
 // id is reported.
 func SimulateParallel(msgs []Message, maxCycles, workers int) (Stats, error) {
+	return simulateParallel(msgs, maxCycles, workers, false)
+}
+
+// SimulateParallelTracked is SimulateParallel with per-link occupancy
+// accounting (see SimulateTracked). Components are link-disjoint, so
+// their LinkBusy maps merge without collisions and the result is
+// bit-identical to SimulateTracked.
+func SimulateParallelTracked(msgs []Message, maxCycles, workers int) (Stats, error) {
+	return simulateParallel(msgs, maxCycles, workers, true)
+}
+
+func simulateParallel(msgs []Message, maxCycles, workers int, trackLinks bool) (Stats, error) {
 	groups := par.Components(len(msgs), func(i int) []topology.Link { return msgs[i].Path })
 	if len(groups) <= 1 || par.Normalize(workers, len(groups)) == 1 {
-		return Simulate(msgs, maxCycles)
+		return simulate(msgs, maxCycles, trackLinks)
 	}
 	stats := make([]Stats, len(groups))
 	errs := make([]error, len(groups))
@@ -33,10 +45,13 @@ func SimulateParallel(msgs []Message, maxCycles, workers int) (Stats, error) {
 			for k, mi := range groups[g] {
 				sub[k] = msgs[mi]
 			}
-			stats[g], errs[g] = Simulate(sub, maxCycles)
+			stats[g], errs[g] = simulate(sub, maxCycles, trackLinks)
 		}
 	})
 	merged := Stats{Completion: make([]int, len(msgs))}
+	if trackLinks {
+		merged.LinkBusy = make(map[topology.Link]int)
+	}
 	for g := range groups {
 		if errs[g] != nil {
 			return merged, errs[g]
@@ -48,6 +63,9 @@ func SimulateParallel(msgs []Message, maxCycles, workers int) (Stats, error) {
 			merged.Cycles = stats[g].Cycles
 		}
 		merged.HeaderStalls += stats[g].HeaderStalls
+		for l, c := range stats[g].LinkBusy {
+			merged.LinkBusy[l] += c
+		}
 	}
 	return merged, nil
 }

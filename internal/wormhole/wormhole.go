@@ -45,6 +45,10 @@ type Stats struct {
 	// HeaderStalls is the total number of cycles any header spent
 	// blocked waiting for a link held by another message.
 	HeaderStalls int
+	// LinkBusy counts, per physical link, the cycles the link was held
+	// by some worm. Populated only by the Tracked entry points; the
+	// plain Simulate leaves it nil and pays nothing for it.
+	LinkBusy map[topology.Link]int
 }
 
 // msgState is the in-flight state of one message.
@@ -60,6 +64,18 @@ type msgState struct {
 // Simulate runs messages to completion, or fails after maxCycles
 // (indicating deadlock or an unreasonably contended step).
 func Simulate(msgs []Message, maxCycles int) (Stats, error) {
+	return simulate(msgs, maxCycles, false)
+}
+
+// SimulateTracked is Simulate with per-link occupancy accounting: the
+// returned Stats.LinkBusy maps every link to the number of cycles it
+// was held. Tracking walks the held-link set once per cycle, so it is
+// opt-in rather than the default.
+func SimulateTracked(msgs []Message, maxCycles int) (Stats, error) {
+	return simulate(msgs, maxCycles, true)
+}
+
+func simulate(msgs []Message, maxCycles int, trackLinks bool) (Stats, error) {
 	states := make([]*msgState, len(msgs))
 	owner := make(map[topology.Link]int) // link -> message index
 	for i, m := range msgs {
@@ -76,6 +92,9 @@ func Simulate(msgs []Message, maxCycles int) (Stats, error) {
 		states[i] = st
 	}
 	stats := Stats{Completion: make([]int, len(msgs))}
+	if trackLinks {
+		stats.LinkBusy = make(map[topology.Link]int)
+	}
 	remaining := len(msgs)
 
 	for cycle := 1; remaining > 0; cycle++ {
@@ -137,6 +156,14 @@ func Simulate(msgs []Message, maxCycles int) (Stats, error) {
 				}
 				st.slots[0] = st.injected
 				st.injected++
+			}
+		}
+		if trackLinks {
+			// Links held at the end of the cycle were busy during it;
+			// increments commute, so the map is deterministic despite
+			// the iteration order.
+			for l := range owner {
+				stats.LinkBusy[l]++
 			}
 		}
 		stats.Cycles = cycle
