@@ -140,7 +140,9 @@ func runExecutor(w io.Writer, tel *cli.Telemetry, alg string, dims []int, params
 	if err != nil {
 		return err
 	}
-	sc, err := b.BuildSchedule(tor)
+	// Compile once (validation + lowering), then run the compiled fast
+	// path; Serial/Workers/Telemetry stay run-time choices.
+	pg, err := algorithm.BuildProgram(b, tor, execOpt)
 	if err != nil {
 		return err
 	}
@@ -150,7 +152,7 @@ func runExecutor(w io.Writer, tel *cli.Telemetry, alg string, dims []int, params
 		return err
 	}
 	execOpt.Telemetry = rec
-	res, err := exec.Run(sc, execOpt)
+	res, err := pg.Run(execOpt)
 	if err != nil {
 		return err
 	}

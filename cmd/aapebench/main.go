@@ -6,13 +6,22 @@
 // rearranged) ride along with every timing, so golden tests can gate
 // on the counters while the ns/op columns track each host.
 //
+// Each cell is compiled once (exec.Compile, outside the timed region)
+// and every timed op replays the compiled program on a reused arena —
+// the compile-once/replay-many fast path the ledger's headline numbers
+// track; -uncompiled times the legacy validate-every-run path instead.
+//
 // Usage:
 //
 //	aapebench                                  # default grid, BENCH_exec.json
 //	aapebench -dims 8x8,16x16,4x4x4 -algs proposed,direct
 //	aapebench -serial                          # time the serial reference
+//	aapebench -uncompiled                      # time the uncompiled executor
 //	aapebench -quick -out -                    # one run per cell, stdout only
 //	aapebench -samples 10                      # spread columns from 10 repeats
+//	aapebench -baseline BENCH_exec.json        # per-cell deltas vs a committed
+//	                                           # ledger; exit 1 when allocs/op
+//	                                           # regress beyond -tolerance %
 //	aapebench -pprof localhost:6060            # live pprof + expvar while sweeping
 //	aapebench -quick -trace-out t.json -heatmap  # telemetry from an untimed run
 //
@@ -39,7 +48,6 @@ import (
 	"torusx/internal/cli"
 	"torusx/internal/costmodel"
 	"torusx/internal/exec"
-	"torusx/internal/schedule"
 	"torusx/internal/topology"
 )
 
@@ -67,6 +75,10 @@ func run(args []string, w io.Writer) error {
 		quickFlag    = fs.Bool("quick", false, "single timed run per cell instead of a full benchmark (for tests and smoke runs)")
 		samplesFlag  = fs.Int("samples", 5, "repeat timings per cell behind the ns_min/ns_max/ns_stddev ledger columns (<2 disables)")
 		pprofFlag    = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) for the sweep's duration")
+
+		uncompiledFlag = fs.Bool("uncompiled", false, "time the uncompiled executor (schedule re-validated every op) instead of the compiled replay fast path")
+		baselineFlag   = fs.String("baseline", "", "compare the sweep against this committed ledger: print per-cell ns/op and allocs/op deltas and exit nonzero when allocs/op regress beyond -tolerance percent")
+		toleranceFlag  = fs.Float64("tolerance", 25, "allocs/op regression tolerance for -baseline, in percent")
 	)
 	tel := cli.RegisterTelemetry(fs)
 	if err := fs.Parse(args); err != nil {
@@ -117,23 +129,37 @@ func run(args []string, w io.Writer) error {
 				fmt.Fprintf(os.Stderr, "aapebench: skip %s on %s: %v\n", b.Name(), shapeString(dims), err)
 				continue
 			}
-			res, err := exec.Run(sc, opt)
+			// The timed op: by default the compiled replay (compile and
+			// arena allocation happen once, here, outside every timed
+			// region), or a full uncompiled run with -uncompiled.
+			var runOnce func(topt exec.Options) (*exec.Result, error)
+			if *uncompiledFlag {
+				runOnce = func(topt exec.Options) (*exec.Result, error) { return exec.Run(sc, topt) }
+			} else {
+				pg, err := exec.Compile(sc, opt)
+				if err != nil {
+					return fmt.Errorf("%s on %s: %v", b.Name(), shapeString(dims), err)
+				}
+				arena := pg.NewArena()
+				runOnce = func(topt exec.Options) (*exec.Result, error) { return pg.RunArena(arena, topt) }
+			}
+			res, err := runOnce(opt)
 			if err != nil {
 				return fmt.Errorf("%s on %s: %v", b.Name(), shapeString(dims), err)
 			}
 			entry := benchfmt.Entry{
-				Alg: b.Name(), Dims: dims, Parallel: !serial,
+				Alg: b.Name(), Dims: dims, Parallel: !serial, Compiled: !*uncompiledFlag,
 				Steps: res.Measure.Steps, Blocks: res.Measure.Blocks,
 				Hops: res.Measure.Hops, Rearranged: res.Measure.RearrangedBlocks,
 				MaxSharing: res.MaxSharing,
 			}
 			if *quickFlag {
-				entry.NsPerOp, entry.AllocsPerOp, entry.BytesPerOp = timeOnce(sc, opt)
+				entry.NsPerOp, entry.AllocsPerOp, entry.BytesPerOp = timeOnce(runOnce, opt)
 			} else {
 				br := testing.Benchmark(func(bb *testing.B) {
 					bb.ReportAllocs()
 					for i := 0; i < bb.N; i++ {
-						if _, err := exec.Run(sc, opt); err != nil {
+						if _, err := runOnce(opt); err != nil {
 							bb.Fatal(err)
 						}
 					}
@@ -148,7 +174,7 @@ func run(args []string, w io.Writer) error {
 			if *samplesFlag >= 2 {
 				samples := make([]float64, *samplesFlag)
 				for i := range samples {
-					samples[i], _, _ = timeOnce(sc, opt)
+					samples[i], _, _ = timeOnce(runOnce, opt)
 				}
 				entry.NsMin, entry.NsMax, entry.NsStddev = benchfmt.SampleStats(samples)
 				entry.Samples = len(samples)
@@ -162,7 +188,7 @@ func run(args []string, w io.Writer) error {
 				}
 				topt := opt
 				topt.Telemetry = rec
-				if _, err := exec.Run(sc, topt); err != nil {
+				if _, err := runOnce(topt); err != nil {
 					return err
 				}
 				if firstLabel == "" {
@@ -198,17 +224,59 @@ func run(args []string, w io.Writer) error {
 	} else if err := ledger.Write(w); err != nil {
 		return err
 	}
+	if *baselineFlag != "" {
+		return compareBaseline(w, *baselineFlag, ledger, *toleranceFlag)
+	}
+	return nil
+}
+
+// compareBaseline prints this sweep's per-cell deltas against a
+// committed ledger and errors (nonzero exit) when any cell's
+// allocs/op regressed beyond the tolerance. Timings are reported but
+// never gated — they are host-dependent; allocation counts of the
+// compiled fast path are deterministic modulo a small fixed slack
+// (benchfmt.AllocSlack).
+func compareBaseline(w io.Writer, path string, ledger *benchfmt.File, tolerancePct float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	base, err := benchfmt.Decode(f)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %v", path, err)
+	}
+	deltas, regressed := benchfmt.Compare(base, ledger, tolerancePct)
+	if len(deltas) == 0 {
+		return fmt.Errorf("baseline %s: no overlapping cells to compare", path)
+	}
+	fmt.Fprintf(w, "\nvs %s (alloc tolerance %.0f%% + %d):\n", path, tolerancePct, benchfmt.AllocSlack)
+	fmt.Fprintf(w, "%-24s %14s %14s %12s %12s\n", "cell", "ns/op", "Δns", "allocs/op", "Δallocs")
+	var failed []string
+	for _, d := range deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  REGRESSED"
+			failed = append(failed, d.Key)
+		}
+		fmt.Fprintf(w, "%-24s %14.0f %+13.1f%% %12d %+11.1f%%%s\n",
+			d.Key, d.New.NsPerOp, d.NsDeltaPct, d.New.AllocsPerOp, d.AllocsDeltaPct, mark)
+	}
+	if regressed {
+		return fmt.Errorf("allocs/op regressed beyond %.0f%% tolerance in: %s",
+			tolerancePct, strings.Join(failed, ", "))
+	}
 	return nil
 }
 
 // timeOnce measures a single executor run — enough for smoke tests,
 // where benchmark-grade statistics would cost seconds per cell. The
-// schedule has already executed once, so Run cannot fail here.
-func timeOnce(sc *schedule.Schedule, opt exec.Options) (ns float64, allocs, bytes int64) {
+// schedule has already executed once, so the run cannot fail here.
+func timeOnce(runOnce func(exec.Options) (*exec.Result, error), opt exec.Options) (ns float64, allocs, bytes int64) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	if _, err := exec.Run(sc, opt); err != nil {
+	if _, err := runOnce(opt); err != nil {
 		panic("aapebench: timed schedule stopped executing: " + err.Error())
 	}
 	elapsed := time.Since(start)

@@ -170,3 +170,42 @@ func TestBenchRejectsBadShape(t *testing.T) {
 		t.Fatal("bad shape accepted")
 	}
 }
+
+// TestBenchBaseline exercises the -baseline regression gate: comparing
+// a fresh quick sweep against itself must pass and print the delta
+// table, while timing the allocation-heavy uncompiled path against a
+// compiled baseline must make run() fail with the regression error.
+func TestBenchBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	var buf bytes.Buffer
+	args := []string{"-dims", "8x8", "-algs", "proposed,direct", "-quick", "-out", base}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same sweep vs itself: deltas printed, no regression.
+	out := filepath.Join(dir, "cur.json")
+	buf.Reset()
+	args = []string{"-dims", "8x8", "-algs", "proposed,direct", "-quick", "-out", out, "-baseline", base}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("self-comparison regressed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "vs "+base) {
+		t.Fatalf("missing delta table header:\n%s", buf.String())
+	}
+
+	// Time the uncompiled path against the compiled baseline: its
+	// thousands of allocs/op dwarf the compiled single digits, exceeding
+	// any sane tolerance + slack, so the gate must trip.
+	buf.Reset()
+	args = []string{"-dims", "8x8", "-algs", "proposed,direct", "-quick", "-uncompiled",
+		"-out", filepath.Join(dir, "cur2.json"), "-baseline", base}
+	err := run(args, &buf)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("uncompiled-vs-compiled not flagged: err=%v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Fatalf("delta table missing REGRESSED mark:\n%s", buf.String())
+	}
+}

@@ -332,12 +332,13 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 	var firstTor *topology.Torus
 	for _, dims := range replayShapes {
 		tor := topology.MustNew(dims...)
-		sc, berr := b.BuildSchedule(tor)
+		pg, berr := algorithm.BuildProgram(b, tor, exec.Options{})
 		if berr != nil {
 			tb.AddRowf(tor.String(), "-", "-", "-", "-", "-", "-", "-", "-",
 				fmt.Sprintf("(%v)", berr))
 			continue
 		}
+		sc := pg.Schedule()
 		if firstTor == nil {
 			firstTor = tor
 		}
@@ -345,7 +346,7 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		res, err := exec.Run(sc, exec.Options{Serial: opt.Serial, Workers: opt.Workers, Telemetry: rec})
+		res, err := pg.Run(exec.Options{Serial: opt.Serial, Workers: opt.Workers, Telemetry: rec})
 		if err != nil {
 			return "", err
 		}

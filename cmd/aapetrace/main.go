@@ -104,19 +104,20 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sc, err := b.BuildSchedule(tor)
+	// Compile validates (and, for payload-carrying schedules, proves
+	// replay and delivery); the run is the compiled fast path. The
+	// timeline's attribution uses the paper's T3D machine parameters.
+	pg, err := algorithm.BuildProgram(b, tor, exec.Options{})
 	if err != nil {
 		return err
 	}
-	// Validate (and, for payload-carrying schedules, replay and
-	// delivery-verify) before printing anything. The timeline's
-	// attribution uses the paper's T3D machine parameters.
+	sc := pg.Schedule()
 	label := *algFlag + "@" + tor.String()
 	rec, err := tel.Labeled(costmodel.T3D(64), label)
 	if err != nil {
 		return err
 	}
-	if _, err := exec.Run(sc, exec.Options{Serial: !*parallelFlag, Workers: *workersFlag, Telemetry: rec}); err != nil {
+	if _, err := pg.Run(exec.Options{Serial: !*parallelFlag, Workers: *workersFlag, Telemetry: rec}); err != nil {
 		return err
 	}
 	if err := tel.Finish(w, tor, label); err != nil {

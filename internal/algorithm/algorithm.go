@@ -15,6 +15,7 @@ import (
 	"torusx/internal/baseline"
 	"torusx/internal/collective"
 	"torusx/internal/exchange"
+	"torusx/internal/exec"
 	"torusx/internal/schedule"
 	"torusx/internal/topology"
 )
@@ -41,6 +42,32 @@ type builderFunc struct {
 func (b builderFunc) Name() string { return b.name }
 func (b builderFunc) BuildSchedule(t *topology.Torus) (*schedule.Schedule, error) {
 	return b.build(t)
+}
+
+// ProgramBuilder is the optional fast-path interface: a Builder that
+// can emit a compiled exec.Program directly (for example one that
+// caches compiled forms per torus shape). BuildProgram prefers it over
+// the generic build-then-compile route.
+type ProgramBuilder interface {
+	Builder
+	BuildProgram(t *topology.Torus, opt exec.Options) (*exec.Program, error)
+}
+
+// BuildProgram resolves an algorithm to its compiled form on t: the
+// builder's own BuildProgram when it implements ProgramBuilder,
+// otherwise BuildSchedule followed by exec.Compile. This is the
+// compile-once entry point the command-line tools and torusx.Compare
+// run through; callers that replay many times hold on to the returned
+// Program and reuse an Arena.
+func BuildProgram(b Builder, t *topology.Torus, opt exec.Options) (*exec.Program, error) {
+	if pb, ok := b.(ProgramBuilder); ok {
+		return pb.BuildProgram(t, opt)
+	}
+	sc, err := b.BuildSchedule(t)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Compile(sc, opt)
 }
 
 var registry = map[string]Builder{}

@@ -36,6 +36,11 @@ type Entry struct {
 	Dims []int  `json:"dims"`
 	// Parallel records whether the executor ran its fan-out path.
 	Parallel bool `json:"parallel"`
+	// Compiled records whether the timing is the compiled
+	// (compile-once, replay-many) fast path: the schedule was lowered
+	// by exec.Compile outside the timed region and each op replayed a
+	// reused arena. Absent (false) in pre-compile ledgers.
+	Compiled bool `json:"compiled,omitempty"`
 
 	// Timing fields: host-dependent, never compared against goldens.
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -199,6 +204,65 @@ func Decode(r io.Reader) (*File, error) {
 		return nil, err
 	}
 	return &f, nil
+}
+
+// AllocSlack is the fixed absolute headroom Compare grants on top of
+// the percentage tolerance: a cell only regresses when it exceeds the
+// baseline by tolerance percent AND allocSlack allocations. Without
+// it, single-digit baselines (the compiled fast path allocates ~1–8
+// objects per op) would flag one incidental allocation as a >25%
+// regression.
+const AllocSlack = 16
+
+// Delta is one cell's change against a baseline ledger.
+type Delta struct {
+	Key      string
+	Old, New *Entry
+	// NsDeltaPct and AllocsDeltaPct are percentage changes relative to
+	// the baseline (negative = improvement); +Inf when the baseline was
+	// zero and the current value is not.
+	NsDeltaPct     float64
+	AllocsDeltaPct float64
+	// Regressed reports that allocs/op exceeded the tolerance.
+	Regressed bool
+}
+
+// Compare matches cur's entries against a baseline ledger by Key and
+// reports per-cell deltas in cur's entry order. A cell regresses when
+// its allocs/op exceed the baseline by more than tolerancePct percent
+// plus AllocSlack allocations; timings are reported but never gated
+// (they are host-dependent). Cells absent from the baseline are
+// skipped — a new algorithm or shape is not a regression.
+func Compare(old, cur *File, tolerancePct float64) (deltas []Delta, regressed bool) {
+	oldBy := old.ByKey()
+	for i := range cur.Entries {
+		e := &cur.Entries[i]
+		o, ok := oldBy[e.Key()]
+		if !ok {
+			continue
+		}
+		d := Delta{Key: e.Key(), Old: o, New: e,
+			NsDeltaPct:     pctDelta(o.NsPerOp, e.NsPerOp),
+			AllocsDeltaPct: pctDelta(float64(o.AllocsPerOp), float64(e.AllocsPerOp)),
+		}
+		limit := float64(o.AllocsPerOp)*(1+tolerancePct/100) + AllocSlack
+		if float64(e.AllocsPerOp) > limit {
+			d.Regressed = true
+			regressed = true
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, regressed
+}
+
+func pctDelta(old, cur float64) float64 {
+	if old == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (cur - old) / old * 100
 }
 
 // ByKey indexes the entries by Key for golden comparisons.

@@ -111,3 +111,45 @@ func TestDecodeRejectsUnknownFields(t *testing.T) {
 		t.Fatal("unknown field accepted")
 	}
 }
+
+func TestCompare(t *testing.T) {
+	old := valid() // proposed@8x8 allocs 10, direct@8x8 allocs 1
+	cur := valid()
+	// Improvement: far fewer allocs, faster.
+	cur.Entries[0].AllocsPerOp = 2
+	cur.Entries[0].NsPerOp = 617.25 // -50%
+	// Within slack: +10 allocs on a 1-alloc baseline stays under 1*1.25+16.
+	cur.Entries[1].AllocsPerOp = 11
+	deltas, regressed := Compare(old, cur, 25)
+	if regressed {
+		t.Fatalf("unexpected regression: %+v", deltas)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	if deltas[0].NsDeltaPct != -50 {
+		t.Errorf("ns delta %.1f%%, want -50%%", deltas[0].NsDeltaPct)
+	}
+	if deltas[0].AllocsDeltaPct != -80 {
+		t.Errorf("allocs delta %.1f%%, want -80%%", deltas[0].AllocsDeltaPct)
+	}
+
+	// Beyond tolerance + slack: regression.
+	cur = valid()
+	cur.Entries[0].AllocsPerOp = 100 // baseline 10: limit 10*1.25+16 = 28.5
+	deltas, regressed = Compare(old, cur, 25)
+	if !regressed || !deltas[0].Regressed {
+		t.Fatalf("alloc regression not flagged: %+v", deltas)
+	}
+	if deltas[1].Regressed {
+		t.Fatalf("unchanged cell flagged: %+v", deltas[1])
+	}
+
+	// Cells missing from the baseline are skipped, not regressions.
+	cur = valid()
+	cur.Entries[0].Alg = "brand-new"
+	deltas, regressed = Compare(old, cur, 25)
+	if regressed || len(deltas) != 1 {
+		t.Fatalf("new cell mishandled: regressed=%v deltas=%+v", regressed, deltas)
+	}
+}

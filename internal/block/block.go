@@ -71,6 +71,17 @@ func NewBuffer(n int) *Buffer {
 // Len returns the number of blocks held.
 func (buf *Buffer) Len() int { return len(buf.blocks) }
 
+// Reset empties the buffer and clears its rearrangement counters while
+// keeping the backing array, so a reused buffer refilled with Add up to
+// its original capacity allocates nothing. The compiled executor's
+// replay arenas lean on this to keep steady-state replays
+// allocation-free.
+func (buf *Buffer) Reset() {
+	buf.blocks = buf.blocks[:0]
+	buf.Rearrangements = 0
+	buf.RearrangedBlocks = 0
+}
+
 // Add appends blocks to the end of the array (the paper's model of a
 // reception: incoming blocks land in the consumption buffer region).
 func (buf *Buffer) Add(bs ...Block) {

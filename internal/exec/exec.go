@@ -77,16 +77,12 @@ type Result struct {
 
 // FullTraffic returns the all-to-all traffic matrix on t: one block
 // from every node to every node (self included, matching the paper's
-// data-array model where B[i,i] stays in place).
+// data-array model where B[i,i] stays in place). The matrix is built
+// once per torus shape and cached; FullTraffic returns a fresh copy
+// the caller may mutate, while the executor paths share the cached
+// immutable slice directly.
 func FullTraffic(t *topology.Torus) []block.Block {
-	n := t.Nodes()
-	traffic := make([]block.Block, 0, n*n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			traffic = append(traffic, block.Block{Origin: topology.NodeID(i), Dest: topology.NodeID(j)})
-		}
-	}
-	return traffic
+	return append([]block.Block(nil), fullTrafficCached(t)...)
 }
 
 // Run executes sc: validates every step, replays block movement when
@@ -126,29 +122,37 @@ func runSerial(sc *schedule.Schedule, opt Options) (*Result, error) {
 		}
 	})
 
+	// The buffers are the single source of truth for which node holds
+	// which block: membership is tested against the buffers themselves
+	// (TakeIf extraction counts), not a shadow index. The old held-map
+	// bookkeeping duplicated every insert and delete only to answer
+	// questions the buffers already answer — and could only ever drift
+	// from them through a bug of its own.
 	var bufs []*block.Buffer
-	var held []map[block.Block]bool // per-node membership index during replay
 	if replay {
 		traffic := opt.Traffic
 		if traffic == nil {
-			traffic = FullTraffic(t)
+			traffic = fullTrafficCached(t)
 		}
 		n := t.Nodes()
-		bufs = make([]*block.Buffer, n)
-		held = make([]map[block.Block]bool, n)
-		for i := range bufs {
-			bufs[i] = block.NewBuffer(0)
-			held[i] = make(map[block.Block]bool)
-		}
+		perOrigin := make([]int, n)
+		seen := make(map[block.Block]bool, len(traffic))
 		for _, b := range traffic {
 			if int(b.Origin) < 0 || int(b.Origin) >= n || int(b.Dest) < 0 || int(b.Dest) >= n {
 				return nil, fmt.Errorf("exec: traffic block %v out of range", b)
 			}
-			if held[b.Origin][b] {
+			if seen[b] {
 				return nil, fmt.Errorf("exec: duplicate traffic block %v", b)
 			}
+			seen[b] = true
+			perOrigin[b.Origin]++
+		}
+		bufs = make([]*block.Buffer, n)
+		for i := range bufs {
+			bufs[i] = block.NewBuffer(perOrigin[i])
+		}
+		for _, b := range traffic {
 			bufs[b.Origin].Add(b)
-			held[b.Origin][b] = true
 		}
 		// Keep the declared matrix for the final verification.
 		opt.Traffic = traffic
@@ -199,33 +203,31 @@ func runSerial(sc *schedule.Schedule, opt Options) (*Result, error) {
 				return
 			}
 			src, dst := tr.Src, tr.Dst
+			want := make(map[block.Block]int, len(tr.Payload))
 			for _, b := range tr.Payload {
-				if !held[src][b] {
-					firstErr = fmt.Errorf("exec: phase %q step %d: node %d transmits %v it does not hold",
-						p.Name, si, src, b)
-					return
-				}
-				delete(held[src], b)
+				want[b]++
 			}
-			want := make(map[block.Block]bool, len(tr.Payload))
-			for _, b := range tr.Payload {
-				want[b] = true
-			}
-			moved, _ := bufs[src].TakeIf(func(b block.Block) bool { return want[b] })
+			moved, _ := bufs[src].TakeIf(func(b block.Block) bool { return want[b] > 0 })
 			if len(moved) != len(tr.Payload) {
+				// The extraction came up short, so some payload block was
+				// not in the source buffer; name the first one in payload
+				// order. (A duplicated payload entry lands here too: the
+				// buffer holds each block at most once.)
+				for _, b := range moved {
+					want[b]--
+				}
+				for _, b := range tr.Payload {
+					if want[b] > 0 {
+						firstErr = fmt.Errorf("exec: phase %q step %d: node %d transmits %v it does not hold",
+							p.Name, si, src, b)
+						return
+					}
+				}
 				firstErr = fmt.Errorf("exec: phase %q step %d: node %d extracted %d blocks, want %d",
 					p.Name, si, src, len(moved), len(tr.Payload))
 				return
 			}
 			bufs[dst].Add(moved...)
-			for _, b := range moved {
-				if held[dst][b] {
-					firstErr = fmt.Errorf("exec: phase %q step %d: node %d receives duplicate %v",
-						p.Name, si, dst, b)
-					return
-				}
-				held[dst][b] = true
-			}
 		}
 	})
 	if firstErr != nil {
@@ -240,7 +242,7 @@ func runSerial(sc *schedule.Schedule, opt Options) (*Result, error) {
 		res.Buffers = bufs
 	}
 	if opt.Telemetry.Enabled() {
-		emitRun(opt.Telemetry, sc, res, nil)
+		emitRun(opt.Telemetry, sc, res, nil, nil)
 	}
 	return res, nil
 }

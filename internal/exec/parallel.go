@@ -102,7 +102,7 @@ func runParallel(sc *schedule.Schedule, opt Options) (*Result, error) {
 	if replay {
 		traffic := opt.Traffic
 		if traffic == nil {
-			traffic = FullTraffic(t)
+			traffic = fullTrafficCached(t)
 		}
 		n := t.Nodes()
 		bufs := make([]*block.Buffer, n)
@@ -133,7 +133,7 @@ func runParallel(sc *schedule.Schedule, opt Options) (*Result, error) {
 		res.Buffers = bufs
 	}
 	if opt.Telemetry.Enabled() {
-		emitRun(opt.Telemetry, sc, res, workersOf(stepBuckets, len(steps)))
+		emitRun(opt.Telemetry, sc, res, workersOf(stepBuckets, len(steps)), nil)
 	}
 	return res, nil
 }

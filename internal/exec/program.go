@@ -1,0 +1,654 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"torusx/internal/block"
+	"torusx/internal/costmodel"
+	"torusx/internal/par"
+	"torusx/internal/schedule"
+	"torusx/internal/topology"
+)
+
+// This file is the compilation layer between the schedule IR and the
+// executor: Compile validates a schedule exactly once and lowers it to
+// a Program — dense integer ids for every traffic block (origin*n +
+// dest), every transfer's multi-leg route pre-expanded to flat link-id
+// slices, per-step cost terms and sharing factors precomputed, and a
+// per-node buffer-capacity bound extracted from a reference replay —
+// so that replaying the same schedule again costs no re-validation, no
+// route walking, no hashing and (with a reused Arena) no allocation.
+// Run-once callers get the same behaviour as the uncompiled paths;
+// replay-many callers (benchmark sweeps, bandwidth-model parameter
+// scans) stop paying the compile cost per run.
+
+// ptransfer is one transfer lowered to dense ids.
+type ptransfer struct {
+	src, dst int32
+	// payload holds the transfer's blocks as dense ids (origin*n+dest),
+	// in schedule payload order; nil for structural transfers.
+	payload []int32
+	// links is the transfer's full dimension-ordered route expanded to
+	// dense link ids, in path order.
+	links []int32
+	// moveOff is this transfer's offset into the arena's step-flat
+	// extraction scratch: the replay writes the (exactly len(payload))
+	// extracted ids there, so parallel workers never share a cursor.
+	moveOff int
+}
+
+// pstep is one step lowered to precomputed form.
+type pstep struct {
+	phase      *schedule.Phase
+	step       *schedule.Step
+	phaseIndex int
+	stepIndex  int // index within the phase
+	sharing    int // link-sharing serialization factor (1 unless Shared)
+	maxBlocks  int
+	maxHops    int
+	transfers  []ptransfer
+}
+
+// Program is a compiled schedule: the validated, densely indexed form
+// both executor paths replay. A Program is immutable after Compile and
+// safe for concurrent use; per-run mutable state lives in an Arena.
+type Program struct {
+	sc *schedule.Schedule
+	t  *topology.Torus
+
+	n         int // nodes
+	numBlocks int // dense block-id space: n*n
+	replay    bool
+
+	steps      []pstep
+	measure    costmodel.Measure
+	maxSharing int
+
+	// Replay-only fields.
+	trafficIDs []int32 // declared traffic as dense ids, in matrix order
+	perDest    []int32 // blocks each node must finally hold
+	// capacity bounds each node's peak buffer occupancy during replay
+	// (measured on the compile-time reference replay; the serial
+	// interleaved order dominates the parallel two-barrier order), so
+	// arena buffers and result Buffers preallocate once and Add never
+	// grows a backing slice mid-replay.
+	capacity []int32
+	// maxStepPayload is the largest per-step payload total: the size of
+	// the arena's flat extraction scratch.
+	maxStepPayload int
+}
+
+// Schedule returns the schedule the program was compiled from.
+func (p *Program) Schedule() *schedule.Schedule { return p.sc }
+
+// Replayable reports whether the program carries payloads and its runs
+// replay and deliver blocks (rather than only reporting the measure).
+func (p *Program) Replayable() bool { return p.replay }
+
+// fullTrafficCache memoizes the all-to-all traffic matrix per torus
+// shape: every run of every full-exchange schedule on an a1×…×an torus
+// shares one immutable matrix instead of rebuilding n² blocks.
+var fullTrafficCache sync.Map // shape string -> []block.Block
+
+// fullTrafficCached returns the shared, immutable all-to-all matrix on
+// t. Callers must not mutate the result.
+func fullTrafficCached(t *topology.Torus) []block.Block {
+	key := t.String()
+	if v, ok := fullTrafficCache.Load(key); ok {
+		return v.([]block.Block)
+	}
+	n := t.Nodes()
+	traffic := make([]block.Block, 0, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			traffic = append(traffic, block.Block{Origin: topology.NodeID(i), Dest: topology.NodeID(j)})
+		}
+	}
+	actual, _ := fullTrafficCache.LoadOrStore(key, traffic)
+	return actual.([]block.Block)
+}
+
+// Compile validates sc once — one-port and contention checks (honoring
+// opt.SkipChecks), payload/Blocks coherence, the full sender-holds
+// replay chain and final delivery against the declared traffic matrix
+// (opt.Traffic, nil meaning all-to-all) — and lowers it to a Program.
+// A schedule the uncompiled executor would reject fails here, at
+// compile time; a compiled program's runs cannot fail on a schedule
+// left unmodified. Options.Serial, Workers and Telemetry are run-time
+// choices and are ignored by Compile.
+func Compile(sc *schedule.Schedule, opt Options) (*Program, error) {
+	if sc == nil || sc.Torus == nil {
+		return nil, fmt.Errorf("exec: nil schedule")
+	}
+	t := sc.Torus
+	n := t.Nodes()
+	p := &Program{
+		sc: sc, t: t, n: n,
+		numBlocks:  n * n,
+		maxSharing: 1,
+	}
+
+	// Size the flat backings in one counting pass, so the per-transfer
+	// payload and link slices are sub-slices of two arrays rather than
+	// thousands of small allocations.
+	numSteps, numTransfers, numLinks, numPayload := 0, 0, 0, 0
+	sc.EachStep(func(_ *schedule.Phase, _ int, s *schedule.Step) {
+		numSteps++
+		numTransfers += len(s.Transfers)
+		for i := range s.Transfers {
+			tr := &s.Transfers[i]
+			numLinks += tr.TotalHops()
+			numPayload += len(tr.Payload)
+			if len(tr.Payload) > 0 {
+				p.replay = true
+			}
+		}
+	})
+	p.steps = make([]pstep, 0, numSteps)
+	transferBacking := make([]ptransfer, 0, numTransfers)
+	linkBacking := make([]int32, 0, numLinks)
+	payloadBacking := make([]int32, 0, numPayload)
+
+	// Reusable scratch tables for the one-port, contention and sharing
+	// checks: dense arrays indexed by node or link id, reset via touched
+	// lists instead of reallocating a map per step.
+	sendClaim := make([]int32, n)              // node -> transfer index + 1
+	recvClaim := make([]int32, n)              // node -> transfer index + 1
+	linkClaim := make([]int32, t.NumLinkIDs()) // link id -> transfer index + 1 (or count)
+	var touched []int32
+
+	var firstErr error
+	sc.EachStep(func(ph *schedule.Phase, si int, s *schedule.Step) {
+		if firstErr != nil {
+			return
+		}
+		ps := pstep{
+			phase: ph, step: s,
+			phaseIndex: phaseIndexOf(sc, ph), stepIndex: si,
+			sharing: 1,
+		}
+		base := len(transferBacking)
+		for i := range s.Transfers {
+			tr := &s.Transfers[i]
+			pt := ptransfer{src: int32(tr.Src), dst: int32(tr.Dst)}
+			// Route expansion: walk the multi-leg route once, forever.
+			linkBase := len(linkBacking)
+			cur := t.CoordOf(tr.Src)
+			for _, seg := range tr.Segments() {
+				linkBacking = t.AppendPathLinkIDs(linkBacking, cur, seg.Dim, seg.Dir, seg.Hops)
+				cur = t.Move(cur, seg.Dim, seg.Hops*int(seg.Dir))
+			}
+			pt.links = linkBacking[linkBase:len(linkBacking):len(linkBacking)]
+			if tr.Blocks > ps.maxBlocks {
+				ps.maxBlocks = tr.Blocks
+			}
+			if h := len(pt.links); h > ps.maxHops {
+				ps.maxHops = h
+			}
+			transferBacking = append(transferBacking, pt)
+		}
+		ps.transfers = transferBacking[base:len(transferBacking):len(transferBacking)]
+
+		// One-port and (for non-Shared steps) link-disjointness, against
+		// the reusable scratch tables.
+		if !opt.SkipChecks {
+			for i := range s.Transfers {
+				tr := &s.Transfers[i]
+				if c := sendClaim[tr.Src]; c != 0 {
+					firstErr = &schedule.OnePortError{Phase: ph.Name, Step: si, Node: tr.Src,
+						Role: "send", A: s.Transfers[c-1], B: *tr}
+					break
+				}
+				sendClaim[tr.Src] = int32(i + 1)
+				if c := recvClaim[tr.Dst]; c != 0 {
+					firstErr = &schedule.OnePortError{Phase: ph.Name, Step: si, Node: tr.Dst,
+						Role: "receive", A: s.Transfers[c-1], B: *tr}
+					break
+				}
+				recvClaim[tr.Dst] = int32(i + 1)
+			}
+			for i := range s.Transfers {
+				sendClaim[s.Transfers[i].Src] = 0
+				recvClaim[s.Transfers[i].Dst] = 0
+			}
+			if firstErr == nil && !s.Shared {
+				for i := range ps.transfers {
+					for _, l := range ps.transfers[i].links {
+						if c := linkClaim[l]; c != 0 {
+							firstErr = &schedule.ContentionError{Phase: ph.Name, Step: si,
+								Link: t.LinkAt(int(l)), A: s.Transfers[c-1], B: s.Transfers[i]}
+							break
+						}
+						linkClaim[l] = int32(i + 1)
+						touched = append(touched, l)
+					}
+					if firstErr != nil {
+						break
+					}
+				}
+				for _, l := range touched {
+					linkClaim[l] = 0
+				}
+				touched = touched[:0]
+			}
+			if firstErr != nil {
+				return
+			}
+		}
+		// Sharing factor of declared time-sharing steps, same scratch.
+		if s.Shared {
+			for i := range ps.transfers {
+				for _, l := range ps.transfers[i].links {
+					if linkClaim[l] == 0 {
+						touched = append(touched, l)
+					}
+					linkClaim[l]++
+					if int(linkClaim[l]) > ps.sharing {
+						ps.sharing = int(linkClaim[l])
+					}
+				}
+			}
+			for _, l := range touched {
+				linkClaim[l] = 0
+			}
+			touched = touched[:0]
+			if ps.sharing > p.maxSharing {
+				p.maxSharing = ps.sharing
+			}
+		}
+		p.measure.Steps++
+		p.measure.Blocks += ps.maxBlocks * ps.sharing
+		p.measure.Hops += ps.maxHops
+		p.steps = append(p.steps, ps)
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	p.measure.RearrangedBlocks = sc.RearrangedBlocks()
+
+	if p.replay {
+		if err := p.compileReplay(opt, payloadBacking); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// compileReplay resolves the traffic matrix to dense ids, validates the
+// full replay chain once with the serial reference semantics (each
+// transfer's extraction interleaved with the previous transfer's
+// insertion), records each node's peak buffer occupancy as its
+// preallocation bound, and verifies final delivery. After this pass a
+// run is a pure, check-free id shuffle.
+func (p *Program) compileReplay(opt Options, payloadBacking []int32) error {
+	t, n := p.t, p.n
+	traffic := opt.Traffic
+	if traffic == nil {
+		traffic = fullTrafficCached(t)
+	}
+	p.trafficIDs = make([]int32, 0, len(traffic))
+	p.perDest = make([]int32, n)
+	seen := make([]bool, p.numBlocks)
+	for _, b := range traffic {
+		if int(b.Origin) < 0 || int(b.Origin) >= n || int(b.Dest) < 0 || int(b.Dest) >= n {
+			return fmt.Errorf("exec: traffic block %v out of range", b)
+		}
+		id := int32(int(b.Origin)*n + int(b.Dest))
+		if seen[id] {
+			return fmt.Errorf("exec: duplicate traffic block %v", b)
+		}
+		seen[id] = true
+		p.trafficIDs = append(p.trafficIDs, id)
+		p.perDest[b.Dest]++
+	}
+
+	// Reference replay over dense ids.
+	bufs := make([][]int32, n)
+	p.capacity = make([]int32, n)
+	for _, id := range p.trafficIDs {
+		o := int(id) / n
+		bufs[o] = append(bufs[o], id)
+	}
+	for i := range bufs {
+		p.capacity[i] = int32(len(bufs[i]))
+	}
+	mark := make([]int32, p.numBlocks)
+	var mv []int32 // extraction scratch
+	for si := range p.steps {
+		ps := &p.steps[si]
+		stepPayload := 0
+		for ti := range ps.transfers {
+			pt := &ps.transfers[ti]
+			tr := &ps.step.Transfers[ti]
+			if len(tr.Payload) != tr.Blocks {
+				return fmt.Errorf("exec: phase %q step %d transfer %v carries %d payload blocks, declares %d",
+					ps.phase.Name, ps.stepIndex, *tr, len(tr.Payload), tr.Blocks)
+			}
+			payloadBase := len(payloadBacking)
+			for _, b := range tr.Payload {
+				if int(b.Origin) < 0 || int(b.Origin) >= n || int(b.Dest) < 0 || int(b.Dest) >= n {
+					return fmt.Errorf("exec: phase %q step %d: transfer %v payload block %v out of range",
+						ps.phase.Name, ps.stepIndex, *tr, b)
+				}
+				payloadBacking = append(payloadBacking, int32(int(b.Origin)*n+int(b.Dest)))
+			}
+			pt.payload = payloadBacking[payloadBase:len(payloadBacking):len(payloadBacking)]
+			pt.moveOff = stepPayload
+			stepPayload += len(pt.payload)
+
+			// Extraction with the sender-holds check. Extract into a
+			// scratch first, exactly like the run-time path, so the
+			// compaction of bufs[src] never aliases the growth of
+			// bufs[dst].
+			src, dst := int(pt.src), int(pt.dst)
+			for _, id := range pt.payload {
+				mark[id]++
+			}
+			keep := bufs[src][:0]
+			mv = mv[:0]
+			for _, id := range bufs[src] {
+				if mark[id] > 0 {
+					mark[id]--
+					mv = append(mv, id)
+				} else {
+					keep = append(keep, id)
+				}
+			}
+			bufs[src] = keep
+			if len(mv) != len(pt.payload) {
+				// Some payload block was not held; name the first one, in
+				// payload order, for parity with the uncompiled error.
+				for _, id := range pt.payload {
+					if mark[id] > 0 {
+						return fmt.Errorf("exec: phase %q step %d: node %d transmits %v it does not hold",
+							ps.phase.Name, ps.stepIndex, src, block.Block{Origin: topology.NodeID(int(id) / n), Dest: topology.NodeID(int(id) % n)})
+					}
+				}
+				return fmt.Errorf("exec: phase %q step %d: node %d extracted %d blocks, want %d",
+					ps.phase.Name, ps.stepIndex, src, len(mv), len(pt.payload))
+			}
+			bufs[dst] = append(bufs[dst], mv...)
+			if int(p.capacity[dst]) < len(bufs[dst]) {
+				p.capacity[dst] = int32(len(bufs[dst]))
+			}
+		}
+		if stepPayload > p.maxStepPayload {
+			p.maxStepPayload = stepPayload
+		}
+	}
+	// Delivery: every block must sit at its destination, every node
+	// must hold exactly its share of the matrix.
+	for v := range bufs {
+		if len(bufs[v]) != int(p.perDest[v]) {
+			return fmt.Errorf("exec: node %d holds %d blocks after replay, want %d", v, len(bufs[v]), p.perDest[v])
+		}
+		for _, id := range bufs[v] {
+			if int(id)%n != v {
+				return fmt.Errorf("exec: node %d holds misdelivered block %v", v,
+					block.Block{Origin: topology.NodeID(int(id) / n), Dest: topology.NodeID(int(id) % n)})
+			}
+		}
+	}
+	return nil
+}
+
+// phaseIndexOf locates ph inside sc.Phases by identity.
+func phaseIndexOf(sc *schedule.Schedule, ph *schedule.Phase) int {
+	for i := range sc.Phases {
+		if &sc.Phases[i] == ph {
+			return i
+		}
+	}
+	return -1
+}
+
+// Arena is the reusable per-run scratch of a compiled program: block
+// buffers, mark tables and the extraction scratch, all preallocated to
+// the program's compile-time bounds so steady-state replays allocate
+// (nearly) nothing. An Arena is not safe for concurrent use; create
+// one per goroutine with NewArena. Result.Buffers returned by RunArena
+// alias arena memory and are valid until the next RunArena call on the
+// same arena. An arena whose run returned an error must be discarded.
+type Arena struct {
+	prog *Program
+
+	bufs  [][]int32 // per-node block-id arrays, capacity-bounded
+	flat  []int32   // per-step extraction scratch, indexed by moveOff
+	marks [][]int32 // per-worker block marks (marks[0] serves the serial path)
+	out   []*block.Buffer
+
+	// Cached replay partitions for the parallel path, keyed by the
+	// worker count they were built for.
+	bucketWorkers int
+	srcBuckets    [][][]int
+	dstBuckets    [][][]int
+}
+
+// NewArena returns a fresh scratch arena for p.
+func (p *Program) NewArena() *Arena {
+	a := &Arena{prog: p}
+	if p.replay {
+		a.bufs = make([][]int32, p.n)
+		for i := range a.bufs {
+			a.bufs[i] = make([]int32, 0, p.capacity[i])
+		}
+		a.flat = make([]int32, p.maxStepPayload)
+		a.marks = [][]int32{make([]int32, p.numBlocks)}
+	}
+	return a
+}
+
+// Run executes the program with a one-shot arena. For replay-many
+// callers, allocate an Arena once with NewArena and call RunArena.
+func (p *Program) Run(opt Options) (*Result, error) {
+	return p.RunArena(p.NewArena(), opt)
+}
+
+// RunArena executes the program using a's scratch. Options.Serial and
+// Options.Workers choose the replay path exactly as in Run;
+// Options.Traffic and Options.SkipChecks were compiled in and are
+// ignored here. The fast path allocates only the Result (plus, on the
+// arena's first run, the reusable delivery buffers).
+func (p *Program) RunArena(a *Arena, opt Options) (*Result, error) {
+	if a == nil || a.prog != p {
+		return nil, fmt.Errorf("exec: arena does not belong to this program")
+	}
+	res := &Result{Schedule: p.sc, Measure: p.measure, MaxSharing: p.maxSharing}
+	if p.replay {
+		a.reset()
+		var err error
+		if opt.Serial {
+			err = a.replaySerial()
+		} else {
+			err = a.replayParallel(opt.Workers)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := a.checkDelivery(); err != nil {
+			return nil, err
+		}
+		res.Replayed = true
+		res.Buffers = a.materialize()
+	}
+	if opt.Telemetry.Enabled() {
+		emitRun(opt.Telemetry, p.sc, res, nil, p)
+	}
+	return res, nil
+}
+
+// reset restores the arena's buffers to the initial traffic placement.
+// The mark tables are already zero: every replay clears the bits it
+// set, and erroring runs poison the arena (see Arena doc).
+func (a *Arena) reset() {
+	p := a.prog
+	for i := range a.bufs {
+		a.bufs[i] = a.bufs[i][:0]
+	}
+	for _, id := range p.trafficIDs {
+		o := int(id) / p.n
+		a.bufs[o] = append(a.bufs[o], id)
+	}
+}
+
+// extract moves pt's payload out of the source buffer into the flat
+// scratch at pt.moveOff, preserving buffer order, using mark as the
+// membership table. It returns the number of ids extracted.
+func (a *Arena) extract(pt *ptransfer, mark []int32) int {
+	if len(pt.payload) == 0 {
+		return 0
+	}
+	for _, id := range pt.payload {
+		mark[id]++
+	}
+	src := int(pt.src)
+	buf := a.bufs[src]
+	keep := buf[:0]
+	mv := a.flat[pt.moveOff:pt.moveOff]
+	for _, id := range buf {
+		if mark[id] > 0 {
+			mark[id]--
+			mv = append(mv, id)
+		} else {
+			keep = append(keep, id)
+		}
+	}
+	a.bufs[src] = keep
+	for _, id := range pt.payload {
+		mark[id] = 0 // clear residue of unheld (or duplicated) payload ids
+	}
+	return len(mv)
+}
+
+// replaySerial is the compiled twin of the uncompiled serial reference:
+// transfers strictly in schedule order, each extraction seeing every
+// earlier insertion of the same step.
+func (a *Arena) replaySerial() error {
+	mark := a.marks[0]
+	for si := range a.prog.steps {
+		ps := &a.prog.steps[si]
+		for ti := range ps.transfers {
+			pt := &ps.transfers[ti]
+			if took := a.extract(pt, mark); took != len(pt.payload) {
+				return a.replayError(ps, ti, took)
+			}
+			a.bufs[pt.dst] = append(a.bufs[pt.dst], a.flat[pt.moveOff:pt.moveOff+len(pt.payload)]...)
+		}
+	}
+	return nil
+}
+
+// replayParallel is the compiled twin of the uncompiled fan-out path:
+// per step, extraction sharded by sender and insertion by receiver
+// (the one-port model makes those partitions conflict-free), with a
+// barrier between them enforcing synchronous-step semantics. Each
+// worker owns a private mark table from the arena, so payload
+// membership tests never share cache lines, and every transfer writes
+// its extraction into its own pre-assigned flat-scratch segment.
+func (a *Arena) replayParallel(workers int) error {
+	a.ensureBuckets(workers)
+	// The two stage closures are hoisted out of the step loop (reading
+	// the current step through ps) so a replay allocates two closures
+	// and one error collector total, not per step.
+	var ps *pstep
+	var ferr par.FirstError
+	extract := func(w, ti int) {
+		pt := &ps.transfers[ti]
+		if took := a.extract(pt, a.marks[w]); took != len(pt.payload) {
+			ferr.Report(ti, a.replayError(ps, ti, took))
+		}
+	}
+	insert := func(_, ti int) {
+		pt := &ps.transfers[ti]
+		a.bufs[pt.dst] = append(a.bufs[pt.dst], a.flat[pt.moveOff:pt.moveOff+len(pt.payload)]...)
+	}
+	for si := range a.prog.steps {
+		ps = &a.prog.steps[si]
+		if len(ps.transfers) == 0 {
+			continue
+		}
+		par.RunBucketsWorker(a.srcBuckets[si], extract)
+		if err := ferr.Err(); err != nil {
+			return err
+		}
+		par.RunBucketsWorker(a.dstBuckets[si], insert)
+	}
+	return nil
+}
+
+// ensureBuckets (re)builds the cached per-step sender/receiver
+// partitions when the worker count changes, and sizes one mark table
+// per worker. Rebuilding is the only allocating path of a reused
+// arena; repeat runs with the same worker count reuse everything.
+func (a *Arena) ensureBuckets(workers int) {
+	p := a.prog
+	maxBuckets := 1
+	if a.bucketWorkers != workers || a.srcBuckets == nil {
+		a.srcBuckets = make([][][]int, len(p.steps))
+		a.dstBuckets = make([][][]int, len(p.steps))
+		for si := range p.steps {
+			trs := p.steps[si].transfers
+			if len(trs) == 0 {
+				continue
+			}
+			a.srcBuckets[si] = par.Buckets(workers, len(trs), func(i int) int { return int(trs[i].src) })
+			a.dstBuckets[si] = par.Buckets(workers, len(trs), func(i int) int { return int(trs[i].dst) })
+			if len(a.srcBuckets[si]) > maxBuckets {
+				maxBuckets = len(a.srcBuckets[si])
+			}
+		}
+		a.bucketWorkers = workers
+		for len(a.marks) < maxBuckets {
+			a.marks = append(a.marks, make([]int32, p.numBlocks))
+		}
+	}
+}
+
+// replayError reports a transfer whose source no longer held its
+// payload — impossible unless the schedule was mutated after Compile.
+func (a *Arena) replayError(ps *pstep, ti, took int) error {
+	return fmt.Errorf("exec: phase %q step %d: node %d extracted %d blocks, want %d (schedule mutated after Compile?)",
+		ps.phase.Name, ps.stepIndex, ps.transfers[ti].src, took, len(ps.transfers[ti].payload))
+}
+
+// checkDelivery is the run-time rematerialization guard: the compiled
+// replay is deterministic, so this only fires if program or arena
+// state was corrupted.
+func (a *Arena) checkDelivery() error {
+	p := a.prog
+	for v := range a.bufs {
+		if len(a.bufs[v]) != int(p.perDest[v]) {
+			return fmt.Errorf("exec: node %d holds %d blocks after replay, want %d", v, len(a.bufs[v]), p.perDest[v])
+		}
+		for _, id := range a.bufs[v] {
+			if int(id)%p.n != v {
+				return fmt.Errorf("exec: node %d holds misdelivered block id %d", v, id)
+			}
+		}
+	}
+	return nil
+}
+
+// materialize converts the dense id buffers back to block.Buffers,
+// reusing the arena's output buffers (preallocated to the program's
+// per-node capacity bound) so repeat runs allocate nothing here.
+func (a *Arena) materialize() []*block.Buffer {
+	p := a.prog
+	if a.out == nil {
+		a.out = make([]*block.Buffer, p.n)
+		for i := range a.out {
+			a.out[i] = block.NewBuffer(int(p.capacity[i]))
+		}
+	} else {
+		for _, b := range a.out {
+			b.Reset()
+		}
+	}
+	for v, ids := range a.bufs {
+		for _, id := range ids {
+			a.out[v].Add(block.Block{Origin: topology.NodeID(int(id) / p.n), Dest: topology.NodeID(int(id) % p.n)})
+		}
+	}
+	return a.out
+}

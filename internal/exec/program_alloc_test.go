@@ -1,0 +1,64 @@
+package exec_test
+
+import (
+	"testing"
+
+	"torusx/internal/algorithm"
+	"torusx/internal/exec"
+	"torusx/internal/topology"
+)
+
+// TestCompiledReplayAllocs is the allocation regression gate of the
+// compile-once/replay-many design: a steady-state replay on a reused
+// arena must allocate (nearly) nothing — one Result header, and zero
+// per-block, per-transfer or per-link garbage. The uncompiled paths
+// allocate tens of thousands of objects per run on these schedules
+// (see EXPERIMENTS.md); a regression here silently re-introduces that
+// cost into every benchmark sweep, so the bound is pinned hard.
+func TestCompiledReplayAllocs(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	for _, alg := range []string{"proposed", "direct", "ring"} {
+		t.Run(alg, func(t *testing.T) {
+			b, err := algorithm.For(alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := b.BuildSchedule(tor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pg, err := exec.Compile(sc, exec.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			arena := pg.NewArena()
+			// Warm once: the first run materializes the reusable delivery
+			// buffers; AllocsPerRun's own warm-up run covers the
+			// single-worker bucket build.
+			if _, err := pg.RunArena(arena, exec.Options{Serial: true}); err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []struct {
+				name string
+				opt  exec.Options
+				max  float64
+			}{
+				// One worker runs the parallel path inline (no
+				// goroutines); its handful of extra allocations are the
+				// hoisted stage closures and the error collector.
+				{"serial", exec.Options{Serial: true}, 4},
+				{"parallel-1", exec.Options{Workers: 1}, 8},
+			} {
+				opt := mode.opt
+				allocs := testing.AllocsPerRun(10, func() {
+					if _, err := pg.RunArena(arena, opt); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if allocs > mode.max {
+					t.Errorf("%s: %v allocs per replay, want <= %v", mode.name, allocs, mode.max)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,246 @@
+// Differential coverage for the compiled fast path: a compiled
+// Program's replay — serial or parallel, fresh arena or reused — must
+// be indistinguishable from the uncompiled serial reference: identical
+// Measure counters, identical MaxSharing, identical delivery matrices
+// (same blocks, same buffer order), identical canonical telemetry
+// streams. This is the contract that lets the command-line tools and
+// torusx.Compare route everything through Compile.
+package exec_test
+
+import (
+	"reflect"
+	"testing"
+
+	"torusx/internal/algorithm"
+	"torusx/internal/costmodel"
+	"torusx/internal/exec"
+	"torusx/internal/schedule"
+	"torusx/internal/telemetry"
+	"torusx/internal/topology"
+)
+
+// TestCompiledDifferentialRegistryAlgorithms: every Builder in the
+// registry, on 8x8, 4x4x4 and 12x8, compiled once and replayed on the
+// serial path, the parallel path, and a reused arena, must match the
+// uncompiled serial reference exactly.
+func TestCompiledDifferentialRegistryAlgorithms(t *testing.T) {
+	for _, name := range algorithm.Names() {
+		for _, dims := range differentialShapes {
+			t.Run(shapeName(name, dims), func(t *testing.T) {
+				b, err := algorithm.For(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tor := topology.MustNew(dims...)
+				sc, err := b.BuildSchedule(tor)
+				if err != nil {
+					t.Skipf("builder: %v", err)
+				}
+				ref, err := exec.Run(sc, exec.Options{Serial: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pg, err := exec.Compile(sc, exec.Options{})
+				if err != nil {
+					t.Fatalf("Compile: %v", err)
+				}
+				arena := pg.NewArena()
+				runs := []struct {
+					label string
+					run   func() (*exec.Result, error)
+				}{
+					{"serial", func() (*exec.Result, error) { return pg.Run(exec.Options{Serial: true}) }},
+					{"parallel", func() (*exec.Result, error) { return pg.Run(exec.Options{}) }},
+					{"arena-serial-1", func() (*exec.Result, error) { return pg.RunArena(arena, exec.Options{Serial: true}) }},
+					// Replays 2..4 on the same arena: the reset path, the
+					// cached buckets and the reused delivery buffers must
+					// not leak state between runs or across path switches.
+					{"arena-parallel", func() (*exec.Result, error) { return pg.RunArena(arena, exec.Options{Workers: 3}) }},
+					{"arena-serial-2", func() (*exec.Result, error) { return pg.RunArena(arena, exec.Options{Serial: true}) }},
+				}
+				for _, r := range runs {
+					got, err := r.run()
+					if err != nil {
+						t.Fatalf("%s: %v", r.label, err)
+					}
+					if got.Measure != ref.Measure {
+						t.Errorf("%s: Measure %+v, want %+v", r.label, got.Measure, ref.Measure)
+					}
+					if got.MaxSharing != ref.MaxSharing {
+						t.Errorf("%s: MaxSharing %d, want %d", r.label, got.MaxSharing, ref.MaxSharing)
+					}
+					if got.Replayed != ref.Replayed {
+						t.Errorf("%s: Replayed %v, want %v", r.label, got.Replayed, ref.Replayed)
+					}
+					sameBuffers(t, ref.Buffers, got.Buffers)
+				}
+			})
+		}
+	}
+}
+
+// TestCompiledDifferentialWorkerCounts: the compiled parallel replay
+// must be invariant under the worker count, including widths that do
+// not divide the transfer counts, and including worker-count changes
+// on one reused arena (which rebuild the cached bucket partitions).
+func TestCompiledDifferentialWorkerCounts(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	for _, name := range []string{"proposed-sim", "direct", "factored"} {
+		b, err := algorithm.For(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := b.BuildSchedule(tor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := exec.Run(sc, exec.Options{Serial: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg, err := exec.Compile(sc, exec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arena := pg.NewArena()
+		for _, workers := range []int{1, 2, 3, 5, 8, 64} {
+			got, err := pg.RunArena(arena, exec.Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if got.Measure != ref.Measure || got.MaxSharing != ref.MaxSharing {
+				t.Errorf("%s workers=%d: Measure %+v sharing %d, want %+v sharing %d",
+					name, workers, got.Measure, got.MaxSharing, ref.Measure, ref.MaxSharing)
+			}
+			sameBuffers(t, ref.Buffers, got.Buffers)
+		}
+	}
+}
+
+// TestCompiledDifferentialTelemetry: a compiled run's telemetry stream
+// must be canonically identical to the uncompiled serial reference's —
+// the post-pass reads precomputed sharing factors and dense link ids,
+// and this pins that those shortcuts change nothing observable.
+func TestCompiledDifferentialTelemetry(t *testing.T) {
+	for _, alg := range []string{"proposed", "direct", "ring"} {
+		for _, dims := range telemetryShapes {
+			dims := dims
+			t.Run(alg+"/"+topology.MustNew(dims...).String(), func(t *testing.T) {
+				serial := recordRun(t, alg, dims, true, 0)
+				if len(serial) == 0 {
+					t.Fatal("serial run emitted nothing")
+				}
+				tor := topology.MustNew(dims...)
+				b, err := algorithm.For(alg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc, err := b.BuildSchedule(tor)
+				if err != nil {
+					t.Skipf("builder: %v", err)
+				}
+				pg, err := exec.Compile(sc, exec.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, serialRun := range []bool{true, false} {
+					sink := &telemetry.MemorySink{}
+					rec := telemetry.New(sink, costmodel.T3D(64))
+					if _, err := pg.Run(exec.Options{Serial: serialRun, Telemetry: rec}); err != nil {
+						t.Fatal(err)
+					}
+					compiled := sink.Events()
+					if len(compiled) != len(serial) {
+						t.Fatalf("serial=%v: %d events vs reference's %d", serialRun, len(compiled), len(serial))
+					}
+					a, b := telemetry.Canonical(serial), telemetry.Canonical(compiled)
+					if !reflect.DeepEqual(a, b) {
+						for i := range a {
+							if !reflect.DeepEqual(a[i], b[i]) {
+								t.Fatalf("serial=%v: canonical streams diverge at %d:\n reference %+v\n compiled  %+v",
+									serialRun, i, a[i], b[i])
+							}
+						}
+						t.Fatalf("serial=%v: canonical streams diverge", serialRun)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCompiledDifferentialRejects: schedules the uncompiled executor
+// rejects must be rejected by Compile, with the same error type and
+// message (both reuse schedule's error types and CheckStep's check
+// order).
+func TestCompiledDifferentialRejects(t *testing.T) {
+	tor := topology.MustNew(4, 4)
+	cases := []struct {
+		name string
+		sc   *schedule.Schedule
+	}{
+		{"one-port", &schedule.Schedule{Torus: tor, Phases: []schedule.Phase{{
+			Name: "bad",
+			Steps: []schedule.Step{{Transfers: []schedule.Transfer{
+				{Src: 0, Dst: 1, Dim: 0, Dir: topology.Pos, Hops: 1, Blocks: 1},
+				{Src: 0, Dst: 2, Dim: 1, Dir: topology.Pos, Hops: 1, Blocks: 1},
+			}}},
+		}}}},
+		// Nodes 0, 4, 8, 12 form a dim-0 row of the 4x4 torus; the two
+		// overlapping 2-hop sends share the link out of node 4.
+		{"contention", &schedule.Schedule{Torus: tor, Phases: []schedule.Phase{{
+			Name: "bad",
+			Steps: []schedule.Step{{Transfers: []schedule.Transfer{
+				{Src: 0, Dst: 8, Dim: 0, Dir: topology.Pos, Hops: 2, Blocks: 1},
+				{Src: 4, Dst: 12, Dim: 0, Dir: topology.Pos, Hops: 2, Blocks: 1},
+			}}},
+		}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, refErr := exec.Run(tc.sc, exec.Options{Serial: true})
+			_, cErr := exec.Compile(tc.sc, exec.Options{})
+			if refErr == nil || cErr == nil {
+				t.Fatalf("accepted: reference=%v compiled=%v", refErr, cErr)
+			}
+			if refErr.Error() != cErr.Error() {
+				t.Errorf("error mismatch:\nreference: %v\ncompiled:  %v", refErr, cErr)
+			}
+			// SkipChecks must let the same schedule through to the replay
+			// layer on both paths (structural here, so both accept).
+			if _, err := exec.Compile(tc.sc, exec.Options{SkipChecks: true}); err != nil {
+				t.Errorf("SkipChecks compile: %v", err)
+			}
+		})
+	}
+}
+
+// TestCompiledSparseTraffic covers the compiled declared-traffic path.
+func TestCompiledSparseTraffic(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	b, err := algorithm.For("proposed-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := b.BuildSchedule(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := exec.FullTraffic(tor)
+	ref, err := exec.Run(sc, exec.Options{Serial: true, Traffic: traffic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := exec.Compile(sc, exec.Options{Traffic: traffic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pg.Run(exec.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Measure != ref.Measure {
+		t.Errorf("Measure differs: %+v vs %+v", got.Measure, ref.Measure)
+	}
+	sameBuffers(t, ref.Buffers, got.Buffers)
+}

@@ -3,18 +3,24 @@ package exec
 import (
 	"torusx/internal/schedule"
 	"torusx/internal/telemetry"
-	"torusx/internal/topology"
 )
 
-// Telemetry emission. Both executor paths emit from this single serial
-// post-pass, which walks the schedule in phase/step/transfer order
-// after the run has validated: serial and parallel runs of the same
-// schedule therefore produce identical streams by construction (the
+// Telemetry emission. All executor paths — serial, parallel and
+// compiled — emit from this single serial post-pass, which walks the
+// schedule in phase/step/transfer order after the run has validated:
+// every path therefore produces identical streams by construction (the
 // only divergence is the diagnostic Worker field, which records which
 // pool worker checked each step and which telemetry.Canonical clears).
 // Emission runs only when the run asked for it — the hot path pays one
 // Recorder.Enabled branch and nothing else, enforced by the overhead
 // guard in telemetry_guard_test.go.
+//
+// When the run came from a compiled Program, pg is non-nil and the
+// post-pass reads the precomputed per-step sharing factors and dense
+// per-transfer link ids instead of re-walking routes and rehashing
+// links; either way the per-link accumulators are dense arrays indexed
+// by topology.LinkID, emitted in AllLinks' canonical order (which is
+// ascending in dense id).
 //
 // The timeline follows the paper's synchronous model: each step lasts
 // ts + tc·maxBlocks·sharing·m + tl·maxHops, phases with a Rearrange
@@ -22,18 +28,20 @@ import (
 // transfer's slice spans its own ts + tc·blocks·m + tl·hops inside its
 // step (unserialized — per-transfer attribution reports the message's
 // own cost; the step span carries the sharing-serialized total).
-func emitRun(rec *telemetry.Recorder, sc *schedule.Schedule, res *Result, stepWorkers []int) {
+func emitRun(rec *telemetry.Recorder, sc *schedule.Schedule, res *Result, stepWorkers []int, pg *Program) {
 	p := rec.Params
 	t := sc.Torus
 	m := float64(p.M)
 
 	// Per-link accumulation for the run-level utilization and
-	// contention gauges.
-	type linkStat struct {
-		busySteps int // steps in which the link carried any transfer
-		maxShare  int // worst per-step transfer count on the link
-	}
-	linkUse := make(map[topology.Link]*linkStat)
+	// contention gauges: dense arrays over the link-id space, with a
+	// touched list so per-step counts reset in O(links touched).
+	numLinks := t.NumLinkIDs()
+	busySteps := make([]int32, numLinks)
+	maxShare := make([]int32, numLinks)
+	perLink := make([]int32, numLinks)
+	var touched []int32
+	var idScratch []int32 // uncompiled route expansion scratch
 
 	rec.Emit(telemetry.Event{Kind: telemetry.SpanBegin, Scope: telemetry.ScopeRun,
 		Name: "run", Phase: -1, Step: -1, Transfer: -1})
@@ -57,20 +65,29 @@ func emitRun(rec *telemetry.Recorder, sc *schedule.Schedule, res *Result, stepWo
 		}
 		for si := range ph.Steps {
 			st := &ph.Steps[si]
+			var ps *pstep
+			if pg != nil {
+				ps = &pg.steps[global]
+			}
 			sharing := 1
-			if st.Shared {
-				sharing = st.SharingFactor(t)
+			maxBlocks, maxHops := 0, 0
+			if ps != nil {
+				sharing, maxBlocks, maxHops = ps.sharing, ps.maxBlocks, ps.maxHops
+			} else {
+				if st.Shared {
+					sharing = st.SharingFactor(t)
+				}
+				maxBlocks, maxHops = st.MaxBlocks(), st.MaxHops()
 			}
 			startup := p.Ts
-			trans := p.Tc * float64(st.MaxBlocks()*sharing) * m
-			prop := p.Tl * float64(st.MaxHops())
+			trans := p.Tc * float64(maxBlocks*sharing) * m
+			prop := p.Tl * float64(maxHops)
 			worker := 0
 			if stepWorkers != nil {
 				worker = stepWorkers[global]
 			}
 			rec.Emit(telemetry.Event{Kind: telemetry.SpanBegin, Scope: telemetry.ScopeStep,
 				Name: "step", Phase: pi, Step: global, Transfer: -1, Time: now, Worker: worker})
-			perLink := make(map[topology.Link]int)
 			for ti := range st.Transfers {
 				tr := &st.Transfers[ti]
 				tStartup := p.Ts
@@ -86,21 +103,33 @@ func emitRun(rec *telemetry.Recorder, sc *schedule.Schedule, res *Result, stepWo
 				ev.Kind, ev.Time = telemetry.SpanEnd, now+tStartup+tTrans+tProp
 				ev.Startup, ev.Transmit, ev.Propagate = tStartup, tTrans, tProp
 				rec.Emit(ev)
-				for _, l := range tr.PathLinks(t) {
-					perLink[l]++
+				var ids []int32
+				if ps != nil {
+					ids = ps.transfers[ti].links
+				} else {
+					idScratch = idScratch[:0]
+					cur := t.CoordOf(tr.Src)
+					for _, seg := range tr.Segments() {
+						idScratch = t.AppendPathLinkIDs(idScratch, cur, seg.Dim, seg.Dir, seg.Hops)
+						cur = t.Move(cur, seg.Dim, seg.Hops*int(seg.Dir))
+					}
+					ids = idScratch
+				}
+				for _, id := range ids {
+					if perLink[id] == 0 {
+						touched = append(touched, id)
+					}
+					perLink[id]++
 				}
 			}
-			for l, c := range perLink {
-				ls := linkUse[l]
-				if ls == nil {
-					ls = &linkStat{}
-					linkUse[l] = ls
+			for _, id := range touched {
+				busySteps[id]++
+				if perLink[id] > maxShare[id] {
+					maxShare[id] = perLink[id]
 				}
-				ls.busySteps++
-				if c > ls.maxShare {
-					ls.maxShare = c
-				}
+				perLink[id] = 0
 			}
+			touched = touched[:0]
 			end := now + startup + trans + prop
 			rec.Emit(telemetry.Event{Kind: telemetry.SpanEnd, Scope: telemetry.ScopeStep,
 				Name: "step", Phase: pi, Step: global, Transfer: -1,
@@ -123,16 +152,16 @@ func emitRun(rec *telemetry.Recorder, sc *schedule.Schedule, res *Result, stepWo
 	rec.Counter("exec.max_sharing", now, float64(res.MaxSharing))
 	rec.Counter("exec.completion_us", now, p.Completion(res.Measure))
 
-	// Per-link gauges in the torus's canonical link order, so the
-	// stream stays deterministic.
+	// Per-link gauges in the torus's canonical link order (ascending in
+	// dense id), so the stream stays deterministic.
 	steps := float64(res.Measure.Steps)
 	for _, l := range t.AllLinks() {
-		ls := linkUse[l]
-		if ls == nil {
+		id := t.LinkID(l)
+		if busySteps[id] == 0 {
 			continue
 		}
-		rec.LinkGauge("link.util", t, l, float64(ls.busySteps)/steps)
-		rec.LinkGauge("link.contention", t, l, float64(ls.maxShare))
+		rec.LinkGauge("link.util", t, l, float64(busySteps[id])/steps)
+		rec.LinkGauge("link.contention", t, l, float64(maxShare[id]))
 	}
 }
 

@@ -91,11 +91,32 @@ func simulate(msgs []Message, trackLinks bool) (Stats, error) {
 			return Stats{}, fmt.Errorf("packetsim: message %d has empty path", m.ID)
 		}
 	}
-	stats := Stats{Completion: make([]int, len(msgs))}
-	if trackLinks {
-		stats.LinkBusy = make(map[topology.Link]int)
+	// Intern every distinct link into a dense local id up front so the
+	// event loop indexes flat free-time and busy-cycle arrays instead of
+	// hashing topology.Link keys; the ids convert back to the public
+	// LinkBusy map only at the boundary.
+	intern := make(map[topology.Link]int32)
+	var linkAt []topology.Link
+	paths := make([][]int32, len(msgs))
+	for i, m := range msgs {
+		ids := make([]int32, len(m.Path))
+		for j, l := range m.Path {
+			id, ok := intern[l]
+			if !ok {
+				id = int32(len(linkAt))
+				intern[l] = id
+				linkAt = append(linkAt, l)
+			}
+			ids[j] = id
+		}
+		paths[i] = ids
 	}
-	linkFree := make(map[topology.Link]int)
+	stats := Stats{Completion: make([]int, len(msgs))}
+	linkFree := make([]int, len(linkAt))
+	var busy []int
+	if trackLinks {
+		busy = make([]int, len(linkAt))
+	}
 	q := make(eventQueue, 0, len(msgs))
 	for i := range msgs {
 		q = append(q, event{time: 0, id: i, hop: 0})
@@ -105,7 +126,7 @@ func simulate(msgs []Message, trackLinks bool) (Stats, error) {
 	for q.Len() > 0 {
 		e := heap.Pop(&q).(event)
 		m := msgs[e.id]
-		link := m.Path[e.hop]
+		link := paths[e.id][e.hop]
 		start := e.time
 		if free := linkFree[link]; free > start {
 			stats.QueueWaits += free - start
@@ -115,7 +136,7 @@ func simulate(msgs []Message, trackLinks bool) (Stats, error) {
 		arrive := start + m.Flits + 1
 		linkFree[link] = start + m.Flits
 		if trackLinks {
-			stats.LinkBusy[link] += m.Flits
+			busy[link] += m.Flits
 		}
 		if e.hop == len(m.Path)-1 {
 			stats.Completion[e.id] = arrive
@@ -125,6 +146,14 @@ func simulate(msgs []Message, trackLinks bool) (Stats, error) {
 			continue
 		}
 		heap.Push(&q, event{time: arrive, id: e.id, hop: e.hop + 1})
+	}
+	if trackLinks {
+		stats.LinkBusy = make(map[topology.Link]int, len(linkAt))
+		for id, b := range busy {
+			if b > 0 {
+				stats.LinkBusy[linkAt[id]] = int(b)
+			}
+		}
 	}
 	return stats, nil
 }

@@ -89,6 +89,15 @@ func Buckets(workers, n int, key func(i int) int) [][]int {
 // concurrently with each other, indices within a bucket sequentially
 // in slice order. A single non-empty bucket runs inline.
 func RunBuckets(buckets [][]int, fn func(i int)) {
+	RunBucketsWorker(buckets, func(_, i int) { fn(i) })
+}
+
+// RunBucketsWorker is RunBuckets with the bucket index passed to the
+// callback: fn(w, i) runs on the goroutine owning bucket w, so w can
+// index per-worker scratch arenas (e.g. the compiled executor's
+// per-worker mark tables) without synchronization. Bucket indices are
+// stable — they depend only on the partition, never on scheduling.
+func RunBucketsWorker(buckets [][]int, fn func(worker, i int)) {
 	nonEmpty := 0
 	last := -1
 	for b, idx := range buckets {
@@ -102,22 +111,22 @@ func RunBuckets(buckets [][]int, fn func(i int)) {
 	}
 	if nonEmpty == 1 {
 		for _, i := range buckets[last] {
-			fn(i)
+			fn(last, i)
 		}
 		return
 	}
 	var wg sync.WaitGroup
-	for _, idx := range buckets {
+	for b, idx := range buckets {
 		if len(idx) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(idx []int) {
+		go func(b int, idx []int) {
 			defer wg.Done()
 			for _, i := range idx {
-				fn(i)
+				fn(b, i)
 			}
-		}(idx)
+		}(b, idx)
 	}
 	wg.Wait()
 }

@@ -1,0 +1,49 @@
+package topology
+
+// Dense link indexing. A Link is a (from, dim, dir) triple; mapping it
+// to a small integer lets hot loops — the compiled executor's
+// contention scratch tables, the tracked flit simulators' occupancy
+// counters, the telemetry post-pass's per-link accumulators — replace
+// map[Link] lookups with flat array indexing. The id space covers every
+// (node, dim, dir) slot, including dimensions of size 1 that carry no
+// physical link; AllLinks still enumerates only real links, and the
+// dense order of real links matches AllLinks' canonical order (node-
+// major, then dimension, then +/-), so iterating AllLinks and indexing
+// by LinkID visits dense accumulators in the canonical stream order.
+
+// NumLinkIDs returns the size of the dense link-id space:
+// Nodes() * NDims() * 2.
+func (t *Torus) NumLinkIDs() int { return t.n * len(t.dims) * 2 }
+
+// LinkID maps l to its dense id in [0, NumLinkIDs()).
+func (t *Torus) LinkID(l Link) int {
+	d := 0
+	if l.Dir == Neg {
+		d = 1
+	}
+	return (int(l.From)*len(t.dims)+l.Dim)*2 + d
+}
+
+// LinkAt inverts LinkID.
+func (t *Torus) LinkAt(id int) Link {
+	dir := Pos
+	if id&1 == 1 {
+		dir = Neg
+	}
+	id >>= 1
+	nd := len(t.dims)
+	return Link{From: NodeID(id / nd), Dim: id % nd, Dir: dir}
+}
+
+// AppendPathLinkIDs appends the dense ids of the links occupied by a
+// hops-long move from src along dim in direction dir, in path order.
+// It is PathLinks composed with LinkID, without materializing Link
+// values.
+func (t *Torus) AppendPathLinkIDs(ids []int32, src Coord, dim int, dir Direction, hops int) []int32 {
+	cur := src.Clone()
+	for i := 0; i < hops; i++ {
+		ids = append(ids, int32(t.LinkID(Link{From: t.ID(cur), Dim: dim, Dir: dir})))
+		cur = t.Move(cur, dim, int(dir))
+	}
+	return ids
+}

@@ -1,0 +1,52 @@
+package topology
+
+import "testing"
+
+// TestLinkIDRoundTrip: LinkID must be a bijection between AllLinks and
+// a subset of [0, NumLinkIDs()), inverted exactly by LinkAt, and the
+// canonical AllLinks order must be ascending in dense id.
+func TestLinkIDRoundTrip(t *testing.T) {
+	for _, dims := range [][]int{{8, 8}, {4, 4, 4}, {12, 8}, {5, 1, 3}} {
+		tor := MustNew(dims...)
+		seen := make(map[int]bool)
+		prev := -1
+		for _, l := range tor.AllLinks() {
+			id := tor.LinkID(l)
+			if id < 0 || id >= tor.NumLinkIDs() {
+				t.Fatalf("%v: link %v id %d out of [0,%d)", dims, l, id, tor.NumLinkIDs())
+			}
+			if seen[id] {
+				t.Fatalf("%v: duplicate id %d for %v", dims, id, l)
+			}
+			seen[id] = true
+			if got := tor.LinkAt(id); got != l {
+				t.Fatalf("%v: LinkAt(LinkID(%v)) = %v", dims, l, got)
+			}
+			if id <= prev {
+				t.Fatalf("%v: AllLinks order not ascending in dense id (%d after %d)", dims, id, prev)
+			}
+			prev = id
+		}
+	}
+}
+
+// TestAppendPathLinkIDs: the dense expansion must agree with PathLinks
+// link by link, including wrap-around.
+func TestAppendPathLinkIDs(t *testing.T) {
+	tor := MustNew(4, 3)
+	src := Coord{3, 2}
+	for _, dir := range []Direction{Pos, Neg} {
+		for dim := 0; dim < 2; dim++ {
+			links := tor.PathLinks(src, dim, dir, 3)
+			ids := tor.AppendPathLinkIDs(nil, src, dim, dir, 3)
+			if len(links) != len(ids) {
+				t.Fatalf("dim %d dir %v: %d links vs %d ids", dim, dir, len(links), len(ids))
+			}
+			for i := range links {
+				if int(ids[i]) != tor.LinkID(links[i]) {
+					t.Fatalf("dim %d dir %v hop %d: id %d, want %d", dim, dir, i, ids[i], tor.LinkID(links[i]))
+				}
+			}
+		}
+	}
+}

@@ -54,10 +54,11 @@ type Stats struct {
 // msgState is the in-flight state of one message.
 type msgState struct {
 	m         Message
-	slots     []int // slots[j] = flit index occupying path link j, or -1
-	injected  int   // flits injected so far
-	delivered int   // flits consumed at the destination
-	acquired  int   // links owned: path[0:acquired]
+	path      []int32 // m.Path interned to dense link ids
+	slots     []int   // slots[j] = flit index occupying path link j, or -1
+	injected  int     // flits injected so far
+	delivered int     // flits consumed at the destination
+	acquired  int     // links owned: path[0:acquired]
 	done      bool
 }
 
@@ -76,8 +77,15 @@ func SimulateTracked(msgs []Message, maxCycles int) (Stats, error) {
 }
 
 func simulate(msgs []Message, maxCycles int, trackLinks bool) (Stats, error) {
+	// Intern the distinct links touched by any path into dense local
+	// ids, once, up front: the per-cycle loops then index flat arrays
+	// instead of hashing topology.Link keys, and the tracked-occupancy
+	// accounting becomes an array sweep. Link values reappear only at
+	// the boundary, when the dense counters convert back to the public
+	// LinkBusy map.
+	intern := make(map[topology.Link]int32)
+	var linkAt []topology.Link // dense id -> Link
 	states := make([]*msgState, len(msgs))
-	owner := make(map[topology.Link]int) // link -> message index
 	for i, m := range msgs {
 		if m.Flits < 1 {
 			return Stats{}, fmt.Errorf("wormhole: message %d has %d flits", m.ID, m.Flits)
@@ -85,16 +93,25 @@ func simulate(msgs []Message, maxCycles int, trackLinks bool) (Stats, error) {
 		if len(m.Path) == 0 {
 			return Stats{}, fmt.Errorf("wormhole: message %d has empty path", m.ID)
 		}
-		st := &msgState{m: m, slots: make([]int, len(m.Path))}
-		for j := range st.slots {
+		st := &msgState{m: m, path: make([]int32, len(m.Path)), slots: make([]int, len(m.Path))}
+		for j, l := range m.Path {
+			id, ok := intern[l]
+			if !ok {
+				id = int32(len(linkAt))
+				intern[l] = id
+				linkAt = append(linkAt, l)
+			}
+			st.path[j] = id
 			st.slots[j] = -1
 		}
 		states[i] = st
 	}
-	stats := Stats{Completion: make([]int, len(msgs))}
+	owner := make([]int32, len(linkAt)) // link id -> message index + 1, 0 = free
+	var busy []int32                    // link id -> cycles held (tracked only)
 	if trackLinks {
-		stats.LinkBusy = make(map[topology.Link]int)
+		busy = make([]int32, len(linkAt))
 	}
+	stats := Stats{Completion: make([]int, len(msgs))}
 	remaining := len(msgs)
 
 	for cycle := 1; remaining > 0; cycle++ {
@@ -105,7 +122,7 @@ func simulate(msgs []Message, maxCycles int, trackLinks bool) (Stats, error) {
 			if st.done {
 				continue
 			}
-			last := len(st.m.Path) - 1
+			last := len(st.path) - 1
 			// Downstream-first so the worm advances as a pipeline.
 			for j := last; j >= 0; j-- {
 				f := st.slots[j]
@@ -118,7 +135,7 @@ func simulate(msgs []Message, maxCycles int, trackLinks bool) (Stats, error) {
 					st.delivered++
 					if f == st.m.Flits-1 {
 						// Tail leaves the link: release it.
-						delete(owner, st.m.Path[j])
+						owner[st.path[j]] = 0
 						st.done = true
 						stats.Completion[mi] = cycle
 						remaining--
@@ -131,27 +148,27 @@ func simulate(msgs []Message, maxCycles int, trackLinks bool) (Stats, error) {
 				}
 				if j+1 >= st.acquired {
 					// Header must acquire the next link.
-					if _, held := owner[st.m.Path[j+1]]; held {
+					if owner[st.path[j+1]] != 0 {
 						stats.HeaderStalls++
 						continue
 					}
-					owner[st.m.Path[j+1]] = mi
+					owner[st.path[j+1]] = int32(mi + 1)
 					st.acquired = j + 2
 				}
 				st.slots[j+1] = f
 				st.slots[j] = -1
 				if f == st.m.Flits-1 {
-					delete(owner, st.m.Path[j])
+					owner[st.path[j]] = 0
 				}
 			}
 			// Injection into path[0].
 			if st.injected < st.m.Flits && st.slots[0] < 0 {
 				if st.acquired == 0 {
-					if _, held := owner[st.m.Path[0]]; held {
+					if owner[st.path[0]] != 0 {
 						stats.HeaderStalls++
 						continue
 					}
-					owner[st.m.Path[0]] = mi
+					owner[st.path[0]] = int32(mi + 1)
 					st.acquired = 1
 				}
 				st.slots[0] = st.injected
@@ -159,14 +176,22 @@ func simulate(msgs []Message, maxCycles int, trackLinks bool) (Stats, error) {
 			}
 		}
 		if trackLinks {
-			// Links held at the end of the cycle were busy during it;
-			// increments commute, so the map is deterministic despite
-			// the iteration order.
-			for l := range owner {
-				stats.LinkBusy[l]++
+			// Links held at the end of the cycle were busy during it.
+			for id, o := range owner {
+				if o != 0 {
+					busy[id]++
+				}
 			}
 		}
 		stats.Cycles = cycle
+	}
+	if trackLinks {
+		stats.LinkBusy = make(map[topology.Link]int, len(linkAt))
+		for id, b := range busy {
+			if b > 0 {
+				stats.LinkBusy[linkAt[id]] = int(b)
+			}
+		}
 	}
 	return stats, nil
 }

@@ -264,11 +264,13 @@ func Compare(alg Algorithm, dims ...int) (Measure, error) {
 	if err != nil {
 		return Measure{}, err
 	}
-	sc, err := b.BuildSchedule(t)
+	// Compile-once, replay-many: the schedule is validated and lowered
+	// by exec.Compile, and the run is the compiled executor's fast path.
+	pg, err := algorithm.BuildProgram(b, t, exec.Options{})
 	if err != nil {
 		return Measure{}, err
 	}
-	res, err := exec.Run(sc, exec.Options{})
+	res, err := pg.Run(exec.Options{})
 	if err != nil {
 		return Measure{}, err
 	}
