@@ -152,10 +152,12 @@ func runExecutor(w io.Writer, tel *cli.Telemetry, alg string, dims []int, params
 		return err
 	}
 	execOpt.Telemetry = rec
-	res, err := pg.Run(execOpt)
+	arena := pg.AcquireArena()
+	res, err := pg.RunArena(arena, execOpt)
 	if err != nil {
 		return err
 	}
+	pg.ReleaseArena(arena)
 	if err := tel.Finish(w, tor, label); err != nil {
 		return err
 	}

@@ -209,3 +209,55 @@ func TestBenchBaseline(t *testing.T) {
 		t.Fatalf("delta table missing REGRESSED mark:\n%s", buf.String())
 	}
 }
+
+// TestBenchTenantSweep exercises the -shapes multi-tenant mode: every
+// request must come back from the process-wide program cache (the
+// timed sweep already compiled each cell), so the sweep reports zero
+// compiles, and the cache footer rides on the summary.
+func TestBenchTenantSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-dims", "8x8", "-algs", "direct,ring", "-quick", "-samples", "0", "-shapes", "4", "-out", "-"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "tenant sweep: 4 tenants") {
+		t.Fatalf("missing tenant sweep report:\n%s", out)
+	}
+	if !strings.Contains(out, "compiles +0") {
+		t.Fatalf("tenant sweep recompiled cached cells:\n%s", out)
+	}
+	if !strings.Contains(out, "progcache: hits") {
+		t.Fatalf("missing progcache footer:\n%s", out)
+	}
+}
+
+// TestBenchSampleEnvelope: whenever the spread columns are present the
+// ledger must satisfy ns_min <= ns_per_op <= ns_max (Decode enforces
+// it; this test makes the producer prove it on a live sweep).
+func TestBenchSampleEnvelope(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_exec.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-dims", "8x8", "-algs", "allgather,direct", "-quick", "-samples", "5", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ledger, err := benchfmt.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ledger.Entries {
+		if e.Samples < 2 {
+			t.Fatalf("%s: expected sampled entry, got %d samples", e.Key(), e.Samples)
+		}
+		if e.NsPerOp < e.NsMin || e.NsPerOp > e.NsMax {
+			t.Fatalf("%s: ns_per_op %v outside [%v, %v]", e.Key(), e.NsPerOp, e.NsMin, e.NsMax)
+		}
+		if !e.Compiled || e.CompileNs <= 0 || e.CompileAllocs < 0 {
+			t.Fatalf("%s: missing compile columns: %+v", e.Key(), e)
+		}
+	}
+}

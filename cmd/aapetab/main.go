@@ -346,10 +346,12 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		res, err := pg.Run(exec.Options{Serial: opt.Serial, Workers: opt.Workers, Telemetry: rec})
+		arena := pg.AcquireArena()
+		res, err := pg.RunArena(arena, exec.Options{Serial: opt.Serial, Workers: opt.Workers, Telemetry: rec})
 		if err != nil {
 			return "", err
 		}
+		pg.ReleaseArena(arena)
 		ev := eventsim.RunOpt(tor, sc, p, tor.Nodes(),
 			eventsim.Options{Serial: opt.Serial, Workers: opt.Workers, Telemetry: rec})
 		// A completing step on these shapes needs < 20k cycles; the cap

@@ -117,9 +117,11 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if _, err := pg.Run(exec.Options{Serial: !*parallelFlag, Workers: *workersFlag, Telemetry: rec}); err != nil {
+	arena := pg.AcquireArena()
+	if _, err := pg.RunArena(arena, exec.Options{Serial: !*parallelFlag, Workers: *workersFlag, Telemetry: rec}); err != nil {
 		return err
 	}
+	pg.ReleaseArena(arena)
 	if err := tel.Finish(w, tor, label); err != nil {
 		return err
 	}

@@ -16,6 +16,7 @@ import (
 	"torusx/internal/collective"
 	"torusx/internal/exchange"
 	"torusx/internal/exec"
+	"torusx/internal/progcache"
 	"torusx/internal/schedule"
 	"torusx/internal/topology"
 )
@@ -53,13 +54,38 @@ type ProgramBuilder interface {
 	BuildProgram(t *topology.Torus, opt exec.Options) (*exec.Program, error)
 }
 
+// cache memoizes compiled programs across every BuildProgram caller in
+// the process — torusx.Compare, the cmd tools, and any embedding
+// service share one serving-layer cache keyed by (builder name, shape,
+// compile-options fingerprint). Compiled programs are immutable, so
+// sharing one *exec.Program between concurrent requesters is safe;
+// each replays through its own Arena.
+var cache = progcache.New(progcache.DefaultMaxBytes)
+
 // BuildProgram resolves an algorithm to its compiled form on t: the
 // builder's own BuildProgram when it implements ProgramBuilder,
-// otherwise BuildSchedule followed by exec.Compile. This is the
-// compile-once entry point the command-line tools and torusx.Compare
-// run through; callers that replay many times hold on to the returned
-// Program and reuse an Arena.
+// otherwise BuildSchedule followed by exec.Compile. Results are
+// memoized in a process-wide progcache.Cache, so a warm call performs
+// no schedule build and no compile — concurrent cold calls for one
+// (algorithm, shape) are singleflighted into exactly one Compile. This
+// is the compile-once entry point the command-line tools and
+// torusx.Compare run through; callers that replay many times hold on
+// to the returned Program and acquire/release pooled Arenas.
+//
+// The cache key uses b.Name(), so two distinct Builder implementations
+// registered under one name would alias; registry builders are unique
+// by construction.
 func BuildProgram(b Builder, t *topology.Torus, opt exec.Options) (*exec.Program, error) {
+	key := progcache.Key(b.Name(), t, progcache.Fingerprint(opt))
+	return cache.GetOrCompile(key, func() (*exec.Program, error) {
+		return buildProgramUncached(b, t, opt)
+	})
+}
+
+// buildProgramUncached is the cache-miss path: the builder's own
+// BuildProgram when it implements ProgramBuilder, otherwise
+// BuildSchedule followed by exec.Compile.
+func buildProgramUncached(b Builder, t *topology.Torus, opt exec.Options) (*exec.Program, error) {
 	if pb, ok := b.(ProgramBuilder); ok {
 		return pb.BuildProgram(t, opt)
 	}
@@ -69,6 +95,11 @@ func BuildProgram(b Builder, t *topology.Torus, opt exec.Options) (*exec.Program
 	}
 	return exec.Compile(sc, opt)
 }
+
+// CacheStats snapshots the process-wide program cache counters —
+// surfaced by aapebench's cache footer and useful for embedding
+// services that want hit-rate telemetry.
+func CacheStats() progcache.Stats { return cache.Stats() }
 
 var registry = map[string]Builder{}
 

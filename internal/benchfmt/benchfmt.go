@@ -56,6 +56,13 @@ type Entry struct {
 	// Samples is the number of repeat timings behind the variance
 	// fields (0 for single-sample ledgers).
 	Samples int `json:"samples,omitempty"`
+	// CompileNs/CompileAllocs time obtaining the compiled program for
+	// the cell (schedule build + exec.Compile, via the serving-layer
+	// cache): the cost a cold request pays once and warm requests
+	// amortize to ~nothing. Absent (zero) in uncompiled sweeps and
+	// pre-cache ledgers.
+	CompileNs     float64 `json:"compile_ns,omitempty"`
+	CompileAllocs int64   `json:"compile_allocs,omitempty"`
 
 	// Deterministic fields: the executor's Measure, identical on every
 	// machine, compared field-for-field in golden tests.
@@ -121,6 +128,9 @@ func (f *File) Validate() error {
 		if e.AllocsPerOp < 0 || e.BytesPerOp < 0 {
 			return fmt.Errorf("benchfmt: entry %d (%s) negative alloc stats", i, e.Key())
 		}
+		if e.CompileNs < 0 || e.CompileAllocs < 0 {
+			return fmt.Errorf("benchfmt: entry %d (%s) negative compile stats", i, e.Key())
+		}
 		if e.Steps < 1 {
 			return fmt.Errorf("benchfmt: entry %d (%s) steps %d < 1", i, e.Key(), e.Steps)
 		}
@@ -140,8 +150,12 @@ func (f *File) Validate() error {
 
 // validateVariance checks the optional spread fields as a group:
 // either absent (all zero, single-sample ledgers) or coherent —
-// min <= ns/op's order of magnitude is not enforced, but min <= max,
-// non-negative stddev, and at least two samples.
+// min <= max, non-negative stddev, at least two samples, and the
+// headline ns/op inside the sampled envelope. The envelope invariant
+// caught a real producer bug: per-sample timings taken as raw single
+// runs (fixed ReadMemStats overhead and all) sat far above a
+// benchmark-grade amortized ns/op on sub-microsecond cells, so ledgers
+// claimed ns_per_op < ns_min.
 func (e *Entry) validateVariance() error {
 	if e.Samples == 0 && e.NsMin == 0 && e.NsMax == 0 && e.NsStddev == 0 {
 		return nil
@@ -151,6 +165,9 @@ func (e *Entry) validateVariance() error {
 	}
 	if e.NsMin <= 0 || e.NsMax < e.NsMin {
 		return fmt.Errorf("bad ns_min/ns_max %v/%v", e.NsMin, e.NsMax)
+	}
+	if e.NsPerOp < e.NsMin || e.NsPerOp > e.NsMax {
+		return fmt.Errorf("ns_per_op %v outside sampled [ns_min, ns_max] = [%v, %v]", e.NsPerOp, e.NsMin, e.NsMax)
 	}
 	if e.NsStddev < 0 {
 		return fmt.Errorf("negative ns_stddev %v", e.NsStddev)

@@ -59,6 +59,18 @@ func TestValidateRejects(t *testing.T) {
 			f.Entries[0].Samples = 3
 			f.Entries[0].NsMin, f.Entries[0].NsMax, f.Entries[0].NsStddev = 1, 2, -1
 		},
+		// The BENCH_exec.json bug this invariant caught: a benchmark-grade
+		// ns/op below the single-run sampled floor (allgather 8x8: 45 vs 118).
+		"ns/op below sampled min": func(f *File) {
+			f.Entries[0].Samples = 3
+			f.Entries[0].NsMin, f.Entries[0].NsMax = f.Entries[0].NsPerOp+10, f.Entries[0].NsPerOp+100
+		},
+		"ns/op above sampled max": func(f *File) {
+			f.Entries[0].Samples = 3
+			f.Entries[0].NsMin, f.Entries[0].NsMax = 1, f.Entries[0].NsPerOp/2
+		},
+		"negative compile ns":     func(f *File) { f.Entries[0].CompileNs = -1 },
+		"negative compile allocs": func(f *File) { f.Entries[0].CompileAllocs = -5 },
 	} {
 		f := valid()
 		mutate(f)
@@ -87,6 +99,28 @@ func TestVarianceFieldsRoundTrip(t *testing.T) {
 	// Entries without spread (old ledgers) stay valid.
 	if e2 := got.ByKey()["direct@8x8"]; e2.Samples != 0 {
 		t.Fatalf("single-sample entry grew samples: %+v", e2)
+	}
+}
+
+func TestCompileFieldsRoundTrip(t *testing.T) {
+	f := valid()
+	f.Entries[0].CompileNs = 123456
+	f.Entries[0].CompileAllocs = 789
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := got.ByKey()["proposed@8x8"]
+	if e.CompileNs != 123456 || e.CompileAllocs != 789 {
+		t.Fatalf("compile fields lost: %+v", e)
+	}
+	// Pre-cache ledgers (no compile columns) stay valid and decode to zero.
+	if e2 := got.ByKey()["direct@8x8"]; e2.CompileNs != 0 || e2.CompileAllocs != 0 {
+		t.Fatalf("absent compile fields decoded nonzero: %+v", e2)
 	}
 }
 

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sync"
+	"unsafe"
 
 	"torusx/internal/block"
 	"torusx/internal/costmodel"
@@ -22,12 +23,26 @@ import (
 // Run-once callers get the same behaviour as the uncompiled paths;
 // replay-many callers (benchmark sweeps, bandwidth-model parameter
 // scans) stop paying the compile cost per run.
+//
+// Replay is span-coalesced: the compiled executor's replay is fully
+// deterministic, so the reference replay inside Compile knows the exact
+// positions every transfer's payload occupies in its source buffer at
+// extraction time. Those positions are coalesced into [start,end) spans
+// once, at compile time, and a replay is then pure bulk copies — no
+// mark tables, no per-index membership loops. The structural checks of
+// independent steps fan out over internal/par, so first-touch (compile)
+// latency on large tori drops with core count.
+
+// idxSpan is a [start,end) run of positions in a source buffer.
+type idxSpan struct{ start, end int32 }
 
 // ptransfer is one transfer lowered to dense ids.
 type ptransfer struct {
 	src, dst int32
 	// payload holds the transfer's blocks as dense ids (origin*n+dest),
-	// in schedule payload order; nil for structural transfers.
+	// in schedule payload order; nil for structural transfers. Replay
+	// itself only needs len(payload) and spans; the ids are kept for
+	// telemetry and debugging.
 	payload []int32
 	// links is the transfer's full dimension-ordered route expanded to
 	// dense link ids, in path order.
@@ -36,6 +51,11 @@ type ptransfer struct {
 	// extraction scratch: the replay writes the (exactly len(payload))
 	// extracted ids there, so parallel workers never share a cursor.
 	moveOff int
+	// spans are the coalesced [start,end) positions this transfer's
+	// payload occupies in the source buffer at extraction time, computed
+	// by the compile-time reference replay. Extraction is a bulk copy of
+	// each span into the flat scratch followed by one compaction pass.
+	spans []idxSpan
 }
 
 // pstep is one step lowered to precomputed form.
@@ -77,6 +97,15 @@ type Program struct {
 	// maxStepPayload is the largest per-step payload total: the size of
 	// the arena's flat extraction scratch.
 	maxStepPayload int
+	// parallelErr, when non-nil, records that the schedule forwards a
+	// block within the step that delivered it (serial semantics accept
+	// this; the two-barrier parallel replay cannot execute it). The
+	// parallel replay path returns it verbatim.
+	parallelErr error
+
+	// arenas pools released arenas for concurrent replays of one
+	// program; see AcquireArena/ReleaseArena.
+	arenas sync.Pool
 }
 
 // Schedule returns the schedule the program was compiled from.
@@ -85,6 +114,24 @@ func (p *Program) Schedule() *schedule.Schedule { return p.sc }
 // Replayable reports whether the program carries payloads and its runs
 // replay and deliver blocks (rather than only reporting the measure).
 func (p *Program) Replayable() bool { return p.replay }
+
+// SizeBytes estimates the heap bytes owned by the compiled form — the
+// lowered steps with their dense payload, link and span slices plus the
+// replay tables — excluding the source schedule the program references.
+// Program caches use it as the eviction weight.
+func (p *Program) SizeBytes() int64 {
+	size := int64(unsafe.Sizeof(*p))
+	size += int64(len(p.steps)) * int64(unsafe.Sizeof(pstep{}))
+	for si := range p.steps {
+		for ti := range p.steps[si].transfers {
+			pt := &p.steps[si].transfers[ti]
+			size += int64(unsafe.Sizeof(*pt))
+			size += int64(len(pt.payload))*4 + int64(len(pt.links))*4 + int64(len(pt.spans))*int64(unsafe.Sizeof(idxSpan{}))
+		}
+	}
+	size += int64(len(p.trafficIDs))*4 + int64(len(p.perDest))*4 + int64(len(p.capacity))*4
+	return size
+}
 
 // fullTrafficCache memoizes the all-to-all traffic matrix per torus
 // shape: every run of every full-exchange schedule on an a1×…×an torus
@@ -150,19 +197,9 @@ func Compile(sc *schedule.Schedule, opt Options) (*Program, error) {
 	linkBacking := make([]int32, 0, numLinks)
 	payloadBacking := make([]int32, 0, numPayload)
 
-	// Reusable scratch tables for the one-port, contention and sharing
-	// checks: dense arrays indexed by node or link id, reset via touched
-	// lists instead of reallocating a map per step.
-	sendClaim := make([]int32, n)              // node -> transfer index + 1
-	recvClaim := make([]int32, n)              // node -> transfer index + 1
-	linkClaim := make([]int32, t.NumLinkIDs()) // link id -> transfer index + 1 (or count)
-	var touched []int32
-
-	var firstErr error
+	// Lowering pass (serial: it appends to the shared backing arrays):
+	// dense endpoints, route expansion, per-step message maxima.
 	sc.EachStep(func(ph *schedule.Phase, si int, s *schedule.Step) {
-		if firstErr != nil {
-			return
-		}
 		ps := pstep{
 			phase: ph, step: s,
 			phaseIndex: phaseIndexOf(sc, ph), stepIndex: si,
@@ -189,81 +226,41 @@ func Compile(sc *schedule.Schedule, opt Options) (*Program, error) {
 			transferBacking = append(transferBacking, pt)
 		}
 		ps.transfers = transferBacking[base:len(transferBacking):len(transferBacking)]
+		p.steps = append(p.steps, ps)
+	})
 
-		// One-port and (for non-Shared steps) link-disjointness, against
-		// the reusable scratch tables.
-		if !opt.SkipChecks {
-			for i := range s.Transfers {
-				tr := &s.Transfers[i]
-				if c := sendClaim[tr.Src]; c != 0 {
-					firstErr = &schedule.OnePortError{Phase: ph.Name, Step: si, Node: tr.Src,
-						Role: "send", A: s.Transfers[c-1], B: *tr}
-					break
-				}
-				sendClaim[tr.Src] = int32(i + 1)
-				if c := recvClaim[tr.Dst]; c != 0 {
-					firstErr = &schedule.OnePortError{Phase: ph.Name, Step: si, Node: tr.Dst,
-						Role: "receive", A: s.Transfers[c-1], B: *tr}
-					break
-				}
-				recvClaim[tr.Dst] = int32(i + 1)
-			}
-			for i := range s.Transfers {
-				sendClaim[s.Transfers[i].Src] = 0
-				recvClaim[s.Transfers[i].Dst] = 0
-			}
-			if firstErr == nil && !s.Shared {
-				for i := range ps.transfers {
-					for _, l := range ps.transfers[i].links {
-						if c := linkClaim[l]; c != 0 {
-							firstErr = &schedule.ContentionError{Phase: ph.Name, Step: si,
-								Link: t.LinkAt(int(l)), A: s.Transfers[c-1], B: s.Transfers[i]}
-							break
-						}
-						linkClaim[l] = int32(i + 1)
-						touched = append(touched, l)
-					}
-					if firstErr != nil {
-						break
-					}
-				}
-				for _, l := range touched {
-					linkClaim[l] = 0
-				}
-				touched = touched[:0]
-			}
-			if firstErr != nil {
+	// Validation pass: steps are independent, so the one-port,
+	// link-disjointness and sharing-factor computations fan out over the
+	// worker pool, each chunk with private claim scratch. The reported
+	// error is the lowest-step one — exactly what a serial left-to-right
+	// walk would have hit first.
+	var ferr par.FirstError
+	par.ForEach(0, len(p.steps), func(lo, hi int) {
+		sendClaim := make([]int32, n)              // node -> transfer index + 1
+		recvClaim := make([]int32, n)              // node -> transfer index + 1
+		linkClaim := make([]int32, t.NumLinkIDs()) // link id -> transfer index + 1 (or count)
+		var touched []int32
+		for si := lo; si < hi; si++ {
+			ps := &p.steps[si]
+			if err := checkStep(t, ps, opt.SkipChecks, sendClaim, recvClaim, linkClaim, &touched); err != nil {
+				ferr.Report(si, err)
 				return
 			}
 		}
-		// Sharing factor of declared time-sharing steps, same scratch.
-		if s.Shared {
-			for i := range ps.transfers {
-				for _, l := range ps.transfers[i].links {
-					if linkClaim[l] == 0 {
-						touched = append(touched, l)
-					}
-					linkClaim[l]++
-					if int(linkClaim[l]) > ps.sharing {
-						ps.sharing = int(linkClaim[l])
-					}
-				}
-			}
-			for _, l := range touched {
-				linkClaim[l] = 0
-			}
-			touched = touched[:0]
-			if ps.sharing > p.maxSharing {
-				p.maxSharing = ps.sharing
-			}
+	})
+	if err := ferr.Err(); err != nil {
+		return nil, err
+	}
+
+	// Measure accumulation (serial: order-dependent sums).
+	for si := range p.steps {
+		ps := &p.steps[si]
+		if ps.sharing > p.maxSharing {
+			p.maxSharing = ps.sharing
 		}
 		p.measure.Steps++
 		p.measure.Blocks += ps.maxBlocks * ps.sharing
 		p.measure.Hops += ps.maxHops
-		p.steps = append(p.steps, ps)
-	})
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	p.measure.RearrangedBlocks = sc.RearrangedBlocks()
 
@@ -273,6 +270,81 @@ func Compile(sc *schedule.Schedule, opt Options) (*Program, error) {
 		}
 	}
 	return p, nil
+}
+
+// checkStep validates one lowered step — one-port compliance, wormhole
+// link-disjointness for non-Shared steps (both skipped under
+// skipChecks) — and computes the sharing factor of declared
+// time-sharing steps into ps.sharing. The claim tables are caller-owned
+// dense scratch, reset via the touched list; checkStep leaves them
+// zeroed on every return path so one set serves a whole chunk of steps.
+func checkStep(t *topology.Torus, ps *pstep, skipChecks bool,
+	sendClaim, recvClaim, linkClaim []int32, touched *[]int32) error {
+	s, ph, si := ps.step, ps.phase, ps.stepIndex
+	if !skipChecks {
+		var err error
+		for i := range s.Transfers {
+			tr := &s.Transfers[i]
+			if c := sendClaim[tr.Src]; c != 0 {
+				err = &schedule.OnePortError{Phase: ph.Name, Step: si, Node: tr.Src,
+					Role: "send", A: s.Transfers[c-1], B: *tr}
+				break
+			}
+			sendClaim[tr.Src] = int32(i + 1)
+			if c := recvClaim[tr.Dst]; c != 0 {
+				err = &schedule.OnePortError{Phase: ph.Name, Step: si, Node: tr.Dst,
+					Role: "receive", A: s.Transfers[c-1], B: *tr}
+				break
+			}
+			recvClaim[tr.Dst] = int32(i + 1)
+		}
+		for i := range s.Transfers {
+			sendClaim[s.Transfers[i].Src] = 0
+			recvClaim[s.Transfers[i].Dst] = 0
+		}
+		if err == nil && !s.Shared {
+			for i := range ps.transfers {
+				for _, l := range ps.transfers[i].links {
+					if c := linkClaim[l]; c != 0 {
+						err = &schedule.ContentionError{Phase: ph.Name, Step: si,
+							Link: t.LinkAt(int(l)), A: s.Transfers[c-1], B: s.Transfers[i]}
+						break
+					}
+					linkClaim[l] = int32(i + 1)
+					*touched = append(*touched, l)
+				}
+				if err != nil {
+					break
+				}
+			}
+			for _, l := range *touched {
+				linkClaim[l] = 0
+			}
+			*touched = (*touched)[:0]
+		}
+		if err != nil {
+			return err
+		}
+	}
+	// Sharing factor of declared time-sharing steps, same scratch.
+	if s.Shared {
+		for i := range ps.transfers {
+			for _, l := range ps.transfers[i].links {
+				if linkClaim[l] == 0 {
+					*touched = append(*touched, l)
+				}
+				linkClaim[l]++
+				if int(linkClaim[l]) > ps.sharing {
+					ps.sharing = int(linkClaim[l])
+				}
+			}
+		}
+		for _, l := range *touched {
+			linkClaim[l] = 0
+		}
+		*touched = (*touched)[:0]
+	}
+	return nil
 }
 
 // compileReplay resolves the traffic matrix to dense ids, validates the
@@ -303,7 +375,15 @@ func (p *Program) compileReplay(opt Options, payloadBacking []int32) error {
 		p.perDest[b.Dest]++
 	}
 
-	// Reference replay over dense ids.
+	// Reference replay over dense ids. Besides validating the
+	// sender-holds chain, this pass records where in its source buffer
+	// each transfer's payload sits at extraction time: replay is
+	// deterministic, so those positions hold for every future run and
+	// can be coalesced into bulk-copy spans now. Positions at or past
+	// the buffer's start-of-step length belong to blocks delivered
+	// earlier in the same step — legal under the serial interleaved
+	// semantics, impossible under the two-barrier parallel replay, so
+	// they flag the program parallel-incapable instead of failing.
 	bufs := make([][]int32, n)
 	p.capacity = make([]int32, n)
 	for _, id := range p.trafficIDs {
@@ -314,10 +394,22 @@ func (p *Program) compileReplay(opt Options, payloadBacking []int32) error {
 		p.capacity[i] = int32(len(bufs[i]))
 	}
 	mark := make([]int32, p.numBlocks)
-	var mv []int32 // extraction scratch
+	stepBase := make([]int32, n) // per-node buffer length at step start
+	var mv []int32               // extraction scratch
+	var spanBacking []idxSpan
+	// spanRefs defers the spans sub-slicing until spanBacking stops
+	// growing: transfer index -> (offset, count) into spanBacking.
+	type spanRef struct {
+		pt       *ptransfer
+		off, cnt int
+	}
+	var spanRefs []spanRef
 	for si := range p.steps {
 		ps := &p.steps[si]
 		stepPayload := 0
+		for v := range bufs {
+			stepBase[v] = int32(len(bufs[v]))
+		}
 		for ti := range ps.transfers {
 			pt := &ps.transfers[ti]
 			tr := &ps.step.Transfers[ti]
@@ -340,17 +432,28 @@ func (p *Program) compileReplay(opt Options, payloadBacking []int32) error {
 			// Extraction with the sender-holds check. Extract into a
 			// scratch first, exactly like the run-time path, so the
 			// compaction of bufs[src] never aliases the growth of
-			// bufs[dst].
+			// bufs[dst]. Extracted positions (ascending by construction)
+			// coalesce into this transfer's replay spans.
 			src, dst := int(pt.src), int(pt.dst)
 			for _, id := range pt.payload {
 				mark[id]++
 			}
 			keep := bufs[src][:0]
 			mv = mv[:0]
-			for _, id := range bufs[src] {
+			spanOff := len(spanBacking)
+			for pos, id := range bufs[src] {
 				if mark[id] > 0 {
 					mark[id]--
 					mv = append(mv, id)
+					if k := len(spanBacking); k > spanOff && spanBacking[k-1].end == int32(pos) {
+						spanBacking[k-1].end++
+					} else {
+						spanBacking = append(spanBacking, idxSpan{start: int32(pos), end: int32(pos) + 1})
+					}
+					if p.parallelErr == nil && int32(pos) >= stepBase[src] {
+						p.parallelErr = fmt.Errorf("exec: phase %q step %d: node %d forwards %v within the step that delivered it; the two-barrier parallel replay cannot execute this schedule (run with Options.Serial)",
+							ps.phase.Name, ps.stepIndex, src, block.Block{Origin: topology.NodeID(int(id) / n), Dest: topology.NodeID(int(id) % n)})
+					}
 				} else {
 					keep = append(keep, id)
 				}
@@ -368,6 +471,7 @@ func (p *Program) compileReplay(opt Options, payloadBacking []int32) error {
 				return fmt.Errorf("exec: phase %q step %d: node %d extracted %d blocks, want %d",
 					ps.phase.Name, ps.stepIndex, src, len(mv), len(pt.payload))
 			}
+			spanRefs = append(spanRefs, spanRef{pt: pt, off: spanOff, cnt: len(spanBacking) - spanOff})
 			bufs[dst] = append(bufs[dst], mv...)
 			if int(p.capacity[dst]) < len(bufs[dst]) {
 				p.capacity[dst] = int32(len(bufs[dst]))
@@ -376,6 +480,9 @@ func (p *Program) compileReplay(opt Options, payloadBacking []int32) error {
 		if stepPayload > p.maxStepPayload {
 			p.maxStepPayload = stepPayload
 		}
+	}
+	for _, r := range spanRefs {
+		r.pt.spans = spanBacking[r.off : r.off+r.cnt : r.off+r.cnt]
 	}
 	// Delivery: every block must sit at its destination, every node
 	// must hold exactly its share of the matrix.
@@ -404,19 +511,22 @@ func phaseIndexOf(sc *schedule.Schedule, ph *schedule.Phase) int {
 }
 
 // Arena is the reusable per-run scratch of a compiled program: block
-// buffers, mark tables and the extraction scratch, all preallocated to
-// the program's compile-time bounds so steady-state replays allocate
+// buffers and the extraction scratch, all preallocated to the
+// program's compile-time bounds so steady-state replays allocate
 // (nearly) nothing. An Arena is not safe for concurrent use; create
-// one per goroutine with NewArena. Result.Buffers returned by RunArena
-// alias arena memory and are valid until the next RunArena call on the
-// same arena. An arena whose run returned an error must be discarded.
+// one per goroutine with NewArena, or borrow one from the program's
+// pool with AcquireArena. Result.Buffers returned by RunArena alias
+// arena memory and are valid until the next RunArena call on the same
+// arena (or its release back to the pool). An arena whose run returned
+// an error must be discarded; ReleaseArena drops such arenas on the
+// floor.
 type Arena struct {
 	prog *Program
 
-	bufs  [][]int32 // per-node block-id arrays, capacity-bounded
-	flat  []int32   // per-step extraction scratch, indexed by moveOff
-	marks [][]int32 // per-worker block marks (marks[0] serves the serial path)
-	out   []*block.Buffer
+	bufs [][]int32 // per-node block-id arrays, capacity-bounded
+	flat []int32   // per-step extraction scratch, indexed by moveOff
+	out  []*block.Buffer
+	bad  bool // a replay errored; the arena must not be pooled
 
 	// Cached replay partitions for the parallel path, keyed by the
 	// worker count they were built for.
@@ -434,9 +544,32 @@ func (p *Program) NewArena() *Arena {
 			a.bufs[i] = make([]int32, 0, p.capacity[i])
 		}
 		a.flat = make([]int32, p.maxStepPayload)
-		a.marks = [][]int32{make([]int32, p.numBlocks)}
 	}
 	return a
+}
+
+// AcquireArena returns an arena for p from its free list, falling back
+// to NewArena when the pool is empty. Concurrent replays of one shared
+// (e.g. cached) program should bracket every run with AcquireArena and
+// ReleaseArena so the per-run buffer backing is recycled instead of
+// reallocated; the pool is sync.Pool-backed and safe for concurrent
+// use.
+func (p *Program) AcquireArena() *Arena {
+	if a, ok := p.arenas.Get().(*Arena); ok && a != nil {
+		return a
+	}
+	return p.NewArena()
+}
+
+// ReleaseArena returns a to p's free list. The caller must be done
+// with the previous RunArena result — its Buffers alias arena memory.
+// Arenas that do not belong to p or whose last run errored are
+// discarded instead of pooled.
+func (p *Program) ReleaseArena(a *Arena) {
+	if a == nil || a.prog != p || a.bad {
+		return
+	}
+	p.arenas.Put(a)
 }
 
 // Run executes the program with a one-shot arena. For replay-many
@@ -459,14 +592,15 @@ func (p *Program) RunArena(a *Arena, opt Options) (*Result, error) {
 		a.reset()
 		var err error
 		if opt.Serial {
-			err = a.replaySerial()
+			a.replaySerial()
 		} else {
 			err = a.replayParallel(opt.Workers)
 		}
-		if err != nil {
-			return nil, err
+		if err == nil {
+			err = a.checkDelivery()
 		}
-		if err := a.checkDelivery(); err != nil {
+		if err != nil {
+			a.bad = true
 			return nil, err
 		}
 		res.Replayed = true
@@ -479,8 +613,6 @@ func (p *Program) RunArena(a *Arena, opt Options) (*Result, error) {
 }
 
 // reset restores the arena's buffers to the initial traffic placement.
-// The mark tables are already zero: every replay clears the bits it
-// set, and erroring runs poison the arena (see Arena doc).
 func (a *Arena) reset() {
 	p := a.prog
 	for i := range a.bufs {
@@ -493,70 +625,71 @@ func (a *Arena) reset() {
 }
 
 // extract moves pt's payload out of the source buffer into the flat
-// scratch at pt.moveOff, preserving buffer order, using mark as the
-// membership table. It returns the number of ids extracted.
-func (a *Arena) extract(pt *ptransfer, mark []int32) int {
-	if len(pt.payload) == 0 {
-		return 0
+// scratch at pt.moveOff via the precomputed spans: one bulk copy per
+// span into the scratch, then one compaction pass shifting the
+// surviving runs (and, on the serial path, any blocks appended to the
+// buffer earlier in the step) down over the extracted holes. Buffer
+// order is preserved on both sides, exactly like the former per-index
+// mark walk, at memmove speed.
+func (a *Arena) extract(pt *ptransfer) {
+	buf := a.bufs[int(pt.src)]
+	w := pt.moveOff
+	for _, sp := range pt.spans {
+		w += copy(a.flat[w:], buf[sp.start:sp.end])
 	}
-	for _, id := range pt.payload {
-		mark[id]++
-	}
-	src := int(pt.src)
-	buf := a.bufs[src]
-	keep := buf[:0]
-	mv := a.flat[pt.moveOff:pt.moveOff]
-	for _, id := range buf {
-		if mark[id] > 0 {
-			mark[id]--
-			mv = append(mv, id)
-		} else {
-			keep = append(keep, id)
+	w = int(pt.spans[0].start)
+	for i := range pt.spans {
+		gapStart := int(pt.spans[i].end)
+		gapEnd := len(buf)
+		if i+1 < len(pt.spans) {
+			gapEnd = int(pt.spans[i+1].start)
 		}
+		w += copy(buf[w:], buf[gapStart:gapEnd])
 	}
-	a.bufs[src] = keep
-	for _, id := range pt.payload {
-		mark[id] = 0 // clear residue of unheld (or duplicated) payload ids
-	}
-	return len(mv)
+	a.bufs[int(pt.src)] = buf[:w]
 }
 
 // replaySerial is the compiled twin of the uncompiled serial reference:
 // transfers strictly in schedule order, each extraction seeing every
-// earlier insertion of the same step.
-func (a *Arena) replaySerial() error {
-	mark := a.marks[0]
+// earlier insertion of the same step. The compile-time reference replay
+// proved the whole chain, so the replay is pure data movement; the
+// rematerialization guard in checkDelivery catches corruption.
+func (a *Arena) replaySerial() {
 	for si := range a.prog.steps {
 		ps := &a.prog.steps[si]
 		for ti := range ps.transfers {
 			pt := &ps.transfers[ti]
-			if took := a.extract(pt, mark); took != len(pt.payload) {
-				return a.replayError(ps, ti, took)
+			if len(pt.payload) == 0 {
+				continue
 			}
+			a.extract(pt)
 			a.bufs[pt.dst] = append(a.bufs[pt.dst], a.flat[pt.moveOff:pt.moveOff+len(pt.payload)]...)
 		}
 	}
-	return nil
 }
 
 // replayParallel is the compiled twin of the uncompiled fan-out path:
 // per step, extraction sharded by sender and insertion by receiver
 // (the one-port model makes those partitions conflict-free), with a
-// barrier between them enforcing synchronous-step semantics. Each
-// worker owns a private mark table from the arena, so payload
-// membership tests never share cache lines, and every transfer writes
-// its extraction into its own pre-assigned flat-scratch segment.
+// barrier between them enforcing synchronous-step semantics. Every
+// transfer writes its extraction into its own pre-assigned
+// flat-scratch segment, so workers share no cursor. Schedules that
+// forward a block within the step that delivered it were flagged at
+// compile time and are rejected here, matching the uncompiled parallel
+// path's refusal.
 func (a *Arena) replayParallel(workers int) error {
+	if err := a.prog.parallelErr; err != nil {
+		return err
+	}
 	a.ensureBuckets(workers)
 	// The two stage closures are hoisted out of the step loop (reading
 	// the current step through ps) so a replay allocates two closures
-	// and one error collector total, not per step.
+	// total, not per step.
 	var ps *pstep
-	var ferr par.FirstError
-	extract := func(w, ti int) {
+	extract := func(_, ti int) {
 		pt := &ps.transfers[ti]
-		if took := a.extract(pt, a.marks[w]); took != len(pt.payload) {
-			ferr.Report(ti, a.replayError(ps, ti, took))
+		if len(pt.payload) > 0 {
+			a.extract(pt)
 		}
 	}
 	insert := func(_, ti int) {
@@ -569,21 +702,17 @@ func (a *Arena) replayParallel(workers int) error {
 			continue
 		}
 		par.RunBucketsWorker(a.srcBuckets[si], extract)
-		if err := ferr.Err(); err != nil {
-			return err
-		}
 		par.RunBucketsWorker(a.dstBuckets[si], insert)
 	}
 	return nil
 }
 
 // ensureBuckets (re)builds the cached per-step sender/receiver
-// partitions when the worker count changes, and sizes one mark table
-// per worker. Rebuilding is the only allocating path of a reused
-// arena; repeat runs with the same worker count reuse everything.
+// partitions when the worker count changes. Rebuilding is the only
+// allocating path of a reused arena; repeat runs with the same worker
+// count reuse everything.
 func (a *Arena) ensureBuckets(workers int) {
 	p := a.prog
-	maxBuckets := 1
 	if a.bucketWorkers != workers || a.srcBuckets == nil {
 		a.srcBuckets = make([][][]int, len(p.steps))
 		a.dstBuckets = make([][][]int, len(p.steps))
@@ -594,22 +723,9 @@ func (a *Arena) ensureBuckets(workers int) {
 			}
 			a.srcBuckets[si] = par.Buckets(workers, len(trs), func(i int) int { return int(trs[i].src) })
 			a.dstBuckets[si] = par.Buckets(workers, len(trs), func(i int) int { return int(trs[i].dst) })
-			if len(a.srcBuckets[si]) > maxBuckets {
-				maxBuckets = len(a.srcBuckets[si])
-			}
 		}
 		a.bucketWorkers = workers
-		for len(a.marks) < maxBuckets {
-			a.marks = append(a.marks, make([]int32, p.numBlocks))
-		}
 	}
-}
-
-// replayError reports a transfer whose source no longer held its
-// payload — impossible unless the schedule was mutated after Compile.
-func (a *Arena) replayError(ps *pstep, ti, took int) error {
-	return fmt.Errorf("exec: phase %q step %d: node %d extracted %d blocks, want %d (schedule mutated after Compile?)",
-		ps.phase.Name, ps.stepIndex, ps.transfers[ti].src, took, len(ps.transfers[ti].payload))
 }
 
 // checkDelivery is the run-time rematerialization guard: the compiled

@@ -9,9 +9,11 @@ package exec_test
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"torusx/internal/algorithm"
+	"torusx/internal/block"
 	"torusx/internal/costmodel"
 	"torusx/internal/exec"
 	"torusx/internal/schedule"
@@ -243,4 +245,60 @@ func TestCompiledSparseTraffic(t *testing.T) {
 		t.Errorf("Measure differs: %+v vs %+v", got.Measure, ref.Measure)
 	}
 	sameBuffers(t, ref.Buffers, got.Buffers)
+}
+
+// TestIntraStepForwardingVerdicts pins the executor's verdicts on a
+// schedule where a transfer forwards a block delivered earlier in the
+// same step: node 0 sends B[0,2] to node 1, and node 1 forwards it to
+// node 2 within one step. Serial interleaved semantics accept it; the
+// two-barrier parallel replay cannot express it, so both the compiled
+// and uncompiled parallel paths must reject — the compiled one at
+// replay time from a verdict precomputed during Compile.
+func TestIntraStepForwardingVerdicts(t *testing.T) {
+	tor := topology.MustNew(4)
+	b02 := block.Block{Origin: 0, Dest: 2}
+	sc := &schedule.Schedule{
+		Torus: tor,
+		Phases: []schedule.Phase{{
+			Name: "p",
+			Steps: []schedule.Step{{
+				Transfers: []schedule.Transfer{
+					{Src: 0, Dst: 1, Blocks: 1, Payload: []block.Block{b02}},
+					{Src: 1, Dst: 2, Blocks: 1, Payload: []block.Block{b02}},
+				},
+			}},
+		}},
+	}
+	traffic := []block.Block{b02}
+
+	// Compile accepts the schedule: serially it is valid.
+	pg, err := exec.Compile(sc, exec.Options{Traffic: traffic})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	res, err := pg.Run(exec.Options{Serial: true})
+	if err != nil {
+		t.Fatalf("compiled serial run: %v", err)
+	}
+	if !res.Replayed {
+		t.Error("compiled serial run did not replay")
+	}
+	if _, err := pg.Run(exec.Options{}); err == nil {
+		t.Error("compiled parallel run accepted an intra-step forward")
+	} else if !strings.Contains(err.Error(), "forwards") || !strings.Contains(err.Error(), "Options.Serial") {
+		t.Errorf("compiled parallel error %q should name the forward and the serial remedy", err)
+	}
+	// The parallel verdict must not poison later serial replays of the
+	// same program (fresh arena: the erroring one is never pooled).
+	if _, err := pg.Run(exec.Options{Serial: true}); err != nil {
+		t.Errorf("compiled serial run after parallel rejection: %v", err)
+	}
+
+	// The uncompiled executor agrees on both verdicts.
+	if _, err := exec.Run(sc, exec.Options{Traffic: traffic, Serial: true}); err != nil {
+		t.Errorf("uncompiled serial run: %v", err)
+	}
+	if _, err := exec.Run(sc, exec.Options{Traffic: traffic}); err == nil {
+		t.Error("uncompiled parallel run accepted an intra-step forward")
+	}
 }

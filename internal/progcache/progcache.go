@@ -1,0 +1,308 @@
+// Package progcache is the compiled-program serving layer: a
+// concurrent, sharded, byte-bounded LRU cache of exec.Program keyed by
+// (algorithm, torus shape, compile-options fingerprint), with
+// singleflight deduplication so N concurrent requests for the same
+// shape trigger exactly one compile. The ROADMAP's serving scenario —
+// many tenants asking for exchange plans across many shapes — pays
+// exec.Compile once per (algorithm, shape) per process instead of once
+// per request: a warm hit is a couple of map lookups, and a compiled
+// Program is immutable and safe to share, so every requester replays
+// the same cached plan through its own (pooled) Arena.
+package progcache
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"torusx/internal/block"
+	"torusx/internal/exec"
+	"torusx/internal/topology"
+)
+
+// DefaultMaxBytes is the default cache budget: generous against the
+// compiled footprint of the shapes the tools sweep (an 8x8 direct
+// program is ~1 MiB; structural programs are a few KiB), small against
+// a serving host.
+const DefaultMaxBytes = 256 << 20
+
+// numShards spreads keys over independently locked LRUs so concurrent
+// tenants requesting different shapes never serialize on one mutex.
+const numShards = 16
+
+// Cache is a concurrent sharded LRU of compiled programs, bounded in
+// SizeBytes with singleflight compile deduplication. The zero value is
+// not usable; construct with New.
+type Cache struct {
+	shards     [numShards]shard
+	shardBytes int64
+	seed       maphash.Seed
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	compiles  atomic.Int64
+	evictions atomic.Int64
+	oversize  atomic.Int64
+}
+
+type shard struct {
+	mu       sync.Mutex
+	entries  map[string]*entry
+	inflight map[string]*call
+	bytes    int64
+	// Intrusive LRU list: head.next is most recent, head.prev least.
+	head entry
+}
+
+type entry struct {
+	key        string
+	prog       *exec.Program
+	size       int64
+	prev, next *entry
+}
+
+// call is one in-flight compile other requesters wait on.
+type call struct {
+	wg   sync.WaitGroup
+	prog *exec.Program
+	err  error
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	// Hits counts requests served from the LRU; Misses counts requests
+	// that started a compile; Coalesced counts requests that waited on
+	// another request's in-flight compile (singleflight).
+	Hits, Misses, Coalesced int64
+	// Compiles counts compile invocations (== Misses; kept separate so
+	// a drift would surface a dedup bug).
+	Compiles int64
+	// Evictions counts entries dropped to respect the byte budget;
+	// Oversize counts compiled programs too large to cache at all.
+	Evictions, Oversize int64
+	// Entries and Bytes describe the current cache contents.
+	Entries int
+	Bytes   int64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("hits %d  misses %d  coalesced %d  compiles %d  evictions %d  entries %d  bytes %d",
+		s.Hits, s.Misses, s.Coalesced, s.Compiles, s.Evictions, s.Entries, s.Bytes)
+}
+
+// New returns a cache bounded to maxBytes of compiled programs
+// (exec.Program.SizeBytes), spread over the internal shards.
+// maxBytes <= 0 selects DefaultMaxBytes.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	c := &Cache{
+		shardBytes: (maxBytes + numShards - 1) / numShards,
+		seed:       maphash.MakeSeed(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.entries = make(map[string]*entry)
+		s.inflight = make(map[string]*call)
+		s.head.next, s.head.prev = &s.head, &s.head
+	}
+	return c
+}
+
+// Key builds the canonical cache key for compiling algorithm alg on t
+// with the given options fingerprint (see Fingerprint). One allocation
+// (the returned string), so warm lookups stay within the serving
+// layer's per-request allocation budget.
+func Key(alg string, t *topology.Torus, fp uint64) string {
+	var buf [64]byte
+	b := append(buf[:0], alg...)
+	b = append(b, '@')
+	for i := 0; i < t.NDims(); i++ {
+		if i > 0 {
+			b = append(b, 'x')
+		}
+		b = strconv.AppendInt(b, int64(t.Dim(i)), 10)
+	}
+	if fp != 0 {
+		b = append(b, '#')
+		b = strconv.AppendUint(b, fp, 16)
+	}
+	return string(b)
+}
+
+// Fingerprint reduces the compile-relevant exec.Options to a key
+// component. Only fields exec.Compile consumes participate: SkipChecks
+// and the declared traffic matrix (order-insensitively hashed, so two
+// permutations of one matrix share a program). Run-time choices —
+// Serial, Workers, Telemetry — never split the cache. The nil
+// (all-to-all) matrix fingerprints to a constant distinct from any
+// explicit matrix, including an explicit empty one.
+func Fingerprint(opt exec.Options) uint64 {
+	var fp uint64
+	if opt.SkipChecks {
+		fp |= 1
+	}
+	if opt.Traffic != nil {
+		h := uint64(1099511628211)
+		for _, b := range opt.Traffic {
+			// FNV-style per-block hash, combined commutatively so the
+			// fingerprint is order-insensitive (exec rejects duplicate
+			// blocks, so addition cannot alias distinct matrices by
+			// reordering).
+			h += blockHash(b)
+		}
+		fp |= h<<1 | 2
+	}
+	return fp
+}
+
+func blockHash(b block.Block) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	h = (h ^ uint64(b.Origin)) * prime
+	h = (h ^ uint64(b.Dest)) * prime
+	return h
+}
+
+// GetOrCompile returns the cached program for key, or runs compile to
+// produce it. Concurrent callers with the same key share one compile:
+// exactly one runs, the rest wait and receive its result. Errors are
+// returned to every waiter and never cached, so a transient failure
+// does not poison the key. Programs larger than a shard's byte budget
+// are returned uncached.
+func (c *Cache) GetOrCompile(key string, compile func() (*exec.Program, error)) (*exec.Program, error) {
+	s := &c.shards[c.shardOf(key)]
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.moveToFront(e)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return e.prog, nil
+	}
+	if cl, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		c.coalesced.Add(1)
+		cl.wg.Wait()
+		return cl.prog, cl.err
+	}
+	cl := &call{}
+	cl.wg.Add(1)
+	s.inflight[key] = cl
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	c.compiles.Add(1)
+	prog, err := compile()
+	cl.prog, cl.err = prog, err
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if err == nil {
+		c.insertLocked(s, key, prog)
+	}
+	s.mu.Unlock()
+	cl.wg.Done()
+	return prog, err
+}
+
+// Get returns the cached program for key without compiling.
+func (c *Cache) Get(key string) (*exec.Program, bool) {
+	s := &c.shards[c.shardOf(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		s.moveToFront(e)
+		c.hits.Add(1)
+		return e.prog, true
+	}
+	return nil, false
+}
+
+// insertLocked files prog under key and evicts from the shard's LRU
+// tail until the shard fits its byte budget. Caller holds s.mu.
+func (c *Cache) insertLocked(s *shard, key string, prog *exec.Program) {
+	size := prog.SizeBytes()
+	if size > c.shardBytes {
+		c.oversize.Add(1)
+		return
+	}
+	if old, ok := s.entries[key]; ok {
+		// Lost a race with another non-coalesced insert of the same key
+		// (possible across an eviction); keep the incumbent.
+		_ = old
+		return
+	}
+	e := &entry{key: key, prog: prog, size: size}
+	s.entries[key] = e
+	s.pushFront(e)
+	s.bytes += size
+	for s.bytes > c.shardBytes {
+		lru := s.head.prev
+		if lru == &s.head || lru == e {
+			break
+		}
+		s.remove(lru)
+		delete(s.entries, lru.key)
+		s.bytes -= lru.size
+		c.evictions.Add(1)
+	}
+}
+
+// Stats snapshots the counters and sums the per-shard contents.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Compiles:  c.compiles.Load(),
+		Evictions: c.evictions.Load(),
+		Oversize:  c.oversize.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.entries)
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Keys lists the cached keys, sorted, for tests and introspection.
+func (c *Cache) Keys() []string {
+	var keys []string
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k := range s.entries {
+			keys = append(keys, k)
+		}
+		s.mu.Unlock()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (c *Cache) shardOf(key string) uint64 {
+	return maphash.String(c.seed, key) % numShards
+}
+
+func (s *shard) pushFront(e *entry) {
+	e.prev, e.next = &s.head, s.head.next
+	e.prev.next, e.next.prev = e, e
+}
+
+func (s *shard) remove(e *entry) {
+	e.prev.next, e.next.prev = e.next, e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) moveToFront(e *entry) {
+	s.remove(e)
+	s.pushFront(e)
+}

@@ -1,0 +1,270 @@
+package progcache_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"torusx/internal/baseline"
+	"torusx/internal/block"
+	"torusx/internal/exec"
+	"torusx/internal/progcache"
+	"torusx/internal/topology"
+)
+
+// compileDirect compiles the direct-exchange schedule on tor — a real
+// program with payload spans, so SizeBytes is meaningful.
+func compileDirect(tor *topology.Torus) (*exec.Program, error) {
+	return exec.Compile(baseline.DirectSchedule(tor), exec.Options{})
+}
+
+func TestKeyFormat(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	if got, want := progcache.Key("direct", tor, 0), "direct@8x8"; got != want {
+		t.Errorf("Key = %q, want %q", got, want)
+	}
+	if got, want := progcache.Key("ring", topology.MustNew(4, 4, 4), 0x2b), "ring@4x4x4#2b"; got != want {
+		t.Errorf("Key = %q, want %q", got, want)
+	}
+	if got, want := progcache.Key("proposed", topology.MustNew(12), 0), "proposed@12"; got != want {
+		t.Errorf("Key = %q, want %q", got, want)
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	if fp := progcache.Fingerprint(exec.Options{}); fp != 0 {
+		t.Errorf("zero options fingerprint = %#x, want 0", fp)
+	}
+	if fp := progcache.Fingerprint(exec.Options{SkipChecks: true}); fp != 1 {
+		t.Errorf("SkipChecks fingerprint = %#x, want 1", fp)
+	}
+	// Runtime-only options never split the cache.
+	if fp := progcache.Fingerprint(exec.Options{Serial: true, Workers: 7}); fp != 0 {
+		t.Errorf("runtime options fingerprint = %#x, want 0", fp)
+	}
+	// nil traffic (full all-to-all) is distinct from an explicit empty
+	// matrix, and from any non-empty matrix.
+	empty := progcache.Fingerprint(exec.Options{Traffic: []block.Block{}})
+	if empty == 0 {
+		t.Error("empty traffic matrix fingerprints like nil")
+	}
+	a := progcache.Fingerprint(exec.Options{Traffic: []block.Block{{Origin: 0, Dest: 2}, {Origin: 1, Dest: 3}}})
+	b := progcache.Fingerprint(exec.Options{Traffic: []block.Block{{Origin: 1, Dest: 3}, {Origin: 0, Dest: 2}}})
+	c := progcache.Fingerprint(exec.Options{Traffic: []block.Block{{Origin: 0, Dest: 3}, {Origin: 1, Dest: 2}}})
+	if a != b {
+		t.Errorf("fingerprint is order-sensitive: %#x vs %#x", a, b)
+	}
+	if a == c || a == empty || a == 0 {
+		t.Errorf("distinct matrices collide: a=%#x c=%#x empty=%#x", a, c, empty)
+	}
+}
+
+func TestWarmHitReturnsSameProgram(t *testing.T) {
+	c := progcache.New(0)
+	tor := topology.MustNew(4, 4)
+	key := progcache.Key("direct", tor, 0)
+	p1, err := c.GetOrCompile(key, func() (*exec.Program, error) { return compileDirect(tor) })
+	if err != nil {
+		t.Fatalf("cold GetOrCompile: %v", err)
+	}
+	p2, err := c.GetOrCompile(key, func() (*exec.Program, error) {
+		t.Error("warm GetOrCompile invoked compile")
+		return compileDirect(tor)
+	})
+	if err != nil {
+		t.Fatalf("warm GetOrCompile: %v", err)
+	}
+	if p1 != p2 {
+		t.Error("warm hit returned a different *Program")
+	}
+	if p3, ok := c.Get(key); !ok || p3 != p1 {
+		t.Errorf("Get = (%p, %v), want (%p, true)", p3, ok, p1)
+	}
+	st := c.Stats()
+	if st.Compiles != 1 || st.Misses != 1 || st.Hits != 2 || st.Entries != 1 {
+		t.Errorf("stats after warm hit: %+v", st)
+	}
+	if st.Bytes != p1.SizeBytes() {
+		t.Errorf("cached bytes = %d, want SizeBytes %d", st.Bytes, p1.SizeBytes())
+	}
+}
+
+// TestSingleflight is the acceptance-criteria test: 64 concurrent
+// requests for one uncached key trigger exactly one Compile, and every
+// requester receives the same compiled program.
+func TestSingleflight(t *testing.T) {
+	c := progcache.New(0)
+	tor := topology.MustNew(8, 8)
+	key := progcache.Key("direct", tor, 0)
+
+	var compiles atomic.Int64
+	release := make(chan struct{})
+	compile := func() (*exec.Program, error) {
+		compiles.Add(1)
+		<-release // hold the flight open until all requesters are in
+		return compileDirect(tor)
+	}
+
+	const goroutines = 64
+	progs := make([]*exec.Program, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			progs[i], errs[i] = c.GetOrCompile(key, compile)
+		}(i)
+	}
+	// Give every goroutine time to reach the cache, then let the single
+	// compile finish. (A late arrival that misses the in-flight window
+	// would wrongly bump the compile count — the assertion below is the
+	// point of the test.)
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := compiles.Load(); n != 1 {
+		t.Fatalf("64 concurrent requests ran %d compiles, want 1", n)
+	}
+	for i := range progs {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if progs[i] != progs[0] {
+			t.Fatalf("goroutine %d received a different program", i)
+		}
+	}
+	st := c.Stats()
+	if st.Compiles != 1 || st.Misses != 1 {
+		t.Errorf("stats: %+v, want 1 compile / 1 miss", st)
+	}
+	if st.Hits+st.Coalesced != goroutines-1 {
+		t.Errorf("hits %d + coalesced %d = %d, want %d", st.Hits, st.Coalesced, st.Hits+st.Coalesced, goroutines-1)
+	}
+}
+
+func TestErrorNotCached(t *testing.T) {
+	c := progcache.New(0)
+	boom := errors.New("transient failure")
+	key := "direct@4x4"
+	var calls atomic.Int64
+	if _, err := c.GetOrCompile(key, func() (*exec.Program, error) {
+		calls.Add(1)
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	tor := topology.MustNew(4, 4)
+	p, err := c.GetOrCompile(key, func() (*exec.Program, error) {
+		calls.Add(1)
+		return compileDirect(tor)
+	})
+	if err != nil || p == nil {
+		t.Fatalf("retry after error: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("compile calls = %d, want 2 (errors must not be cached)", calls.Load())
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Misses != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestEvictionRespectsByteBudget(t *testing.T) {
+	tor := topology.MustNew(4, 4)
+	probe, err := compileDirect(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := probe.SizeBytes()
+	// Budget each shard to hold one program (plus slack, minus two), so
+	// any shard receiving a second key must evict its first.
+	maxBytes := (size + size/2) * 16
+	c := progcache.New(maxBytes)
+	const keys = 48
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("direct@4x4#tenant%d", i)
+		if _, err := c.GetOrCompile(key, func() (*exec.Program, error) { return compileDirect(tor) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Errorf("no evictions after %d inserts into a %d-byte cache (program size %d)", keys, maxBytes, size)
+	}
+	if st.Bytes > maxBytes {
+		t.Errorf("cached bytes %d exceed budget %d", st.Bytes, maxBytes)
+	}
+	if st.Entries+int(st.Evictions) != keys {
+		t.Errorf("entries %d + evictions %d != inserts %d", st.Entries, st.Evictions, keys)
+	}
+	if len(c.Keys()) != st.Entries {
+		t.Errorf("Keys() length %d != Entries %d", len(c.Keys()), st.Entries)
+	}
+}
+
+func TestOversizeNotCached(t *testing.T) {
+	c := progcache.New(16) // 1 byte per shard: nothing fits
+	tor := topology.MustNew(4, 4)
+	key := progcache.Key("direct", tor, 0)
+	var calls atomic.Int64
+	for i := 0; i < 2; i++ {
+		p, err := c.GetOrCompile(key, func() (*exec.Program, error) {
+			calls.Add(1)
+			return compileDirect(tor)
+		})
+		if err != nil || p == nil {
+			t.Fatalf("GetOrCompile %d: %v", i, err)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Errorf("compile calls = %d, want 2 (oversize programs are not cached)", calls.Load())
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Oversize != 2 || st.Bytes != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+// TestConcurrentMixedKeys hammers the cache with many tenants over a
+// small key set under -race: every returned program must be the one
+// cached for its key.
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := progcache.New(0)
+	shapes := []*topology.Torus{
+		topology.MustNew(4, 4),
+		topology.MustNew(8),
+		topology.MustNew(2, 2, 2),
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tor := shapes[(g+i)%len(shapes)]
+				key := progcache.Key("direct", tor, 0)
+				p, err := c.GetOrCompile(key, func() (*exec.Program, error) { return compileDirect(tor) })
+				if err != nil {
+					t.Errorf("GetOrCompile(%s): %v", key, err)
+					return
+				}
+				if cached, ok := c.Get(key); !ok || cached != p {
+					t.Errorf("Get(%s) disagrees with GetOrCompile", key)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries != len(shapes) {
+		t.Errorf("entries = %d, want %d", st.Entries, len(shapes))
+	}
+	if st.Compiles > int64(len(shapes)) {
+		t.Errorf("compiles = %d, want ≤ %d (singleflight)", st.Compiles, len(shapes))
+	}
+}

@@ -50,3 +50,66 @@ func TestAppendPathLinkIDs(t *testing.T) {
 		}
 	}
 }
+
+// TestLinkIDExhaustiveRoundTrip: the whole dense id space must invert
+// exactly — LinkID(LinkAt(id)) == id for every id in [0, NumLinkIDs())
+// — with in-range components, on asymmetric and virtual-node (size-1
+// and size-2 dimension) shapes. The id space deliberately covers
+// (node, dim, dir) slots that carry no physical link (size-1 dims), so
+// this is strictly wider than the AllLinks round trip above.
+func TestLinkIDExhaustiveRoundTrip(t *testing.T) {
+	for _, dims := range [][]int{{8, 8}, {12, 8}, {4, 4, 4}, {5, 1, 3}, {1}, {2, 1, 4}, {16, 16}, {7}} {
+		tor := MustNew(dims...)
+		n := tor.NumLinkIDs()
+		if want := tor.Nodes() * tor.NDims() * 2; n != want {
+			t.Fatalf("%v: NumLinkIDs = %d, want %d", dims, n, want)
+		}
+		for id := 0; id < n; id++ {
+			l := tor.LinkAt(id)
+			if int(l.From) < 0 || int(l.From) >= tor.Nodes() {
+				t.Fatalf("%v: LinkAt(%d).From = %d out of range", dims, id, l.From)
+			}
+			if l.Dim < 0 || l.Dim >= tor.NDims() {
+				t.Fatalf("%v: LinkAt(%d).Dim = %d out of range", dims, id, l.Dim)
+			}
+			if l.Dir != Pos && l.Dir != Neg {
+				t.Fatalf("%v: LinkAt(%d).Dir = %v", dims, id, l.Dir)
+			}
+			if got := tor.LinkID(l); got != id {
+				t.Fatalf("%v: LinkID(LinkAt(%d)) = %d", dims, id, got)
+			}
+		}
+	}
+}
+
+// TestAppendPathLinkIDsProperty: on asymmetric and virtual-node
+// shapes, for every source node, dimension, direction and hop count up
+// to a full wrap plus one, the dense expansion must agree element-wise
+// with PathLinks, and appending must preserve an existing prefix.
+func TestAppendPathLinkIDsProperty(t *testing.T) {
+	for _, dims := range [][]int{{12, 8}, {5, 1, 3}, {2, 2}, {7}} {
+		tor := MustNew(dims...)
+		for node := 0; node < tor.Nodes(); node++ {
+			src := tor.CoordOf(NodeID(node))
+			for dim := 0; dim < tor.NDims(); dim++ {
+				for _, dir := range []Direction{Pos, Neg} {
+					for hops := 0; hops <= tor.Dim(dim)+1; hops++ {
+						prefix := []int32{-7}
+						ids := tor.AppendPathLinkIDs(prefix, src, dim, dir, hops)
+						if len(ids) != 1+hops || ids[0] != -7 {
+							t.Fatalf("%v node %d dim %d dir %v hops %d: prefix not preserved (%v)",
+								dims, node, dim, dir, hops, ids)
+						}
+						links := tor.PathLinks(src, dim, dir, hops)
+						for i, l := range links {
+							if int(ids[1+i]) != tor.LinkID(l) {
+								t.Fatalf("%v node %d dim %d dir %v hop %d: id %d, want %d (%v)",
+									dims, node, dim, dir, i, ids[1+i], tor.LinkID(l), l)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -264,16 +264,19 @@ func Compare(alg Algorithm, dims ...int) (Measure, error) {
 	if err != nil {
 		return Measure{}, err
 	}
-	// Compile-once, replay-many: the schedule is validated and lowered
-	// by exec.Compile, and the run is the compiled executor's fast path.
+	// Compile-once, replay-many: BuildProgram serves the compiled form
+	// from the process-wide program cache, and the replay runs in a
+	// pooled arena so repeated Compare calls reuse buffer backing.
 	pg, err := algorithm.BuildProgram(b, t, exec.Options{})
 	if err != nil {
 		return Measure{}, err
 	}
-	res, err := pg.Run(exec.Options{})
+	arena := pg.AcquireArena()
+	res, err := pg.RunArena(arena, exec.Options{})
 	if err != nil {
 		return Measure{}, err
 	}
+	pg.ReleaseArena(arena)
 	return res.Measure, nil
 }
 
