@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	aape -dims 12x12 [-alg proposed|direct|ring|factored|logtime|concurrent|virtual] [-m 64] [-ts 25 -tc 0.01 -tl 0.05 -rho 0.005] [-parallel=true] [-workers N] [-telemetry ev.jsonl] [-trace-out t.json] [-heatmap]
+//	aape -dims 12x12 [-fabric torus|dragonfly] [-alg proposed|direct|ring|factored|logtime|concurrent|virtual] [-m 64] [-ts 25 -tc 0.01 -tl 0.05 -rho 0.005] [-parallel=true] [-workers N] [-telemetry ev.jsonl] [-trace-out t.json] [-heatmap]
 //
 // Examples:
 //
@@ -13,6 +13,8 @@
 //	aape -dims 8x8 -alg direct       # non-combining baseline
 //	aape -dims 16x16 -alg logtime    # minimum-startup baseline
 //	aape -dims 32x32 -alg proposed-sim -parallel=false  # serial reference executor
+//	aape -fabric dragonfly -dims 2x4 -alg direct       # D3(2,4) swapped dragonfly
+//	aape -fabric dragonfly -dims 2x4 -alg dimexchange  # port-ordered dragonfly exchange
 //
 // Executor-backed algorithms (direct, ring, factored, logtime,
 // proposed-sim, broadcast, allgather) run through the shared executor,
@@ -45,7 +47,8 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("aape", flag.ContinueOnError)
 	var (
-		dimsFlag     = fs.String("dims", "12x12", "torus shape, e.g. 12x8x4 (sizes non-increasing)")
+		fabricFlag   = fs.String("fabric", "torus", "fabric kind: torus or dragonfly (D3(K,M), shape KxM)")
+		dimsFlag     = fs.String("dims", "12x12", "fabric shape: torus dimensions like 12x8x4, or KxM for -fabric dragonfly")
 		algFlag      = fs.String("alg", "proposed", "algorithm: proposed, direct, ring, factored, logtime, concurrent, virtual, or any registered name ("+strings.Join(algorithm.Names(), ", ")+")")
 		mFlag        = fs.Int("m", 64, "block size in bytes")
 		tsFlag       = fs.Float64("ts", 25, "startup time per message (us)")
@@ -61,13 +64,27 @@ func run(args []string, w io.Writer) error {
 	}
 	execOpt := exec.Options{Serial: !*parallelFlag, Workers: *workersFlag}
 
-	dims, err := cli.ParseDims(*dimsFlag)
+	fab, err := cli.ParseFabric(*fabricFlag, *dimsFlag)
 	if err != nil {
 		return err
 	}
 	params := torusx.CostParams{Ts: *tsFlag, Tc: *tcFlag, Tl: *tlFlag, Rho: *rhoFlag, M: *mFlag}
 
 	alg := *algFlag
+	if _, isTorus := fab.(*topology.Torus); !isTorus {
+		// Non-torus fabrics resolve through the registry only; the
+		// simulator-specific paths below are torus algorithms.
+		switch alg {
+		case "proposed", "concurrent", "virtual":
+			return fmt.Errorf("algorithm %q is torus-only; on %s use one of %s",
+				alg, fab, strings.Join(algorithm.Supporting(fab), ", "))
+		}
+		return runExecutor(w, tel, alg, fab, params, execOpt)
+	}
+	dims, err := cli.ParseDims(*dimsFlag)
+	if err != nil {
+		return err
+	}
 	if tel.Enabled() {
 		switch alg {
 		case "proposed":
@@ -75,7 +92,7 @@ func run(args []string, w io.Writer) error {
 			// does not run through the instrumented executor; the
 			// registry's structural builder emits the same schedule and
 			// does.
-			return runExecutor(w, tel, alg, dims, params, execOpt)
+			return runExecutor(w, tel, alg, fab, params, execOpt)
 		case "concurrent", "virtual":
 			return fmt.Errorf("telemetry is only available for executor-backed algorithms, not %q", alg)
 		}
@@ -124,29 +141,29 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("unknown algorithm %q (expected concurrent, virtual, or one of %s)",
 				alg, strings.Join(algorithm.Names(), ", "))
 		}
-		return runExecutor(w, tel, alg, dims, params, execOpt)
+		return runExecutor(w, tel, alg, fab, params, execOpt)
 	}
 	return nil
 }
 
 // runExecutor runs a registry algorithm through the shared executor,
 // with telemetry attached when requested, and prints the cost report.
-func runExecutor(w io.Writer, tel *cli.Telemetry, alg string, dims []int, params torusx.CostParams, execOpt exec.Options) error {
+func runExecutor(w io.Writer, tel *cli.Telemetry, alg string, fab topology.Fabric, params torusx.CostParams, execOpt exec.Options) error {
 	b, err := algorithm.For(alg)
 	if err != nil {
 		return err
 	}
-	tor, err := topology.New(dims...)
-	if err != nil {
-		return err
+	if !b.Supports(fab) {
+		return fmt.Errorf("algorithm %q does not support %s; have %s",
+			alg, fab, strings.Join(algorithm.Supporting(fab), ", "))
 	}
 	// Compile once (validation + lowering), then run the compiled fast
 	// path; Serial/Workers/Telemetry stay run-time choices.
-	pg, err := algorithm.BuildProgram(b, tor, execOpt)
+	pg, err := algorithm.BuildProgram(b, fab, execOpt)
 	if err != nil {
 		return err
 	}
-	label := b.Name() + "@" + tor.String()
+	label := b.Name() + "@" + fab.String()
 	rec, err := tel.Labeled(params, label)
 	if err != nil {
 		return err
@@ -158,7 +175,7 @@ func runExecutor(w io.Writer, tel *cli.Telemetry, alg string, dims []int, params
 		return err
 	}
 	pg.ReleaseArena(arena)
-	if err := tel.Finish(w, tor, label); err != nil {
+	if err := tel.Finish(w, fab, label); err != nil {
 		return err
 	}
 	mode := "parallel"

@@ -94,7 +94,7 @@ func TestTelemetryFlags(t *testing.T) {
 	// the executor so the run has a timeline to record.
 	tracePath := filepath.Join(t.TempDir(), "trace.json")
 	out := runOut(t, "-dims", "8x8", "-heatmap", "-trace-out", tracePath)
-	if !strings.Contains(out, "link utilization of the 8x8 torus") {
+	if !strings.Contains(out, "link utilization of 8x8 (256 links") {
 		t.Fatalf("missing heatmap:\n%s", out)
 	}
 	if !strings.Contains(out, "wrote Chrome trace") {

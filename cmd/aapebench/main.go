@@ -30,6 +30,9 @@
 //	                                           # regress beyond -tolerance %
 //	aapebench -pprof localhost:6060            # live pprof + expvar while sweeping
 //	aapebench -quick -trace-out t.json -heatmap  # telemetry from an untimed run
+//	aapebench -fabric dragonfly -dims 2x3,2x4  # sweep dragonfly shapes instead
+//	aapebench -smoke                           # compile+replay every (fabric,
+//	                                           # algorithm) registry pair, no timings
 //
 // Cells whose builder rejects the shape (e.g. logtime on non-power-of-
 // two tori) are skipped and reported on stderr.
@@ -73,7 +76,8 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("aapebench", flag.ContinueOnError)
 	var (
-		dimsFlag     = fs.String("dims", "8x8,16x16,4x4x4", "comma-separated torus shapes to sweep")
+		fabricFlag   = fs.String("fabric", "torus", "fabric kind the -dims shapes describe: torus or dragonfly (KxM)")
+		dimsFlag     = fs.String("dims", "8x8,16x16,4x4x4", "comma-separated fabric shapes to sweep")
 		algsFlag     = fs.String("algs", "", "comma-separated algorithms (default: every registered algorithm: "+strings.Join(algorithm.Names(), ", ")+")")
 		outFlag      = fs.String("out", "BENCH_exec.json", "ledger path ('-' = stdout only)")
 		serialFlag   = fs.Bool("serial", false, "time the serial reference executor instead of the parallel one")
@@ -87,6 +91,7 @@ func run(args []string, w io.Writer) error {
 		uncompiledFlag = fs.Bool("uncompiled", false, "time the uncompiled executor (schedule re-validated every op) instead of the compiled replay fast path")
 		baselineFlag   = fs.String("baseline", "", "compare the sweep against this committed ledger: print per-cell ns/op and allocs/op deltas and exit nonzero when allocs/op regress beyond -tolerance percent")
 		toleranceFlag  = fs.Float64("tolerance", 25, "allocs/op regression tolerance for -baseline, in percent")
+		smokeFlag      = fs.Bool("smoke", false, "registry smoke: compile and replay every supported (fabric, algorithm) pair once, report, and exit — no timings, no ledger")
 	)
 	tel := cli.RegisterTelemetry(fs)
 	if err := fs.Parse(args); err != nil {
@@ -113,6 +118,9 @@ func run(args []string, w io.Writer) error {
 	}
 	serial := *serialFlag || !*parallelFlag
 	opt := exec.Options{Serial: serial, Workers: *workersFlag}
+	if *smokeFlag {
+		return registrySmoke(w, opt)
+	}
 
 	ledger := &benchfmt.File{
 		Schema: benchfmt.Schema,
@@ -121,9 +129,9 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "%-14s %-10s %14s %12s %12s %10s %8s\n", "alg", "dims", "ns/op", "allocs/op", "compile ns", "steps", "blocks")
 	var firstLabel string
-	var firstTor *topology.Torus
+	var firstFab topology.Fabric
 	for _, dims := range shapes {
-		tor, err := topology.New(dims...)
+		fab, err := cli.ParseFabric(*fabricFlag, shapeString(dims))
 		if err != nil {
 			return fmt.Errorf("shape %v: %v", dims, err)
 		}
@@ -141,7 +149,7 @@ func run(args []string, w io.Writer) error {
 			var compileNs float64
 			var compileAllocs int64
 			if *uncompiledFlag {
-				sc, err := b.BuildSchedule(tor)
+				sc, err := b.BuildSchedule(fab)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "aapebench: skip %s on %s: %v\n", b.Name(), shapeString(dims), err)
 					continue
@@ -151,7 +159,7 @@ func run(args []string, w io.Writer) error {
 				var pg *exec.Program
 				var buildErr error
 				compileNs, compileAllocs = timeIt(func() {
-					pg, buildErr = algorithm.BuildProgram(b, tor, opt)
+					pg, buildErr = algorithm.BuildProgram(b, fab, opt)
 				})
 				if buildErr != nil {
 					fmt.Fprintf(os.Stderr, "aapebench: skip %s on %s: %v\n", b.Name(), shapeString(dims), buildErr)
@@ -223,7 +231,7 @@ func run(args []string, w io.Writer) error {
 				}
 				if firstLabel == "" {
 					firstLabel = entry.Key()
-					firstTor = tor
+					firstFab = fab
 				}
 			}
 			benchCells.Add(1)
@@ -233,13 +241,13 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	if firstTor != nil {
-		if err := tel.Finish(w, firstTor, firstLabel); err != nil {
+	if firstFab != nil {
+		if err := tel.Finish(w, firstFab, firstLabel); err != nil {
 			return err
 		}
 	}
 	if *shapesFlag > 0 && !*uncompiledFlag {
-		if err := tenantSweep(w, shapes, algs, opt, *shapesFlag); err != nil {
+		if err := tenantSweep(w, *fabricFlag, shapes, algs, opt, *shapesFlag); err != nil {
 			return err
 		}
 	}
@@ -313,14 +321,14 @@ func compareBaseline(w io.Writer, path string, ledger *benchfmt.File, toleranceP
 // the aggregate request rate and the cache's hit/miss/coalesced deltas
 // so a cache regression (e.g. a fingerprint change splitting hot keys)
 // shows up as a miss-rate jump, not just slower wall time.
-func tenantSweep(w io.Writer, shapes [][]int, algs []string, opt exec.Options, tenants int) error {
+func tenantSweep(w io.Writer, fabric string, shapes [][]int, algs []string, opt exec.Options, tenants int) error {
 	type cell struct {
 		b   algorithm.Builder
-		tor *topology.Torus
+		fab topology.Fabric
 	}
 	var cells []cell
 	for _, dims := range shapes {
-		tor, err := topology.New(dims...)
+		fab, err := cli.ParseFabric(fabric, shapeString(dims))
 		if err != nil {
 			return err
 		}
@@ -329,10 +337,10 @@ func tenantSweep(w io.Writer, shapes [][]int, algs []string, opt exec.Options, t
 			if err != nil {
 				return err
 			}
-			if _, err := b.BuildSchedule(tor); err != nil {
+			if _, err := b.BuildSchedule(fab); err != nil {
 				continue // precondition mismatch, already reported by the sweep
 			}
-			cells = append(cells, cell{b, tor})
+			cells = append(cells, cell{b, fab})
 		}
 	}
 	if len(cells) == 0 {
@@ -350,7 +358,7 @@ func tenantSweep(w io.Writer, shapes [][]int, algs []string, opt exec.Options, t
 			for r := 0; r < rounds; r++ {
 				for i := range cells {
 					c := cells[(g+i)%len(cells)] // rotate per tenant: mixed key traffic
-					pg, err := algorithm.BuildProgram(c.b, c.tor, opt)
+					pg, err := algorithm.BuildProgram(c.b, c.fab, opt)
 					if err != nil {
 						errs[g] = err
 						return
@@ -380,6 +388,54 @@ func tenantSweep(w io.Writer, shapes [][]int, algs []string, opt exec.Options, t
 	fmt.Fprintf(w, "tenant sweep cache deltas: hits +%d  misses +%d  coalesced +%d  compiles +%d\n",
 		after.Hits-before.Hits, after.Misses-before.Misses,
 		after.Coalesced-before.Coalesced, after.Compiles-before.Compiles)
+	return nil
+}
+
+// registrySmoke compiles and replays every (fabric, algorithm) pair
+// the registry supports, across representative torus and dragonfly
+// shapes, proving each builder still lowers, checks, and (for
+// payload-carrying schedules) delivers through the shared executor.
+// Cells whose builder rejects a shape precondition (e.g. swing on a
+// non-power-of-two torus) are reported and skipped; a replay failure
+// is fatal. CI's bench-regression job runs this before the timed
+// sweep so a broken registration fails fast, independent of timings.
+func registrySmoke(w io.Writer, opt exec.Options) error {
+	fabrics := []topology.Fabric{
+		topology.MustNew(8, 8),
+		topology.MustNew(4, 4, 4),
+		topology.MustNew(12, 8),
+		topology.MustNewDragonfly(2, 3),
+		topology.MustNewDragonfly(2, 4),
+		topology.MustNewDragonfly(3, 4),
+	}
+	pairs, skipped := 0, 0
+	for _, fab := range fabrics {
+		for _, name := range algorithm.Supporting(fab) {
+			b, err := algorithm.For(name)
+			if err != nil {
+				return err
+			}
+			pg, err := algorithm.BuildProgram(b, fab, opt)
+			if err != nil {
+				fmt.Fprintf(w, "smoke skip: %s@%s: %v\n", name, fab, err)
+				skipped++
+				continue
+			}
+			arena := pg.AcquireArena()
+			res, err := pg.RunArena(arena, opt)
+			pg.ReleaseArena(arena)
+			if err != nil {
+				return fmt.Errorf("smoke: replay %s@%s: %v", name, fab, err)
+			}
+			fmt.Fprintf(w, "smoke ok: %-14s %-10s steps=%-4d blocks=%-8d replayed=%v\n",
+				name, fab, res.Measure.Steps, res.Measure.Blocks, res.Replayed)
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return fmt.Errorf("registry smoke: no (fabric, algorithm) pair ran")
+	}
+	fmt.Fprintf(w, "registry smoke: %d pairs compiled and replayed, %d skipped\n", pairs, skipped)
 	return nil
 }
 

@@ -142,7 +142,7 @@ func TestBenchTelemetryAndSamples(t *testing.T) {
 	if err := run(args, &buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "link utilization of the 8x8 torus") {
+	if !strings.Contains(buf.String(), "link utilization of 8x8 (256 links") {
 		t.Fatalf("missing heatmap:\n%s", buf.String())
 	}
 	if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {

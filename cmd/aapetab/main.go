@@ -8,6 +8,7 @@
 //	aapetab -table switching  # wormhole vs store-and-forward comparison
 //	aapetab -table replay -alg direct   # any algorithm through the shared
 //	                                    # executor and all timing backends
+//	aapetab -table replay -fabric dragonfly -alg dimexchange   # dragonfly sweep
 //
 // Machine parameters can be overridden with -m, -ts, -tc, -tl, -rho.
 package main
@@ -35,6 +36,7 @@ func main() {
 	var (
 		tableFlag    = flag.String("table", "1", "artifact: 1, 2, sweep, ablation, crossover, switching, replay")
 		algFlag      = flag.String("alg", "proposed", "algorithm for -table replay: "+strings.Join(algorithm.Names(), ", "))
+		fabricFlag   = flag.String("fabric", "torus", "fabric for -table replay: torus or dragonfly")
 		mFlag        = flag.Int("m", 64, "block size in bytes")
 		tsFlag       = flag.Float64("ts", 25, "startup time per message (us)")
 		tcFlag       = flag.Float64("tc", 0.01, "transmission time per byte (us)")
@@ -48,6 +50,9 @@ func main() {
 	flag.Parse()
 	if tel.Enabled() && *tableFlag != "replay" {
 		cli.Fatalf("aapetab: -telemetry/-trace-out/-heatmap apply to -table replay only")
+	}
+	if *fabricFlag != "torus" && *tableFlag != "replay" {
+		cli.Fatalf("aapetab: -fabric applies to -table replay only")
 	}
 	p := costmodel.Params{Ts: *tsFlag, Tc: *tcFlag, Tl: *tlFlag, Rho: *rhoFlag, M: *mFlag}
 	render = func(t *stats.Table) string {
@@ -71,7 +76,7 @@ func main() {
 	case "switching":
 		fmt.Print(SwitchingTable(p))
 	case "replay":
-		out, err := Replay(p, *algFlag, ReplayOpt{Serial: !*parallelFlag, Workers: *workersFlag, Telemetry: tel})
+		out, err := Replay(p, *algFlag, ReplayOpt{Serial: !*parallelFlag, Workers: *workersFlag, Fabric: *fabricFlag, Telemetry: tel})
 		if err != nil {
 			cli.Fatalf("aapetab: %v", err)
 		}
@@ -294,13 +299,19 @@ func crossTs(p costmodel.Params, a, b costmodel.Measure) string {
 	return stats.FmtUS(diff / float64(a.Steps-b.Steps))
 }
 
-// replayShapes is the shape sweep of the replay table.
+// replayShapes is the torus shape sweep of the replay table;
+// replayDragonflyShapes is the -fabric dragonfly counterpart.
 var replayShapes = [][]int{{8, 8}, {12, 12}, {16, 16}}
+
+var replayDragonflyShapes = [][2]int{{2, 3}, {2, 4}, {3, 4}}
 
 // ReplayOpt selects the execution path of every Replay backend.
 // Serial forces the single-goroutine reference implementations;
 // otherwise each backend fans out across Workers goroutines
 // (0 = GOMAXPROCS). Both paths produce bit-identical tables.
+// Fabric selects the shape sweep ("" or "torus", or "dragonfly"); the
+// flit-level and event backends are torus simulators, so dragonfly
+// rows report the executor's measures with "-" in those columns.
 // Telemetry, when enabled, attaches a per-shape recorder (label
 // "alg@shape") to the executor and the event simulator, switches the
 // flit simulators to their link-tracking entry points, and appends the
@@ -309,6 +320,7 @@ var replayShapes = [][]int{{8, 8}, {12, 12}, {16, 16}}
 type ReplayOpt struct {
 	Serial    bool
 	Workers   int
+	Fabric    string
 	Telemetry *cli.Telemetry
 }
 
@@ -329,20 +341,33 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 		fmt.Sprintf("Replay of %q through the shared executor; %s", algName, p),
 		"network", "steps", "blocks", "hops", "rearr", "replayed",
 		"model", "eventsim", "WH cycles", "SAF cycles")
-	var firstTor *topology.Torus
-	for _, dims := range replayShapes {
-		tor := topology.MustNew(dims...)
-		pg, berr := algorithm.BuildProgram(b, tor, exec.Options{})
+	var fabrics []topology.Fabric
+	switch opt.Fabric {
+	case "", "torus":
+		for _, dims := range replayShapes {
+			fabrics = append(fabrics, topology.MustNew(dims...))
+		}
+	case "dragonfly", "d3":
+		for _, sh := range replayDragonflyShapes {
+			fabrics = append(fabrics, topology.MustNewDragonfly(sh[0], sh[1]))
+		}
+	default:
+		return "", fmt.Errorf("unknown fabric %q (have torus, dragonfly)", opt.Fabric)
+	}
+	var firstFab topology.Fabric
+	for _, fab := range fabrics {
+		tor, isTorus := fab.(*topology.Torus)
+		pg, berr := algorithm.BuildProgram(b, fab, exec.Options{})
 		if berr != nil {
-			tb.AddRowf(tor.String(), "-", "-", "-", "-", "-", "-", "-", "-",
+			tb.AddRowf(fab.String(), "-", "-", "-", "-", "-", "-", "-", "-",
 				fmt.Sprintf("(%v)", berr))
 			continue
 		}
 		sc := pg.Schedule()
-		if firstTor == nil {
-			firstTor = tor
+		if firstFab == nil {
+			firstFab = fab
 		}
-		rec, err := opt.Telemetry.Labeled(p, algName+"@"+tor.String())
+		rec, err := opt.Telemetry.Labeled(p, algName+"@"+fab.String())
 		if err != nil {
 			return "", err
 		}
@@ -352,6 +377,18 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 			return "", err
 		}
 		pg.ReleaseArena(arena)
+		if !isTorus {
+			// The event and flit-level backends are torus simulators;
+			// non-torus rows carry the executor's verified measures only.
+			replayed := "structural"
+			if res.Replayed {
+				replayed = "verified"
+			}
+			m := res.Measure
+			tb.AddRowf(fab.String(), m.Steps, m.Blocks, m.Hops, m.RearrangedBlocks,
+				replayed, stats.FmtUS(p.Completion(m)), "-", "-", "-")
+			continue
+		}
 		ev := eventsim.RunOpt(tor, sc, p, tor.Nodes(),
 			eventsim.Options{Serial: opt.Serial, Workers: opt.Workers, Telemetry: rec})
 		// A completing step on these shapes needs < 20k cycles; the cap
@@ -450,8 +487,8 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 	}
 	out := strings.Builder{}
 	out.WriteString(render(tb))
-	if firstTor != nil {
-		if err := opt.Telemetry.Finish(&out, firstTor, algName+"@"+firstTor.String()); err != nil {
+	if firstFab != nil {
+		if err := opt.Telemetry.Finish(&out, firstFab, algName+"@"+firstFab.String()); err != nil {
 			return "", err
 		}
 	}

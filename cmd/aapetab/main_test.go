@@ -121,7 +121,7 @@ func TestReplayTelemetry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"link utilization of the 8x8 torus", "wrote Chrome trace"} {
+	for _, want := range []string{"link utilization of 8x8 (256 links", "wrote Chrome trace"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q:\n%s", want, out)
 		}

@@ -19,6 +19,7 @@
 //	aapetrace -dims 8x8 -trace-out t.json  # Perfetto-loadable timeline
 //	aapetrace -dims 8x8 -heatmap           # ASCII link-utilization map
 //	aapetrace -dims 8x8 -telemetry ev.jsonl  # raw event stream
+//	aapetrace -fabric dragonfly -dims 2x4 -alg dimexchange  # dragonfly schedule
 package main
 
 import (
@@ -47,7 +48,8 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("aapetrace", flag.ContinueOnError)
 	var (
-		dimsFlag     = fs.String("dims", "12x12", "torus shape, e.g. 12x8x4")
+		fabricFlag   = fs.String("fabric", "torus", "fabric kind: torus or dragonfly (D3(K,M), shape KxM)")
+		dimsFlag     = fs.String("dims", "12x12", "fabric shape: torus dimensions like 12x8x4, or KxM for -fabric dragonfly")
 		algFlag      = fs.String("alg", "proposed", "algorithm to trace: "+strings.Join(algorithm.Names(), ", "))
 		detailFlag   = fs.Bool("detail", false, "print every transfer")
 		limitFlag    = fs.Int("limit", 8, "max transfers shown per step in -detail (0 = all)")
@@ -63,16 +65,16 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	dims, err := cli.ParseDims(*dimsFlag)
-	if err != nil {
-		return err
-	}
-	tor, err := topology.New(dims...)
+	fab, err := cli.ParseFabric(*fabricFlag, *dimsFlag)
 	if err != nil {
 		return err
 	}
 
 	if *figFlag != "" {
+		tor, ok := fab.(*topology.Torus)
+		if !ok {
+			return fmt.Errorf("-figure renderings are torus diagrams; %s is not a torus", fab)
+		}
 		var out string
 		var ferr error
 		switch *figFlag {
@@ -104,15 +106,19 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if !b.Supports(fab) {
+		return fmt.Errorf("algorithm %q does not support %s; have %s",
+			*algFlag, fab, strings.Join(algorithm.Supporting(fab), ", "))
+	}
 	// Compile validates (and, for payload-carrying schedules, proves
 	// replay and delivery); the run is the compiled fast path. The
 	// timeline's attribution uses the paper's T3D machine parameters.
-	pg, err := algorithm.BuildProgram(b, tor, exec.Options{})
+	pg, err := algorithm.BuildProgram(b, fab, exec.Options{})
 	if err != nil {
 		return err
 	}
 	sc := pg.Schedule()
-	label := *algFlag + "@" + tor.String()
+	label := *algFlag + "@" + fab.String()
 	rec, err := tel.Labeled(costmodel.T3D(64), label)
 	if err != nil {
 		return err
@@ -122,7 +128,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	pg.ReleaseArena(arena)
-	if err := tel.Finish(w, tor, label); err != nil {
+	if err := tel.Finish(w, fab, label); err != nil {
 		return err
 	}
 
@@ -130,8 +136,8 @@ func run(args []string, w io.Writer) error {
 	case *jsonFlag:
 		return sc.WriteJSON(w)
 	case *nodeFlag >= 0:
-		if *nodeFlag >= tor.Nodes() {
-			return fmt.Errorf("node %d out of range (N=%d)", *nodeFlag, tor.Nodes())
+		if *nodeFlag >= fab.Nodes() {
+			return fmt.Errorf("node %d out of range (N=%d)", *nodeFlag, fab.Nodes())
 		}
 		fmt.Fprint(w, trace.NodeHistory(sc, *nodeFlag))
 	case *detailFlag:

@@ -54,7 +54,7 @@ func TestTelemetryFlags(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := b.String()
-	if !strings.Contains(out, "link utilization of the 8x8 torus") {
+	if !strings.Contains(out, "link utilization of 8x8 (256 links") {
 		t.Errorf("missing heatmap in output:\n%s", out)
 	}
 	data, err := os.ReadFile(jsonl)

@@ -6,6 +6,11 @@
 // apples-to-apples — torusx.Compare, cmd/aapetrace -alg and
 // cmd/aapetab -alg all resolve a name here and run the result through
 // the same executor and timing backends.
+//
+// Builders target topology.Fabric, not a concrete topology: an
+// algorithm declares which fabric kinds it supports (Supports), and
+// the same registry serves torus and dragonfly requests through one
+// executor and one program cache.
 package algorithm
 
 import (
@@ -14,6 +19,7 @@ import (
 
 	"torusx/internal/baseline"
 	"torusx/internal/collective"
+	"torusx/internal/dfly"
 	"torusx/internal/exchange"
 	"torusx/internal/exec"
 	"torusx/internal/progcache"
@@ -21,75 +27,101 @@ import (
 	"torusx/internal/topology"
 )
 
-// Builder lowers an algorithm to a schedule on a concrete torus. A
+// Builder lowers an algorithm to a schedule on a concrete fabric. A
 // returned schedule may be structural (block counts only) or
 // payload-annotated (replayable by the executor); schedule.HasPayload
 // distinguishes the two.
 type Builder interface {
 	// Name is the registry key (e.g. "proposed", "direct").
 	Name() string
-	// BuildSchedule emits the algorithm's schedule on t, or an error if
-	// t does not satisfy the algorithm's preconditions (e.g. the
-	// proposed exchange needs multiple-of-four dimensions).
-	BuildSchedule(t *topology.Torus) (*schedule.Schedule, error)
+	// Supports reports whether the algorithm is defined on f's fabric
+	// kind. BuildSchedule on an unsupported fabric returns an error.
+	Supports(f topology.Fabric) bool
+	// BuildSchedule emits the algorithm's schedule on f, or an error if
+	// f does not satisfy the algorithm's preconditions (wrong fabric
+	// kind, or e.g. the proposed exchange's multiple-of-four dimensions).
+	BuildSchedule(f topology.Fabric) (*schedule.Schedule, error)
 }
 
-// builderFunc adapts a function to the Builder interface.
-type builderFunc struct {
-	name  string
-	build func(t *topology.Torus) (*schedule.Schedule, error)
+// fabricBuilder adapts per-fabric build functions to the Builder
+// interface; a nil function means the fabric kind is unsupported.
+type fabricBuilder struct {
+	name      string
+	torus     func(t *topology.Torus) (*schedule.Schedule, error)
+	dragonfly func(d *topology.Dragonfly) (*schedule.Schedule, error)
 }
 
-func (b builderFunc) Name() string { return b.name }
-func (b builderFunc) BuildSchedule(t *topology.Torus) (*schedule.Schedule, error) {
-	return b.build(t)
+func (b fabricBuilder) Name() string { return b.name }
+
+func (b fabricBuilder) Supports(f topology.Fabric) bool {
+	switch f.(type) {
+	case *topology.Torus:
+		return b.torus != nil
+	case *topology.Dragonfly:
+		return b.dragonfly != nil
+	}
+	return false
+}
+
+func (b fabricBuilder) BuildSchedule(f topology.Fabric) (*schedule.Schedule, error) {
+	switch ff := f.(type) {
+	case *topology.Torus:
+		if b.torus != nil {
+			return b.torus(ff)
+		}
+	case *topology.Dragonfly:
+		if b.dragonfly != nil {
+			return b.dragonfly(ff)
+		}
+	}
+	return nil, fmt.Errorf("algorithm: %q does not support fabric %s", b.name, f.Fingerprint())
 }
 
 // ProgramBuilder is the optional fast-path interface: a Builder that
 // can emit a compiled exec.Program directly (for example one that
-// caches compiled forms per torus shape). BuildProgram prefers it over
-// the generic build-then-compile route.
+// caches compiled forms per fabric shape). BuildProgram prefers it
+// over the generic build-then-compile route.
 type ProgramBuilder interface {
 	Builder
-	BuildProgram(t *topology.Torus, opt exec.Options) (*exec.Program, error)
+	BuildProgram(f topology.Fabric, opt exec.Options) (*exec.Program, error)
 }
 
 // cache memoizes compiled programs across every BuildProgram caller in
 // the process — torusx.Compare, the cmd tools, and any embedding
-// service share one serving-layer cache keyed by (builder name, shape,
-// compile-options fingerprint). Compiled programs are immutable, so
-// sharing one *exec.Program between concurrent requesters is safe;
-// each replays through its own Arena.
+// service share one serving-layer cache keyed by (builder name, fabric
+// fingerprint, compile-options fingerprint). Compiled programs are
+// immutable, so sharing one *exec.Program between concurrent
+// requesters is safe; each replays through its own Arena.
 var cache = progcache.New(progcache.DefaultMaxBytes)
 
-// BuildProgram resolves an algorithm to its compiled form on t: the
+// BuildProgram resolves an algorithm to its compiled form on f: the
 // builder's own BuildProgram when it implements ProgramBuilder,
 // otherwise BuildSchedule followed by exec.Compile. Results are
 // memoized in a process-wide progcache.Cache, so a warm call performs
 // no schedule build and no compile — concurrent cold calls for one
-// (algorithm, shape) are singleflighted into exactly one Compile. This
-// is the compile-once entry point the command-line tools and
+// (algorithm, fabric) are singleflighted into exactly one Compile.
+// This is the compile-once entry point the command-line tools and
 // torusx.Compare run through; callers that replay many times hold on
 // to the returned Program and acquire/release pooled Arenas.
 //
 // The cache key uses b.Name(), so two distinct Builder implementations
 // registered under one name would alias; registry builders are unique
 // by construction.
-func BuildProgram(b Builder, t *topology.Torus, opt exec.Options) (*exec.Program, error) {
-	key := progcache.Key(b.Name(), t, progcache.Fingerprint(opt))
+func BuildProgram(b Builder, f topology.Fabric, opt exec.Options) (*exec.Program, error) {
+	key := progcache.Key(b.Name(), f, progcache.Fingerprint(opt))
 	return cache.GetOrCompile(key, func() (*exec.Program, error) {
-		return buildProgramUncached(b, t, opt)
+		return buildProgramUncached(b, f, opt)
 	})
 }
 
 // buildProgramUncached is the cache-miss path: the builder's own
 // BuildProgram when it implements ProgramBuilder, otherwise
 // BuildSchedule followed by exec.Compile.
-func buildProgramUncached(b Builder, t *topology.Torus, opt exec.Options) (*exec.Program, error) {
+func buildProgramUncached(b Builder, f topology.Fabric, opt exec.Options) (*exec.Program, error) {
 	if pb, ok := b.(ProgramBuilder); ok {
-		return pb.BuildProgram(t, opt)
+		return pb.BuildProgram(f, opt)
 	}
-	sc, err := b.BuildSchedule(t)
+	sc, err := b.BuildSchedule(f)
 	if err != nil {
 		return nil, err
 	}
@@ -103,37 +135,55 @@ func CacheStats() progcache.Stats { return cache.Stats() }
 
 var registry = map[string]Builder{}
 
-func register(name string, build func(t *topology.Torus) (*schedule.Schedule, error)) {
-	registry[name] = builderFunc{name: name, build: build}
+func registerTorus(name string, build func(t *topology.Torus) (*schedule.Schedule, error)) {
+	registry[name] = fabricBuilder{name: name, torus: build}
+}
+
+func registerDragonfly(name string, build func(d *topology.Dragonfly) (*schedule.Schedule, error)) {
+	registry[name] = fabricBuilder{name: name, dragonfly: build}
 }
 
 func init() {
 	// The proposed Suh–Shin n+2-phase exchange, generated structurally
 	// (no payloads: O(steps·nodes), scales to tori far beyond what the
 	// block-level simulator can hold).
-	register("proposed", exchange.GenerateStructural)
+	registerTorus("proposed", exchange.GenerateStructural)
 	// The proposed exchange executed by the block-level simulator with
 	// payload recording, so the shared executor can replay and
 	// delivery-verify it end to end.
-	register("proposed-sim", func(t *topology.Torus) (*schedule.Schedule, error) {
+	registerTorus("proposed-sim", func(t *topology.Torus) (*schedule.Schedule, error) {
 		res, err := exchange.Run(t, exchange.Options{RecordPayloads: true})
 		if err != nil {
 			return nil, err
 		}
 		return res.Schedule, nil
 	})
-	register("direct", func(t *topology.Torus) (*schedule.Schedule, error) {
-		return baseline.DirectSchedule(t), nil
-	})
-	register("ring", func(t *topology.Torus) (*schedule.Schedule, error) {
+	// The direct (id-shift) exchange exists on both fabrics: N−1 steps
+	// of minimal-route sends with shared links priced by the executor.
+	registry["direct"] = fabricBuilder{
+		name: "direct",
+		torus: func(t *topology.Torus) (*schedule.Schedule, error) {
+			return baseline.DirectSchedule(t), nil
+		},
+		dragonfly: func(d *topology.Dragonfly) (*schedule.Schedule, error) {
+			return dfly.DirectSchedule(d), nil
+		},
+	}
+	registerTorus("ring", func(t *topology.Torus) (*schedule.Schedule, error) {
 		return baseline.RingSchedule(t), nil
 	})
-	register("factored", baseline.FactoredSchedule)
-	register("logtime", baseline.LogTimeSchedule)
-	register("broadcast", func(t *topology.Torus) (*schedule.Schedule, error) {
+	registerTorus("factored", baseline.FactoredSchedule)
+	registerTorus("logtime", baseline.LogTimeSchedule)
+	registerTorus("broadcast", func(t *topology.Torus) (*schedule.Schedule, error) {
 		return collective.BroadcastSchedule(t, 0)
 	})
-	register("allgather", collective.AllGatherSchedule)
+	registerTorus("allgather", collective.AllGatherSchedule)
+	// The Swing allreduce: swung-distance recursive halving per
+	// dimension, power-of-two tori only.
+	registerTorus("swing", collective.SwingSchedule)
+	// The dragonfly port-ordered exchange — the dimension-ordered
+	// counterpart of the proposed torus algorithm on the second fabric.
+	registerDragonfly("dimexchange", dfly.DimExchangeSchedule)
 }
 
 // For returns the builder registered under name.
@@ -150,6 +200,20 @@ func Names() []string {
 	out := make([]string, 0, len(registry))
 	for name := range registry {
 		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Supporting lists, sorted, the registered algorithms defined on f's
+// fabric kind — the cross product the registry smoke tests and
+// aapebench's -smoke sweep iterate.
+func Supporting(f topology.Fabric) []string {
+	var out []string
+	for name, b := range registry {
+		if b.Supports(f) {
+			out = append(out, name)
+		}
 	}
 	sort.Strings(out)
 	return out

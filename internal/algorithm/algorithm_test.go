@@ -16,7 +16,7 @@ func TestForAndNames(t *testing.T) {
 	if !sort.StringsAreSorted(names) {
 		t.Fatalf("Names() not sorted: %v", names)
 	}
-	want := []string{"allgather", "broadcast", "direct", "factored", "logtime", "proposed", "proposed-sim", "ring"}
+	want := []string{"allgather", "broadcast", "dimexchange", "direct", "factored", "logtime", "proposed", "proposed-sim", "ring", "swing"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("Names() = %v, want %v", names, want)
 	}
@@ -35,33 +35,68 @@ func TestForAndNames(t *testing.T) {
 }
 
 func TestEveryBuilderChecksAndExecutes(t *testing.T) {
-	// The acceptance bar of the universal-IR refactor: every registered
-	// algorithm emits a schedule that passes schedule.Check() and runs
-	// through the shared executor. 8x8 satisfies every builder's
-	// preconditions (multiple-of-four for proposed, power-of-two for
-	// logtime).
-	tor := topology.MustNew(8, 8)
-	for _, name := range algorithm.Names() {
+	// The acceptance bar of the universal-IR refactor, now per fabric:
+	// every registered algorithm supporting a fabric emits a schedule
+	// that passes schedule.Check() and runs through the shared executor.
+	// 8x8 satisfies every torus builder's preconditions (multiple-of-four
+	// for proposed, power-of-two for logtime and swing); D3(2,3) covers
+	// both dragonfly builders.
+	fabrics := []topology.Fabric{
+		topology.MustNew(8, 8),
+		topology.MustNewDragonfly(2, 3),
+	}
+	for _, f := range fabrics {
+		names := algorithm.Supporting(f)
+		if len(names) == 0 {
+			t.Fatalf("no algorithms support %s", f.Fingerprint())
+		}
+		for _, name := range names {
+			b, err := algorithm.For(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !b.Supports(f) {
+				t.Fatalf("%s listed for %s but Supports is false", name, f.Fingerprint())
+			}
+			sc, err := b.BuildSchedule(f)
+			if err != nil {
+				t.Fatalf("%s on %s: BuildSchedule: %v", name, f.Fingerprint(), err)
+			}
+			if err := sc.Check(); err != nil {
+				t.Fatalf("%s on %s: Check: %v", name, f.Fingerprint(), err)
+			}
+			res, err := exec.Run(sc, exec.Options{})
+			if err != nil {
+				t.Fatalf("%s on %s: exec: %v", name, f.Fingerprint(), err)
+			}
+			if res.Measure.Steps == 0 {
+				t.Fatalf("%s on %s: empty measure", name, f.Fingerprint())
+			}
+			if sc.HasPayload() && !res.Replayed {
+				t.Fatalf("%s on %s: payload schedule was not replayed", name, f.Fingerprint())
+			}
+		}
+	}
+}
+
+func TestUnsupportedFabricErrors(t *testing.T) {
+	// A fabric-mismatched build fails cleanly, and Supports agrees.
+	dd := topology.MustNewDragonfly(2, 2)
+	tor := topology.MustNew(4, 4)
+	for name, f := range map[string]topology.Fabric{
+		"ring":        dd,  // torus-only on a dragonfly
+		"swing":       dd,  // torus-only on a dragonfly
+		"dimexchange": tor, // dragonfly-only on a torus
+	} {
 		b, err := algorithm.For(name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sc, err := b.BuildSchedule(tor)
-		if err != nil {
-			t.Fatalf("%s: BuildSchedule: %v", name, err)
+		if b.Supports(f) {
+			t.Errorf("%s claims to support %s", name, f.Fingerprint())
 		}
-		if err := sc.Check(); err != nil {
-			t.Fatalf("%s: Check: %v", name, err)
-		}
-		res, err := exec.Run(sc, exec.Options{})
-		if err != nil {
-			t.Fatalf("%s: exec: %v", name, err)
-		}
-		if res.Measure.Steps == 0 {
-			t.Fatalf("%s: empty measure", name)
-		}
-		if sc.HasPayload() && !res.Replayed {
-			t.Fatalf("%s: payload schedule was not replayed", name)
+		if _, err := b.BuildSchedule(f); err == nil || !strings.Contains(err.Error(), "does not support") {
+			t.Errorf("%s on %s: err = %v", name, f.Fingerprint(), err)
 		}
 	}
 }

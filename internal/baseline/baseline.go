@@ -76,7 +76,7 @@ func DirectSchedule(t *topology.Torus) *schedule.Schedule {
 	for i := range coords {
 		coords[i] = t.CoordOf(topology.NodeID(i))
 	}
-	sc := &schedule.Schedule{Torus: t}
+	sc := &schedule.Schedule{Fabric: t}
 	ph := schedule.Phase{Name: "direct"}
 	for k := 1; k < n; k++ {
 		step := schedule.Step{Shared: true}
@@ -129,7 +129,7 @@ func RingSchedule(t *topology.Torus) *schedule.Schedule {
 	for i := range coords {
 		coords[i] = t.CoordOf(topology.NodeID(i))
 	}
-	sc := &schedule.Schedule{Torus: t}
+	sc := &schedule.Schedule{Fabric: t}
 	for dim := 0; dim < t.NDims(); dim++ {
 		if t.Dim(dim) == 1 {
 			continue

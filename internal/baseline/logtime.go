@@ -63,7 +63,7 @@ func LogTimeSchedule(t *topology.Torus) (*schedule.Schedule, error) {
 	for i := range coords {
 		coords[i] = t.CoordOf(topology.NodeID(i))
 	}
-	sc := &schedule.Schedule{Torus: t}
+	sc := &schedule.Schedule{Fabric: t}
 
 	for dim := 0; dim < t.NDims(); dim++ {
 		size := t.Dim(dim)

@@ -1,5 +1,5 @@
 // Package cli holds the small helpers shared by the command-line
-// tools: torus-shape parsing and exit-with-message.
+// tools: fabric and torus-shape parsing and exit-with-message.
 package cli
 
 import (
@@ -7,6 +7,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"torusx/internal/topology"
 )
 
 // ParseDims parses a torus shape like "12x8x4" into dimension sizes.
@@ -27,6 +29,27 @@ func ParseDims(s string) ([]int, error) {
 		dims[i] = v
 	}
 	return dims, nil
+}
+
+// ParseFabric resolves a -fabric/-dims flag pair to a concrete fabric:
+// kind "torus" (or "") builds a torus from an n-dimensional shape like
+// "12x8x4"; kind "dragonfly" (or "d3") builds a swapped dragonfly
+// D3(K,M) from a two-part shape "KxM".
+func ParseFabric(kind, dims string) (topology.Fabric, error) {
+	sizes, err := ParseDims(dims)
+	if err != nil {
+		return nil, err
+	}
+	switch strings.ToLower(strings.TrimSpace(kind)) {
+	case "", "torus":
+		return topology.New(sizes...)
+	case "dragonfly", "d3":
+		if len(sizes) != 2 {
+			return nil, fmt.Errorf("dragonfly shape must be KxM, got %q", dims)
+		}
+		return topology.NewDragonfly(sizes[0], sizes[1])
+	}
+	return nil, fmt.Errorf("unknown fabric %q (have torus, dragonfly)", kind)
 }
 
 // Fatalf prints to stderr and exits 1.

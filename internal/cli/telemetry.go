@@ -90,12 +90,12 @@ func (t *Telemetry) Labeled(p costmodel.Params, label string) (*telemetry.Record
 }
 
 // Finish renders the requested post-run outputs: the Chrome trace file,
-// the heatmap (on w, from the "link.util" gauges, laid out on tor), and
+// the heatmap (on w, from the "link.util" gauges, laid out on f), and
 // closes the JSONL stream, surfacing any deferred write error.
 // heatmapLabel restricts the heatmap to one cell's gauges — node IDs
 // collide across shapes in a sweep, so a blended map would be
 // meaningless; "" uses every event. Safe to call when disabled.
-func (t *Telemetry) Finish(w io.Writer, tor *topology.Torus, heatmapLabel string) error {
+func (t *Telemetry) Finish(w io.Writer, f topology.Fabric, heatmapLabel string) error {
 	if !t.Enabled() || t.rec == nil {
 		return nil
 	}
@@ -125,7 +125,7 @@ func (t *Telemetry) Finish(w io.Writer, tor *topology.Torus, heatmapLabel string
 			evs = kept
 		}
 		util := telemetry.UtilizationByLink(evs, "link.util")
-		fmt.Fprint(w, trace.LinkHeatmap(tor, util, 0))
+		fmt.Fprint(w, trace.LinkHeatmap(f, util, 0))
 	}
 	if t.file != nil {
 		if err := t.file.Close(); err != nil {

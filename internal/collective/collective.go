@@ -89,7 +89,7 @@ func broadcastSchedule(t *topology.Torus, root topology.NodeID) (*schedule.Sched
 	}
 	have := make([]bool, n)
 	have[root] = true
-	sc := &schedule.Schedule{Torus: t}
+	sc := &schedule.Schedule{Fabric: t}
 
 	for dim := 0; dim < t.NDims(); dim++ {
 		ph := schedule.Phase{Name: fmt.Sprintf("bcast-dim%d", dim)}
@@ -175,7 +175,7 @@ func allGatherSchedule(t *topology.Torus) (*schedule.Schedule, [][]topology.Node
 	for i := range have {
 		have[i] = []topology.NodeID{topology.NodeID(i)}
 	}
-	sc := &schedule.Schedule{Torus: t}
+	sc := &schedule.Schedule{Fabric: t}
 
 	for dim := 0; dim < t.NDims(); dim++ {
 		size := t.Dim(dim)

@@ -61,7 +61,7 @@ func ReduceScatter(t *topology.Torus, contrib [][]uint64) (*ReduceResult, error)
 	for i := range coords {
 		coords[i] = t.CoordOf(topology.NodeID(i))
 	}
-	res := &ReduceResult{Torus: t, Schedule: &schedule.Schedule{Torus: t}}
+	res := &ReduceResult{Torus: t, Schedule: &schedule.Schedule{Fabric: t}}
 
 	for dim := 0; dim < t.NDims(); dim++ {
 		size := t.Dim(dim)
@@ -162,7 +162,7 @@ func AllReduce(t *topology.Torus, contrib [][]uint64) (*ReduceResult, error) {
 		Torus:    t,
 		Values:   make([][]uint64, n),
 		Owner:    make([][]topology.NodeID, n),
-		Schedule: &schedule.Schedule{Torus: t},
+		Schedule: &schedule.Schedule{Fabric: t},
 	}
 	owners := make([]topology.NodeID, n)
 	for j := range owners {

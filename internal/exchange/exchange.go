@@ -170,7 +170,7 @@ func newExecutor(t *topology.Torus, opt Options, bufs []*block.Buffer) *executor
 		bufs:   bufs,
 		coords: make([]topology.Coord, n),
 		groups: make([][]plan.Move, n),
-		sched:  &schedule.Schedule{Torus: t},
+		sched:  &schedule.Schedule{Fabric: t},
 	}
 	for i := 0; i < n; i++ {
 		ex.coords[i] = t.CoordOf(topology.NodeID(i))

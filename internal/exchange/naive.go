@@ -27,7 +27,7 @@ func GenerateNaive(t *topology.Torus) (*schedule.Schedule, error) {
 	}
 	n := t.Nodes()
 	nd := t.NDims()
-	sc := &schedule.Schedule{Torus: t}
+	sc := &schedule.Schedule{Fabric: t}
 
 	for p := 0; p < nd; p++ {
 		ph := schedule.Phase{Name: fmt.Sprintf("naive-group-%d", p+1)}

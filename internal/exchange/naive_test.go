@@ -24,7 +24,7 @@ func TestGenerateNaiveHasContention(t *testing.T) {
 	for _, ph := range sc.Phases {
 		if ph.Name == "naive-quad" || ph.Name == "naive-bit" {
 			for si := range ph.Steps {
-				if err := schedule.CheckStep(sc.Torus, ph.Name, si, &ph.Steps[si]); err != nil {
+				if err := schedule.CheckStep(sc.Fabric, ph.Name, si, &ph.Steps[si]); err != nil {
 					t.Fatalf("%s should be contention-free: %v", ph.Name, err)
 				}
 			}

@@ -38,7 +38,7 @@ func GenerateStructural(t *topology.Torus) (*schedule.Schedule, error) {
 		coords[i] = t.CoordOf(topology.NodeID(i))
 		groups[i] = plan.GroupPhases(coords[i])
 	}
-	sc := &schedule.Schedule{Torus: t}
+	sc := &schedule.Schedule{Fabric: t}
 
 	globalSteps := t.Dim(0)/topology.GroupStride - 1
 	for p := 0; p < nd; p++ {

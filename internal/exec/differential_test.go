@@ -163,7 +163,7 @@ func TestDifferentialSparseTraffic(t *testing.T) {
 // step, but acceptance must agree).
 func TestDifferentialRejectsSameSchedules(t *testing.T) {
 	tor := topology.MustNew(4, 4)
-	bad := &schedule.Schedule{Torus: tor, Phases: []schedule.Phase{{
+	bad := &schedule.Schedule{Fabric: tor, Phases: []schedule.Phase{{
 		Name: "bad",
 		Steps: []schedule.Step{{Transfers: []schedule.Transfer{
 			{Src: 0, Dst: 1, Dim: 0, Dir: topology.Pos, Hops: 1, Blocks: 1},

@@ -29,7 +29,6 @@ import (
 	"torusx/internal/costmodel"
 	"torusx/internal/schedule"
 	"torusx/internal/telemetry"
-	"torusx/internal/topology"
 	"torusx/internal/verify"
 )
 
@@ -75,16 +74,6 @@ type Result struct {
 	MaxSharing int
 }
 
-// FullTraffic returns the all-to-all traffic matrix on t: one block
-// from every node to every node (self included, matching the paper's
-// data-array model where B[i,i] stays in place). The matrix is built
-// once per torus shape and cached; FullTraffic returns a fresh copy
-// the caller may mutate, while the executor paths share the cached
-// immutable slice directly.
-func FullTraffic(t *topology.Torus) []block.Block {
-	return append([]block.Block(nil), fullTrafficCached(t)...)
-}
-
 // Run executes sc: validates every step, replays block movement when
 // the schedule carries payloads, verifies delivery, and derives the
 // cost measure. It is the one execution path behind torusx.Compare and
@@ -94,7 +83,7 @@ func FullTraffic(t *topology.Torus) []block.Block {
 // single-goroutine reference path. Both paths produce bit-identical
 // results on valid schedules.
 func Run(sc *schedule.Schedule, opt Options) (*Result, error) {
-	if sc == nil || sc.Torus == nil {
+	if sc == nil || sc.Fabric == nil {
 		return nil, fmt.Errorf("exec: nil schedule")
 	}
 	if opt.Serial {
@@ -107,7 +96,7 @@ func Run(sc *schedule.Schedule, opt Options) (*Result, error) {
 // walked strictly in order. The parallel path is differentially tested
 // against it.
 func runSerial(sc *schedule.Schedule, opt Options) (*Result, error) {
-	t := sc.Torus
+	f := sc.Fabric
 	res := &Result{Schedule: sc, MaxSharing: 1}
 	// Replay whenever any transfer carries payload: a partially
 	// annotated schedule is a builder bug, and the per-transfer
@@ -132,9 +121,9 @@ func runSerial(sc *schedule.Schedule, opt Options) (*Result, error) {
 	if replay {
 		traffic := opt.Traffic
 		if traffic == nil {
-			traffic = fullTrafficCached(t)
+			traffic = fullTrafficCached(f)
 		}
-		n := t.Nodes()
+		n := f.Nodes()
 		perOrigin := make([]int, n)
 		seen := make(map[block.Block]bool, len(traffic))
 		for _, b := range traffic {
@@ -170,7 +159,7 @@ func runSerial(sc *schedule.Schedule, opt Options) (*Result, error) {
 			if s.Shared {
 				err = schedule.CheckStepOnePort(p.Name, si, s)
 			} else {
-				err = schedule.CheckStep(t, p.Name, si, s)
+				err = schedule.CheckStep(f, p.Name, si, s)
 			}
 			if err != nil {
 				firstErr = err
@@ -182,7 +171,7 @@ func runSerial(sc *schedule.Schedule, opt Options) (*Result, error) {
 		// time-shared.
 		sharing := 1
 		if s.Shared {
-			sharing = s.SharingFactor(t)
+			sharing = s.SharingFactor(f)
 			if sharing > res.MaxSharing {
 				res.MaxSharing = sharing
 			}
@@ -235,7 +224,7 @@ func runSerial(sc *schedule.Schedule, opt Options) (*Result, error) {
 	}
 	res.Measure.RearrangedBlocks = sc.RearrangedBlocks()
 	if replay {
-		if err := verify.DeliveredMatrix(t, bufs, opt.Traffic); err != nil {
+		if err := verify.DeliveredMatrix(f, bufs, opt.Traffic); err != nil {
 			return nil, err
 		}
 		res.Replayed = true

@@ -106,7 +106,7 @@ func twoWormStep(tor *topology.Torus, shared bool) *schedule.Schedule {
 		}
 	}
 	return &schedule.Schedule{
-		Torus: tor,
+		Fabric: tor,
 		Phases: []schedule.Phase{{
 			Name: "contended",
 			Steps: []schedule.Step{{
@@ -152,7 +152,7 @@ func TestRunContentionPolicy(t *testing.T) {
 // 0 to its +1 neighbour along dim 0.
 func singleHop(tor *topology.Torus, declared int, pay []block.Block) *schedule.Schedule {
 	return &schedule.Schedule{
-		Torus: tor,
+		Fabric: tor,
 		Phases: []schedule.Phase{{
 			Name: "hop",
 			Steps: []schedule.Step{{
@@ -185,7 +185,7 @@ func TestRunReplayErrors(t *testing.T) {
 	}
 	// Delivery is verified against the declared matrix: a schedule that
 	// moves nothing cannot satisfy non-self traffic.
-	empty := &schedule.Schedule{Torus: tor, Phases: []schedule.Phase{{Name: "idle", Steps: []schedule.Step{{}}}}}
+	empty := &schedule.Schedule{Fabric: tor, Phases: []schedule.Phase{{Name: "idle", Steps: []schedule.Step{{}}}}}
 	empty.Phases[0].Steps[0].Transfers = []schedule.Transfer{}
 	sc = singleHop(tor, 1, []block.Block{{Origin: 0, Dest: dst}})
 	two := []block.Block{{Origin: 0, Dest: dst}, {Origin: 0, Dest: tor.MoveID(0, 0, 2)}}

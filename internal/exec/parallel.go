@@ -46,7 +46,7 @@ type stepCost struct {
 // bit-identical to the serial path — enforced by the differential
 // tests in differential_test.go.
 func runParallel(sc *schedule.Schedule, opt Options) (*Result, error) {
-	t := sc.Torus
+	f := sc.Fabric
 	res := &Result{Schedule: sc, MaxSharing: 1}
 
 	var steps []stepRef
@@ -72,7 +72,7 @@ func runParallel(sc *schedule.Schedule, opt Options) (*Result, error) {
 			if r.step.Shared {
 				c.err = schedule.CheckStepOnePort(r.phase.Name, r.index, r.step)
 			} else {
-				c.err = schedule.CheckStep(t, r.phase.Name, r.index, r.step)
+				c.err = schedule.CheckStep(f, r.phase.Name, r.index, r.step)
 			}
 			if c.err != nil {
 				return
@@ -80,7 +80,7 @@ func runParallel(sc *schedule.Schedule, opt Options) (*Result, error) {
 		}
 		c.sharing = 1
 		if r.step.Shared {
-			c.sharing = r.step.SharingFactor(t)
+			c.sharing = r.step.SharingFactor(f)
 		}
 		c.maxBlocks = r.step.MaxBlocks()
 		c.maxHops = r.step.MaxHops()
@@ -102,9 +102,9 @@ func runParallel(sc *schedule.Schedule, opt Options) (*Result, error) {
 	if replay {
 		traffic := opt.Traffic
 		if traffic == nil {
-			traffic = fullTrafficCached(t)
+			traffic = fullTrafficCached(f)
 		}
-		n := t.Nodes()
+		n := f.Nodes()
 		bufs := make([]*block.Buffer, n)
 		held := make([]map[block.Block]bool, n)
 		for i := range bufs {
@@ -126,7 +126,7 @@ func runParallel(sc *schedule.Schedule, opt Options) (*Result, error) {
 				return nil, err
 			}
 		}
-		if err := verify.DeliveredMatrix(t, bufs, traffic); err != nil {
+		if err := verify.DeliveredMatrix(f, bufs, traffic); err != nil {
 			return nil, err
 		}
 		res.Replayed = true

@@ -74,8 +74,8 @@ type pstep struct {
 // both executor paths replay. A Program is immutable after Compile and
 // safe for concurrent use; per-run mutable state lives in an Arena.
 type Program struct {
-	sc *schedule.Schedule
-	t  *topology.Torus
+	sc  *schedule.Schedule
+	fab topology.Fabric
 
 	n         int // nodes
 	numBlocks int // dense block-id space: n*n
@@ -84,6 +84,12 @@ type Program struct {
 	steps      []pstep
 	measure    costmodel.Measure
 	maxSharing int
+
+	// numDomains sizes the contention-claim scratch; domainTab maps
+	// link ids to domains and is nil on identity-domain fabrics (torus,
+	// dragonfly), where link ids index the scratch directly.
+	numDomains int
+	domainTab  []int32
 
 	// Replay-only fields.
 	trafficIDs []int32 // declared traffic as dense ids, in matrix order
@@ -133,29 +139,6 @@ func (p *Program) SizeBytes() int64 {
 	return size
 }
 
-// fullTrafficCache memoizes the all-to-all traffic matrix per torus
-// shape: every run of every full-exchange schedule on an a1×…×an torus
-// shares one immutable matrix instead of rebuilding n² blocks.
-var fullTrafficCache sync.Map // shape string -> []block.Block
-
-// fullTrafficCached returns the shared, immutable all-to-all matrix on
-// t. Callers must not mutate the result.
-func fullTrafficCached(t *topology.Torus) []block.Block {
-	key := t.String()
-	if v, ok := fullTrafficCache.Load(key); ok {
-		return v.([]block.Block)
-	}
-	n := t.Nodes()
-	traffic := make([]block.Block, 0, n*n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			traffic = append(traffic, block.Block{Origin: topology.NodeID(i), Dest: topology.NodeID(j)})
-		}
-	}
-	actual, _ := fullTrafficCache.LoadOrStore(key, traffic)
-	return actual.([]block.Block)
-}
-
 // Compile validates sc once — one-port and contention checks (honoring
 // opt.SkipChecks), payload/Blocks coherence, the full sender-holds
 // replay chain and final delivery against the declared traffic matrix
@@ -165,13 +148,13 @@ func fullTrafficCached(t *topology.Torus) []block.Block {
 // left unmodified. Options.Serial, Workers and Telemetry are run-time
 // choices and are ignored by Compile.
 func Compile(sc *schedule.Schedule, opt Options) (*Program, error) {
-	if sc == nil || sc.Torus == nil {
+	if sc == nil || sc.Fabric == nil {
 		return nil, fmt.Errorf("exec: nil schedule")
 	}
-	t := sc.Torus
-	n := t.Nodes()
+	f := sc.Fabric
+	n := f.Nodes()
 	p := &Program{
-		sc: sc, t: t, n: n,
+		sc: sc, fab: f, n: n,
 		numBlocks:  n * n,
 		maxSharing: 1,
 	}
@@ -211,10 +194,10 @@ func Compile(sc *schedule.Schedule, opt Options) (*Program, error) {
 			pt := ptransfer{src: int32(tr.Src), dst: int32(tr.Dst)}
 			// Route expansion: walk the multi-leg route once, forever.
 			linkBase := len(linkBacking)
-			cur := t.CoordOf(tr.Src)
+			cur := tr.Src
 			for _, seg := range tr.Segments() {
-				linkBacking = t.AppendPathLinkIDs(linkBacking, cur, seg.Dim, seg.Dir, seg.Hops)
-				cur = t.Move(cur, seg.Dim, seg.Hops*int(seg.Dir))
+				linkBacking = f.AppendPathLinkIDs(linkBacking, cur, seg.Dim, seg.Dir, seg.Hops)
+				cur = f.Advance(cur, seg.Dim, seg.Dir, seg.Hops)
 			}
 			pt.links = linkBacking[linkBase:len(linkBacking):len(linkBacking)]
 			if tr.Blocks > ps.maxBlocks {
@@ -233,16 +216,28 @@ func Compile(sc *schedule.Schedule, opt Options) (*Program, error) {
 	// link-disjointness and sharing-factor computations fan out over the
 	// worker pool, each chunk with private claim scratch. The reported
 	// error is the lowest-step one — exactly what a serial left-to-right
-	// walk would have hit first.
+	// walk would have hit first. When the fabric groups links into
+	// contention domains, a link-id -> domain table is built once here;
+	// on identity-domain fabrics (torus, dragonfly) it stays nil and the
+	// claim tables are indexed by link id directly, keeping the hot loop
+	// free of interface calls.
+	var domainTab []int32
+	if p.numDomains = f.NumContentionDomains(); p.numDomains != f.NumLinkIDs() {
+		domainTab = make([]int32, f.NumLinkIDs())
+		for id := range domainTab {
+			domainTab[id] = int32(f.ContentionDomain(id))
+		}
+	}
+	p.domainTab = domainTab
 	var ferr par.FirstError
 	par.ForEach(0, len(p.steps), func(lo, hi int) {
-		sendClaim := make([]int32, n)              // node -> transfer index + 1
-		recvClaim := make([]int32, n)              // node -> transfer index + 1
-		linkClaim := make([]int32, t.NumLinkIDs()) // link id -> transfer index + 1 (or count)
+		sendClaim := make([]int32, n)            // node -> transfer index + 1
+		recvClaim := make([]int32, n)            // node -> transfer index + 1
+		linkClaim := make([]int32, p.numDomains) // domain -> transfer index + 1 (or count)
 		var touched []int32
 		for si := lo; si < hi; si++ {
 			ps := &p.steps[si]
-			if err := checkStep(t, ps, opt.SkipChecks, sendClaim, recvClaim, linkClaim, &touched); err != nil {
+			if err := checkStep(f, domainTab, ps, opt.SkipChecks, sendClaim, recvClaim, linkClaim, &touched); err != nil {
 				ferr.Report(si, err)
 				return
 			}
@@ -278,7 +273,10 @@ func Compile(sc *schedule.Schedule, opt Options) (*Program, error) {
 // time-sharing steps into ps.sharing. The claim tables are caller-owned
 // dense scratch, reset via the touched list; checkStep leaves them
 // zeroed on every return path so one set serves a whole chunk of steps.
-func checkStep(t *topology.Torus, ps *pstep, skipChecks bool,
+// linkClaim is indexed by contention domain: domainTab maps link ids to
+// domains and is nil on identity-domain fabrics, where link ids index
+// directly.
+func checkStep(f topology.Fabric, domainTab []int32, ps *pstep, skipChecks bool,
 	sendClaim, recvClaim, linkClaim []int32, touched *[]int32) error {
 	s, ph, si := ps.step, ps.phase, ps.stepIndex
 	if !skipChecks {
@@ -305,13 +303,17 @@ func checkStep(t *topology.Torus, ps *pstep, skipChecks bool,
 		if err == nil && !s.Shared {
 			for i := range ps.transfers {
 				for _, l := range ps.transfers[i].links {
-					if c := linkClaim[l]; c != 0 {
+					d := l
+					if domainTab != nil {
+						d = domainTab[l]
+					}
+					if c := linkClaim[d]; c != 0 {
 						err = &schedule.ContentionError{Phase: ph.Name, Step: si,
-							Link: t.LinkAt(int(l)), A: s.Transfers[c-1], B: s.Transfers[i]}
+							Link: f.LinkAt(int(l)), A: s.Transfers[c-1], B: s.Transfers[i]}
 						break
 					}
-					linkClaim[l] = int32(i + 1)
-					*touched = append(*touched, l)
+					linkClaim[d] = int32(i + 1)
+					*touched = append(*touched, d)
 				}
 				if err != nil {
 					break
@@ -330,12 +332,16 @@ func checkStep(t *topology.Torus, ps *pstep, skipChecks bool,
 	if s.Shared {
 		for i := range ps.transfers {
 			for _, l := range ps.transfers[i].links {
-				if linkClaim[l] == 0 {
-					*touched = append(*touched, l)
+				d := l
+				if domainTab != nil {
+					d = domainTab[l]
 				}
-				linkClaim[l]++
-				if int(linkClaim[l]) > ps.sharing {
-					ps.sharing = int(linkClaim[l])
+				if linkClaim[d] == 0 {
+					*touched = append(*touched, d)
+				}
+				linkClaim[d]++
+				if int(linkClaim[d]) > ps.sharing {
+					ps.sharing = int(linkClaim[d])
 				}
 			}
 		}
@@ -354,10 +360,10 @@ func checkStep(t *topology.Torus, ps *pstep, skipChecks bool,
 // preallocation bound, and verifies final delivery. After this pass a
 // run is a pure, check-free id shuffle.
 func (p *Program) compileReplay(opt Options, payloadBacking []int32) error {
-	t, n := p.t, p.n
+	n := p.n
 	traffic := opt.Traffic
 	if traffic == nil {
-		traffic = fullTrafficCached(t)
+		traffic = fullTrafficCached(p.fab)
 	}
 	p.trafficIDs = make([]int32, 0, len(traffic))
 	p.perDest = make([]int32, n)

@@ -181,7 +181,7 @@ func TestCompiledDifferentialRejects(t *testing.T) {
 		name string
 		sc   *schedule.Schedule
 	}{
-		{"one-port", &schedule.Schedule{Torus: tor, Phases: []schedule.Phase{{
+		{"one-port", &schedule.Schedule{Fabric: tor, Phases: []schedule.Phase{{
 			Name: "bad",
 			Steps: []schedule.Step{{Transfers: []schedule.Transfer{
 				{Src: 0, Dst: 1, Dim: 0, Dir: topology.Pos, Hops: 1, Blocks: 1},
@@ -190,7 +190,7 @@ func TestCompiledDifferentialRejects(t *testing.T) {
 		}}}},
 		// Nodes 0, 4, 8, 12 form a dim-0 row of the 4x4 torus; the two
 		// overlapping 2-hop sends share the link out of node 4.
-		{"contention", &schedule.Schedule{Torus: tor, Phases: []schedule.Phase{{
+		{"contention", &schedule.Schedule{Fabric: tor, Phases: []schedule.Phase{{
 			Name: "bad",
 			Steps: []schedule.Step{{Transfers: []schedule.Transfer{
 				{Src: 0, Dst: 8, Dim: 0, Dir: topology.Pos, Hops: 2, Blocks: 1},
@@ -258,7 +258,7 @@ func TestIntraStepForwardingVerdicts(t *testing.T) {
 	tor := topology.MustNew(4)
 	b02 := block.Block{Origin: 0, Dest: 2}
 	sc := &schedule.Schedule{
-		Torus: tor,
+		Fabric: tor,
 		Phases: []schedule.Phase{{
 			Name: "p",
 			Steps: []schedule.Step{{

@@ -30,13 +30,13 @@ import (
 // own cost; the step span carries the sharing-serialized total).
 func emitRun(rec *telemetry.Recorder, sc *schedule.Schedule, res *Result, stepWorkers []int, pg *Program) {
 	p := rec.Params
-	t := sc.Torus
+	f := sc.Fabric
 	m := float64(p.M)
 
 	// Per-link accumulation for the run-level utilization and
 	// contention gauges: dense arrays over the link-id space, with a
 	// touched list so per-step counts reset in O(links touched).
-	numLinks := t.NumLinkIDs()
+	numLinks := f.NumLinkIDs()
 	busySteps := make([]int32, numLinks)
 	maxShare := make([]int32, numLinks)
 	perLink := make([]int32, numLinks)
@@ -75,7 +75,7 @@ func emitRun(rec *telemetry.Recorder, sc *schedule.Schedule, res *Result, stepWo
 				sharing, maxBlocks, maxHops = ps.sharing, ps.maxBlocks, ps.maxHops
 			} else {
 				if st.Shared {
-					sharing = st.SharingFactor(t)
+					sharing = st.SharingFactor(f)
 				}
 				maxBlocks, maxHops = st.MaxBlocks(), st.MaxHops()
 			}
@@ -108,10 +108,10 @@ func emitRun(rec *telemetry.Recorder, sc *schedule.Schedule, res *Result, stepWo
 					ids = ps.transfers[ti].links
 				} else {
 					idScratch = idScratch[:0]
-					cur := t.CoordOf(tr.Src)
+					cur := tr.Src
 					for _, seg := range tr.Segments() {
-						idScratch = t.AppendPathLinkIDs(idScratch, cur, seg.Dim, seg.Dir, seg.Hops)
-						cur = t.Move(cur, seg.Dim, seg.Hops*int(seg.Dir))
+						idScratch = f.AppendPathLinkIDs(idScratch, cur, seg.Dim, seg.Dir, seg.Hops)
+						cur = f.Advance(cur, seg.Dim, seg.Dir, seg.Hops)
 					}
 					ids = idScratch
 				}
@@ -152,16 +152,16 @@ func emitRun(rec *telemetry.Recorder, sc *schedule.Schedule, res *Result, stepWo
 	rec.Counter("exec.max_sharing", now, float64(res.MaxSharing))
 	rec.Counter("exec.completion_us", now, p.Completion(res.Measure))
 
-	// Per-link gauges in the torus's canonical link order (ascending in
-	// dense id), so the stream stays deterministic.
+	// Per-link gauges in the fabric's canonical link order (ascending
+	// in dense id), so the stream stays deterministic.
 	steps := float64(res.Measure.Steps)
-	for _, l := range t.AllLinks() {
-		id := t.LinkID(l)
+	for _, l := range f.Links() {
+		id := f.LinkID(l)
 		if busySteps[id] == 0 {
 			continue
 		}
-		rec.LinkGauge("link.util", t, l, float64(busySteps[id])/steps)
-		rec.LinkGauge("link.contention", t, l, float64(maxShare[id]))
+		rec.LinkGauge("link.util", f, l, float64(busySteps[id])/steps)
+		rec.LinkGauge("link.contention", f, l, float64(maxShare[id]))
 	}
 }
 

@@ -1,0 +1,48 @@
+package exec
+
+import (
+	"sync"
+
+	"torusx/internal/block"
+	"torusx/internal/topology"
+)
+
+// The all-to-all traffic matrix, built once per fabric and shared by
+// every executor path. This is the single implementation behind both
+// the exported FullTraffic and the internal default-traffic lookups of
+// the serial, parallel and compiled paths; it used to live twice (an
+// uncached exported copy and a cached internal one) before the cache
+// was keyed by fabric fingerprint.
+var fullTrafficCache sync.Map // fabric fingerprint -> []block.Block
+
+// fullTrafficCached returns the shared, immutable all-to-all matrix on
+// f: one block from every node to every node, self included. Callers
+// must not mutate the result. The cache key is the fabric fingerprint,
+// so distinct fabrics with equal node counts (e.g. an 8-node torus and
+// a D3(2,2) dragonfly) never share an entry by accident — though their
+// matrices would coincide, the keying matches the progcache convention.
+func fullTrafficCached(f topology.Fabric) []block.Block {
+	key := f.Fingerprint()
+	if v, ok := fullTrafficCache.Load(key); ok {
+		return v.([]block.Block)
+	}
+	n := f.Nodes()
+	traffic := make([]block.Block, 0, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			traffic = append(traffic, block.Block{Origin: topology.NodeID(i), Dest: topology.NodeID(j)})
+		}
+	}
+	actual, _ := fullTrafficCache.LoadOrStore(key, traffic)
+	return actual.([]block.Block)
+}
+
+// FullTraffic returns the all-to-all traffic matrix on f: one block
+// from every node to every node (self included, matching the paper's
+// data-array model where B[i,i] stays in place). The matrix is built
+// once per fabric and cached; FullTraffic returns a fresh copy the
+// caller may mutate, while the executor paths share the cached
+// immutable slice directly.
+func FullTraffic(f topology.Fabric) []block.Block {
+	return append([]block.Block(nil), fullTrafficCached(f)...)
+}

@@ -114,20 +114,17 @@ func New(maxBytes int64) *Cache {
 	return c
 }
 
-// Key builds the canonical cache key for compiling algorithm alg on t
-// with the given options fingerprint (see Fingerprint). One allocation
-// (the returned string), so warm lookups stay within the serving
-// layer's per-request allocation budget.
-func Key(alg string, t *topology.Torus, fp uint64) string {
+// Key builds the canonical cache key for compiling algorithm alg on f
+// with the given options fingerprint (see Fingerprint). The fabric
+// contributes its Fingerprint — "torus:8x8", "d3:2x4" — so identical
+// dimensions on different fabric kinds can never collide. One
+// allocation (the returned string), so warm lookups stay within the
+// serving layer's per-request allocation budget.
+func Key(alg string, f topology.Fabric, fp uint64) string {
 	var buf [64]byte
 	b := append(buf[:0], alg...)
 	b = append(b, '@')
-	for i := 0; i < t.NDims(); i++ {
-		if i > 0 {
-			b = append(b, 'x')
-		}
-		b = strconv.AppendInt(b, int64(t.Dim(i)), 10)
-	}
+	b = append(b, f.Fingerprint()...)
 	if fp != 0 {
 		b = append(b, '#')
 		b = strconv.AppendUint(b, fp, 16)

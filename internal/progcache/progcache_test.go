@@ -23,14 +23,92 @@ func compileDirect(tor *topology.Torus) (*exec.Program, error) {
 
 func TestKeyFormat(t *testing.T) {
 	tor := topology.MustNew(8, 8)
-	if got, want := progcache.Key("direct", tor, 0), "direct@8x8"; got != want {
+	if got, want := progcache.Key("direct", tor, 0), "direct@torus:8x8"; got != want {
 		t.Errorf("Key = %q, want %q", got, want)
 	}
-	if got, want := progcache.Key("ring", topology.MustNew(4, 4, 4), 0x2b), "ring@4x4x4#2b"; got != want {
+	if got, want := progcache.Key("ring", topology.MustNew(4, 4, 4), 0x2b), "ring@torus:4x4x4#2b"; got != want {
 		t.Errorf("Key = %q, want %q", got, want)
 	}
-	if got, want := progcache.Key("proposed", topology.MustNew(12), 0), "proposed@12"; got != want {
+	if got, want := progcache.Key("proposed", topology.MustNew(12), 0), "proposed@torus:12"; got != want {
 		t.Errorf("Key = %q, want %q", got, want)
+	}
+	if got, want := progcache.Key("direct", topology.MustNewDragonfly(2, 4), 0), "direct@d3:2x4"; got != want {
+		t.Errorf("Key = %q, want %q", got, want)
+	}
+}
+
+// TestKeySeparatesFabrics pins the fabric-refactor contract: one
+// algorithm with identical options on two fabric kinds must produce
+// distinct keys — two misses and two cached entries, never a collision
+// serving a dragonfly request with a torus program.
+func TestKeySeparatesFabrics(t *testing.T) {
+	// Both fabrics have 8 nodes, so a dims-only key scheme would alias.
+	tor := topology.MustNew(8)
+	dd := topology.MustNewDragonfly(2, 2)
+	if tor.Nodes() != dd.Nodes() {
+		t.Fatalf("test premise broken: %d vs %d nodes", tor.Nodes(), dd.Nodes())
+	}
+	kt := progcache.Key("direct", tor, 0)
+	kd := progcache.Key("direct", dd, 0)
+	if kt == kd {
+		t.Fatalf("torus and dragonfly keys collide: %q", kt)
+	}
+
+	c := progcache.New(0)
+	pt, err := c.GetOrCompile(kt, func() (*exec.Program, error) { return compileDirect(tor) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := c.GetOrCompile(kd, func() (*exec.Program, error) { return compileDirect(topology.MustNew(8)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt == pd {
+		t.Error("distinct fabric keys returned one program")
+	}
+	st := c.Stats()
+	if st.Misses != 2 || st.Hits != 0 || st.Entries != 2 {
+		t.Errorf("mixed-fabric stats: %+v, want 2 misses / 0 hits / 2 entries", st)
+	}
+	// Warm lookups on both keys hit their own entries.
+	if p, ok := c.Get(kt); !ok || p != pt {
+		t.Error("torus key lost its entry")
+	}
+	if p, ok := c.Get(kd); !ok || p != pd {
+		t.Error("dragonfly key lost its entry")
+	}
+}
+
+// TestEvictionStatsMixedFabrics drives an over-budget workload whose
+// keys alternate fabric kinds and checks the eviction accounting still
+// balances: entries + evictions == inserts, bytes within budget.
+func TestEvictionStatsMixedFabrics(t *testing.T) {
+	tor := topology.MustNew(4, 4)
+	probe, err := compileDirect(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := probe.SizeBytes()
+	maxBytes := (size + size/2) * 16 // ~one program per shard
+	c := progcache.New(maxBytes)
+	const perFabric = 24
+	for i := 0; i < perFabric; i++ {
+		for _, f := range []topology.Fabric{tor, topology.MustNewDragonfly(2, 2)} {
+			key := progcache.Key(fmt.Sprintf("tenant%d", i), f, 0)
+			if _, err := c.GetOrCompile(key, func() (*exec.Program, error) { return compileDirect(tor) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Errorf("no evictions after %d mixed-fabric inserts into a %d-byte cache", 2*perFabric, maxBytes)
+	}
+	if st.Bytes > maxBytes {
+		t.Errorf("cached bytes %d exceed budget %d", st.Bytes, maxBytes)
+	}
+	if st.Entries+int(st.Evictions) != 2*perFabric {
+		t.Errorf("entries %d + evictions %d != inserts %d", st.Entries, st.Evictions, 2*perFabric)
 	}
 }
 

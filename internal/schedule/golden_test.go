@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"torusx/internal/baseline"
@@ -42,6 +43,15 @@ func TestDirectScheduleGoldenJSON(t *testing.T) {
 		t.Fatalf("emitted JSON differs from %s (run with -update to accept):\n%s", golden, buf.String())
 	}
 
+	// The current encoding is version-2: explicit schema version plus a
+	// fabric descriptor.
+	if !strings.Contains(buf.String(), `"version": 2`) {
+		t.Fatal("golden file lacks the version field")
+	}
+	if !strings.Contains(buf.String(), `"kind": "torus"`) {
+		t.Fatal("golden file lacks the fabric descriptor")
+	}
+
 	// The golden bytes reconstruct a schedule equivalent to the freshly
 	// built one: same torus, phases, Shared flags, routes and payloads —
 	// and it still passes the step checks.
@@ -49,14 +59,93 @@ func TestDirectScheduleGoldenJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Torus.String() != "4x4" {
-		t.Fatalf("torus = %s", back.Torus)
+	if back.Fabric.Fingerprint() != "torus:4x4" {
+		t.Fatalf("fabric = %s", back.Fabric)
 	}
 	if !reflect.DeepEqual(back.Phases, sc.Phases) {
 		t.Fatal("round-tripped phases differ from the builder's output")
 	}
 	if !back.HasPayload() {
 		t.Fatal("payload annotations lost in the round trip")
+	}
+	if err := back.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegacyGoldenJSON pins backward compatibility with the
+// version-less (v1) encoding: a file carrying a bare top-level "dims"
+// array and no "version"/"fabric" fields must decode to the same
+// schedule as its version-2 twin. The legacy golden file is a frozen
+// copy of the v1 encoder's output and is never regenerated.
+func TestLegacyGoldenJSON(t *testing.T) {
+	legacy, err := os.ReadFile(filepath.Join("testdata", "direct_4x4_v1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(legacy, []byte(`"version"`)) || bytes.Contains(legacy, []byte(`"fabric"`)) {
+		t.Fatal("legacy golden file must stay version-less")
+	}
+	back, err := schedule.ReadJSON(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fabric.Fingerprint() != "torus:4x4" {
+		t.Fatalf("fabric = %s", back.Fabric)
+	}
+	sc := baseline.DirectSchedule(topology.MustNew(4, 4))
+	if !reflect.DeepEqual(back.Phases, sc.Phases) {
+		t.Fatal("legacy decode differs from the builder's output")
+	}
+	if err := back.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-encoding a legacy schedule upgrades it to version 2, and the
+	// upgraded bytes round-trip to the same phases.
+	var buf bytes.Buffer
+	if err := back.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"version": 2`) {
+		t.Fatal("re-encoded legacy schedule is not version 2")
+	}
+	again, err := schedule.ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Phases, back.Phases) {
+		t.Fatal("upgrade round trip changed the phases")
+	}
+}
+
+// TestDragonflyJSONRoundTrip covers the second fabric kind in the
+// descriptor: a dragonfly schedule serializes with kind "dragonfly"
+// and reconstructs the same D3(K,M) fabric.
+func TestDragonflyJSONRoundTrip(t *testing.T) {
+	d := topology.MustNewDragonfly(2, 3)
+	sc := &schedule.Schedule{Fabric: d, Phases: []schedule.Phase{{
+		Name: "local",
+		Steps: []schedule.Step{{Transfers: []schedule.Transfer{
+			{Src: 0, Dst: 1, Dim: 0, Dir: topology.Pos, Hops: 1, Blocks: 1},
+		}}},
+	}}}
+	var buf bytes.Buffer
+	if err := sc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"kind": "dragonfly"`) {
+		t.Fatalf("missing dragonfly descriptor:\n%s", buf.String())
+	}
+	back, err := schedule.ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fabric.Fingerprint() != "d3:2x3" {
+		t.Fatalf("fabric = %s", back.Fabric)
+	}
+	if !reflect.DeepEqual(back.Phases, sc.Phases) {
+		t.Fatal("dragonfly round trip changed the phases")
 	}
 	if err := back.Check(); err != nil {
 		t.Fatal(err)

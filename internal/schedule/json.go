@@ -11,12 +11,19 @@ import (
 
 // JSON export for external tooling (plotting, schedule inspection,
 // replaying on real hardware). The format is stable and
-// self-describing: dimensions, then phases with per-step transfers.
-// Optional fields carry the richer IR annotations — multi-leg routes
-// ("segs"), recorded payloads ("payload", as [origin, dest] pairs),
-// link-sharing steps ("shared") and per-phase rearrangement counts
-// ("rearrange") — and are omitted when absent, so schedules written by
-// older versions read back unchanged.
+// self-describing. Version 2 (the current encoder) carries an explicit
+// "version" field and a fabric descriptor ("fabric": {"kind": "torus",
+// "dims": [...]} or {"kind": "dragonfly", "k": K, "m": M}); version-1
+// files predate both and describe a torus through a bare top-level
+// "dims" array, which ReadJSON still accepts. Optional fields carry
+// the richer IR annotations — multi-leg routes ("segs"), recorded
+// payloads ("payload", as [origin, dest] pairs), link-sharing steps
+// ("shared") and per-phase rearrangement counts ("rearrange") — and
+// are omitted when absent, so schedules written by older versions read
+// back unchanged.
+
+// Version is the schema version WriteJSON emits.
+const Version = 2
 
 type jsonSeg struct {
 	Dim  int    `json:"dim"`
@@ -46,8 +53,19 @@ type jsonPhase struct {
 	Rearrange int        `json:"rearrange,omitempty"`
 }
 
+type jsonFabric struct {
+	Kind string `json:"kind"`
+	Dims []int  `json:"dims,omitempty"` // torus
+	K    int    `json:"k,omitempty"`    // dragonfly
+	M    int    `json:"m,omitempty"`    // dragonfly
+}
+
 type jsonSchedule struct {
-	Dims   []int       `json:"dims"`
+	Version int         `json:"version,omitempty"`
+	Fabric  *jsonFabric `json:"fabric,omitempty"`
+	// Dims is the version-1 torus shape; version-2 files carry Fabric
+	// instead.
+	Dims   []int       `json:"dims,omitempty"`
 	Phases []jsonPhase `json:"phases"`
 }
 
@@ -61,9 +79,35 @@ func parseDir(s string) (topology.Direction, error) {
 	return topology.Pos, fmt.Errorf("schedule: bad direction %q", s)
 }
 
-// WriteJSON serializes the schedule to w.
+// fabricDescriptor renders f as its serialized descriptor.
+func fabricDescriptor(f topology.Fabric) (*jsonFabric, error) {
+	switch ft := f.(type) {
+	case *topology.Torus:
+		return &jsonFabric{Kind: "torus", Dims: ft.Dims()}, nil
+	case *topology.Dragonfly:
+		return &jsonFabric{Kind: "dragonfly", K: ft.K(), M: ft.M()}, nil
+	}
+	return nil, fmt.Errorf("schedule: fabric %T has no JSON descriptor", f)
+}
+
+// fabricFromDescriptor rebuilds the fabric a descriptor names.
+func fabricFromDescriptor(jf *jsonFabric) (topology.Fabric, error) {
+	switch jf.Kind {
+	case "torus":
+		return topology.New(jf.Dims...)
+	case "dragonfly":
+		return topology.NewDragonfly(jf.K, jf.M)
+	}
+	return nil, fmt.Errorf("schedule: unknown fabric kind %q", jf.Kind)
+}
+
+// WriteJSON serializes the schedule to w in the version-2 format.
 func (sc *Schedule) WriteJSON(w io.Writer) error {
-	out := jsonSchedule{Dims: sc.Torus.Dims()}
+	jf, err := fabricDescriptor(sc.Fabric)
+	if err != nil {
+		return err
+	}
+	out := jsonSchedule{Version: Version, Fabric: jf}
 	for _, ph := range sc.Phases {
 		jp := jsonPhase{Name: ph.Name, Rearrange: ph.Rearrange}
 		for _, st := range ph.Steps {
@@ -91,18 +135,31 @@ func (sc *Schedule) WriteJSON(w io.Writer) error {
 	return enc.Encode(out)
 }
 
-// ReadJSON reconstructs a schedule from the WriteJSON format; the
-// torus is rebuilt from the recorded dimensions.
+// ReadJSON reconstructs a schedule from the WriteJSON format. Version-2
+// files rebuild the fabric from the descriptor; version-less (v1) files
+// rebuild a torus from the recorded dimensions.
 func ReadJSON(r io.Reader) (*Schedule, error) {
 	var in jsonSchedule
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, err
 	}
-	tor, err := topology.New(in.Dims...)
+	var fab topology.Fabric
+	var err error
+	switch {
+	case in.Version == 0 && in.Fabric == nil:
+		// Legacy version-less encoding: a torus described by bare dims.
+		fab, err = topology.New(in.Dims...)
+	case in.Version > Version:
+		return nil, fmt.Errorf("schedule: file version %d is newer than supported version %d", in.Version, Version)
+	case in.Fabric == nil:
+		return nil, fmt.Errorf("schedule: version %d file lacks a fabric descriptor", in.Version)
+	default:
+		fab, err = fabricFromDescriptor(in.Fabric)
+	}
 	if err != nil {
 		return nil, err
 	}
-	sc := &Schedule{Torus: tor}
+	sc := &Schedule{Fabric: fab}
 	for _, jp := range in.Phases {
 		ph := Phase{Name: jp.Name, Rearrange: jp.Rearrange}
 		for _, js := range jp.Steps {

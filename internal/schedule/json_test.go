@@ -12,7 +12,7 @@ import (
 func TestJSONRoundTrip(t *testing.T) {
 	tor := topology.MustNew(8, 8)
 	sc := &Schedule{
-		Torus: tor,
+		Fabric: tor,
 		Phases: []Phase{
 			{Name: "group-1", Steps: []Step{
 				{Transfers: []Transfer{
@@ -37,8 +37,8 @@ func TestJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Torus.String() != "8x8" {
-		t.Fatalf("torus = %s", back.Torus)
+	if back.Fabric.String() != "8x8" {
+		t.Fatalf("torus = %s", back.Fabric)
 	}
 	if len(back.Phases) != 2 || back.Phases[0].Name != "group-1" {
 		t.Fatalf("phases = %+v", back.Phases)

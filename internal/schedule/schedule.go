@@ -80,13 +80,17 @@ func (tr Transfer) TotalHops() int {
 }
 
 // PathLinks expands the transfer's route into the ordered list of
-// unidirectional physical links it occupies on t.
-func (tr Transfer) PathLinks(t *topology.Torus) []topology.Link {
-	cur := t.CoordOf(tr.Src)
+// unidirectional physical links it occupies on f.
+func (tr Transfer) PathLinks(f topology.Fabric) []topology.Link {
+	cur := tr.Src
+	var ids []int32
 	var links []topology.Link
 	for _, s := range tr.Segments() {
-		links = append(links, t.PathLinks(cur, s.Dim, s.Dir, s.Hops)...)
-		cur = t.Move(cur, s.Dim, s.Hops*int(s.Dir))
+		ids = f.AppendPathLinkIDs(ids[:0], cur, s.Dim, s.Dir, s.Hops)
+		for _, id := range ids {
+			links = append(links, f.LinkAt(int(id)))
+		}
+		cur = f.Advance(cur, s.Dim, s.Dir, s.Hops)
 	}
 	return links
 }
@@ -149,16 +153,19 @@ func (s *Step) MaxHops() int {
 }
 
 // SharingFactor returns the largest number of transfers in the step
-// that traverse any single unidirectional link — the wormhole
+// that traverse any single contention domain — the wormhole
 // serialization factor of the step (1 when the step is link-disjoint).
-func (s *Step) SharingFactor(t *topology.Torus) int {
-	use := make(map[topology.Link]int)
+// On fabrics where every link is its own domain (torus, dragonfly)
+// this is per-link sharing.
+func (s *Step) SharingFactor(f topology.Fabric) int {
+	use := make(map[int]int)
 	max := 1
 	for _, tr := range s.Transfers {
-		for _, l := range tr.PathLinks(t) {
-			use[l]++
-			if use[l] > max {
-				max = use[l]
+		for _, l := range tr.PathLinks(f) {
+			d := f.ContentionDomain(f.LinkID(l))
+			use[d]++
+			if use[d] > max {
+				max = use[d]
 			}
 		}
 	}
@@ -185,9 +192,10 @@ type Phase struct {
 	Rearrange int
 }
 
-// Schedule is the full run: an ordered list of phases over a torus.
+// Schedule is the full run: an ordered list of phases over a fabric
+// (a torus, a swapped dragonfly, or any other topology.Fabric).
 type Schedule struct {
-	Torus  *topology.Torus
+	Fabric topology.Fabric
 	Phases []Phase
 }
 
@@ -260,7 +268,7 @@ func (sc *Schedule) HasPayload() bool {
 // pair's links busy; low utilization is the price of strict
 // contention-freedom.
 func (sc *Schedule) LinkUtilization() float64 {
-	total := len(sc.Torus.AllLinks())
+	total := len(sc.Fabric.Links())
 	if total == 0 || sc.NumSteps() == 0 {
 		return 0
 	}
@@ -268,7 +276,7 @@ func (sc *Schedule) LinkUtilization() float64 {
 	sc.EachStep(func(_ *Phase, _ int, s *Step) {
 		used := make(map[topology.Link]bool)
 		for _, tr := range s.Transfers {
-			for _, l := range tr.PathLinks(sc.Torus) {
+			for _, l := range tr.PathLinks(sc.Fabric) {
 				used[l] = true
 			}
 		}
@@ -367,18 +375,24 @@ func CheckStepOnePort(phase string, stepIndex int, s *Step) error {
 
 // CheckStep validates contention-freedom and the one-port model for a
 // single step, ignoring the step's Shared declaration. It returns the
-// first violation found, or nil.
-func CheckStep(t *topology.Torus, phase string, stepIndex int, s *Step) error {
+// first violation found, or nil. Contention is checked per contention
+// domain, which on the torus and the dragonfly is per link.
+func CheckStep(f topology.Fabric, phase string, stepIndex int, s *Step) error {
 	if err := CheckStepOnePort(phase, stepIndex, s); err != nil {
 		return err
 	}
-	links := make(map[topology.Link]Transfer)
+	type claim struct {
+		l  topology.Link
+		tr Transfer
+	}
+	domains := make(map[int]claim)
 	for _, tr := range s.Transfers {
-		for _, l := range tr.PathLinks(t) {
-			if prev, dup := links[l]; dup {
-				return &ContentionError{Phase: phase, Step: stepIndex, Link: l, A: prev, B: tr}
+		for _, l := range tr.PathLinks(f) {
+			d := f.ContentionDomain(f.LinkID(l))
+			if prev, dup := domains[d]; dup {
+				return &ContentionError{Phase: phase, Step: stepIndex, Link: l, A: prev.tr, B: tr}
 			}
-			links[l] = tr
+			domains[d] = claim{l: l, tr: tr}
 		}
 	}
 	return nil
@@ -398,7 +412,7 @@ func (sc *Schedule) Check() error {
 		if s.Shared {
 			err = CheckStepOnePort(p.Name, si, s)
 		} else {
-			err = CheckStep(sc.Torus, p.Name, si, s)
+			err = CheckStep(sc.Fabric, p.Name, si, s)
 		}
 		if err != nil {
 			firstErr = err

@@ -31,7 +31,7 @@ func TestStepAggregates(t *testing.T) {
 func TestScheduleAggregates(t *testing.T) {
 	tor := topology.MustNew(8, 8)
 	sc := &Schedule{
-		Torus: tor,
+		Fabric: tor,
 		Phases: []Phase{
 			{Name: "p1", Steps: []Step{
 				{Transfers: []Transfer{{Src: 0, Dst: 4, Dim: 1, Dir: topology.Pos, Hops: 4, Blocks: 10}}},
@@ -135,7 +135,7 @@ func TestCheckStepOnePortReceive(t *testing.T) {
 func TestScheduleCheckFindsDeepViolation(t *testing.T) {
 	tor := topology.MustNew(8)
 	sc := &Schedule{
-		Torus: tor,
+		Fabric: tor,
 		Phases: []Phase{
 			{Name: "ok", Steps: []Step{
 				{Transfers: []Transfer{{Src: 0, Dst: 1, Dim: 0, Dir: topology.Pos, Hops: 1, Blocks: 1}}},
@@ -166,7 +166,7 @@ func TestScheduleCheckFindsDeepViolation(t *testing.T) {
 func TestLinkUtilization(t *testing.T) {
 	tor := topology.MustNew(8) // 16 unidirectional links
 	sc := &Schedule{
-		Torus: tor,
+		Fabric: tor,
 		Phases: []Phase{{Name: "p", Steps: []Step{
 			// 4 links used of 16 -> 0.25.
 			{Transfers: []Transfer{{Src: 0, Dst: 4, Dim: 0, Dir: topology.Pos, Hops: 4, Blocks: 1}}},
@@ -181,7 +181,7 @@ func TestLinkUtilization(t *testing.T) {
 	if got < 0.374 || got > 0.376 {
 		t.Fatalf("LinkUtilization = %g, want 0.375", got)
 	}
-	empty := &Schedule{Torus: tor}
+	empty := &Schedule{Fabric: tor}
 	if empty.LinkUtilization() != 0 {
 		t.Fatal("empty schedule should have zero utilization")
 	}
@@ -190,7 +190,7 @@ func TestLinkUtilization(t *testing.T) {
 func TestDestinationChanges(t *testing.T) {
 	tor := topology.MustNew(8, 8)
 	sc := &Schedule{
-		Torus: tor,
+		Fabric: tor,
 		Phases: []Phase{{Name: "p", Steps: []Step{
 			{Transfers: []Transfer{{Src: 0, Dst: 1, Hops: 1, Blocks: 1, Dim: 1, Dir: topology.Pos}}},
 			{Transfers: []Transfer{{Src: 0, Dst: 1, Hops: 1, Blocks: 1, Dim: 1, Dir: topology.Pos}}}, // same dest: no change

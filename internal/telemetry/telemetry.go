@@ -336,31 +336,31 @@ func (r *Recorder) Counter(name string, time, value float64) {
 }
 
 // LinkGauge emits one link's measurement keyed by (dim, direction,
-// source coordinate); t resolves the link's source node to its
+// source coordinate); f resolves the link's source node to its
 // coordinate and may be nil when unknown.
-func (r *Recorder) LinkGauge(name string, t *topology.Torus, l topology.Link, value float64) {
+func (r *Recorder) LinkGauge(name string, f topology.Fabric, l topology.Link, value float64) {
 	if !r.Enabled() {
 		return
 	}
 	ev := Event{Kind: GaugeKind, Scope: ScopeLink, Name: name,
 		Phase: -1, Step: -1, Transfer: -1,
 		Dim: l.Dim, Dir: int(l.Dir), Node: int(l.From), Value: value}
-	if t != nil {
-		ev.Coord = append([]int(nil), t.CoordOf(l.From)...)
+	if f != nil {
+		ev.Coord = append([]int(nil), f.CoordOf(l.From)...)
 	}
 	r.Emit(ev)
 }
 
 // NodeGauge emits one node's measurement (e.g. its asynchronous finish
-// time); t may be nil.
-func (r *Recorder) NodeGauge(name string, t *topology.Torus, node int, value float64) {
+// time); f may be nil.
+func (r *Recorder) NodeGauge(name string, f topology.Fabric, node int, value float64) {
 	if !r.Enabled() {
 		return
 	}
 	ev := Event{Kind: GaugeKind, Scope: ScopeNode, Name: name,
 		Phase: -1, Step: -1, Transfer: -1, Node: node, Value: value}
-	if t != nil {
-		ev.Coord = append([]int(nil), t.CoordOf(topology.NodeID(node))...)
+	if f != nil {
+		ev.Coord = append([]int(nil), f.CoordOf(topology.NodeID(node))...)
 	}
 	r.Emit(ev)
 }

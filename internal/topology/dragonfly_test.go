@@ -1,0 +1,205 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+)
+
+var dragonflyShapes = []struct{ k, m int }{
+	{1, 1}, {1, 2}, {1, 4}, {2, 2}, {2, 3}, {3, 2}, {2, 4}, {3, 3},
+}
+
+func TestDragonflyBasics(t *testing.T) {
+	d := MustNewDragonfly(2, 3)
+	if d.Nodes() != 18 || d.Groups() != 6 || d.K() != 2 || d.M() != 3 {
+		t.Fatalf("D3(2,3): nodes=%d groups=%d", d.Nodes(), d.Groups())
+	}
+	if d.NDims() != 1+2 { // ⌊3/2⌋ local classes + 2 global ports
+		t.Fatalf("NDims = %d", d.NDims())
+	}
+	if d.String() != "D3(2,3)" || d.Fingerprint() != "d3:2x3" {
+		t.Fatalf("String=%q Fingerprint=%q", d.String(), d.Fingerprint())
+	}
+	for id := 0; id < d.Nodes(); id++ {
+		g, r := d.Group(NodeID(id)), d.Router(NodeID(id))
+		if d.ID(g, r) != NodeID(id) {
+			t.Fatalf("ID(Group, Router) != id for %d", id)
+		}
+		c := d.CoordOf(NodeID(id))
+		if len(c) != 2 || c[0] != g || c[1] != r {
+			t.Fatalf("CoordOf(%d) = %v, want [%d %d]", id, c, g, r)
+		}
+	}
+	if _, err := NewDragonfly(0, 3); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := NewDragonfly(2, 0); err == nil {
+		t.Fatal("M=0 accepted")
+	}
+}
+
+// TestDragonflyLinkCount pins the wired-link census: every router has
+// M−1 local links (each of the M−1 nonzero offsets is reachable by
+// exactly one wired slot) and K global ports minus the one self-port
+// per router class, so |links| = N(M−1) + NK − KM.
+func TestDragonflyLinkCount(t *testing.T) {
+	for _, sh := range dragonflyShapes {
+		d := MustNewDragonfly(sh.k, sh.m)
+		n := d.Nodes()
+		want := n*(sh.m-1) + n*sh.k - sh.k*sh.m
+		if got := len(d.Links()); got != want {
+			t.Errorf("D3(%d,%d): %d links, want %d", sh.k, sh.m, got, want)
+		}
+	}
+}
+
+// TestDragonflyLinkIDs: LinkAt inverts LinkID over the whole dense
+// space, Links() is ascending in dense id, and Wired agrees with the
+// Links enumeration.
+func TestDragonflyLinkIDs(t *testing.T) {
+	for _, sh := range dragonflyShapes {
+		d := MustNewDragonfly(sh.k, sh.m)
+		wired := make(map[int]bool)
+		prev := -1
+		for _, l := range d.Links() {
+			id := d.LinkID(l)
+			if id <= prev {
+				t.Fatalf("D3(%d,%d): Links() not ascending at id %d", sh.k, sh.m, id)
+			}
+			prev = id
+			if back := d.LinkAt(id); back != l {
+				t.Fatalf("D3(%d,%d): LinkAt(LinkID(%v)) = %v", sh.k, sh.m, l, back)
+			}
+			wired[id] = true
+		}
+		for id := 0; id < d.NumLinkIDs(); id++ {
+			l := d.LinkAt(id)
+			if d.LinkID(l) != id {
+				t.Fatalf("D3(%d,%d): LinkID(LinkAt(%d)) = %d", sh.k, sh.m, id, d.LinkID(l))
+			}
+			if d.Wired(l.From, l.Dim, l.Dir) != wired[id] {
+				t.Fatalf("D3(%d,%d): Wired(%v) = %v, Links() disagrees", sh.k, sh.m, l, !wired[id])
+			}
+		}
+		if d.NumContentionDomains() != d.NumLinkIDs() {
+			t.Fatalf("D3(%d,%d): non-identity contention domains", sh.k, sh.m)
+		}
+	}
+}
+
+// TestDragonflyInvolution: every wired port, followed, has a wired
+// port leading straight back — local classes via the opposite
+// direction, global ports via the swapped rule's involution.
+func TestDragonflyInvolution(t *testing.T) {
+	for _, sh := range dragonflyShapes {
+		d := MustNewDragonfly(sh.k, sh.m)
+		for id := 0; id < d.Nodes(); id++ {
+			for dim := 0; dim < d.NDims(); dim++ {
+				for _, dir := range []Direction{Pos, Neg} {
+					if !d.Wired(NodeID(id), dim, dir) {
+						continue
+					}
+					nb := d.Advance(NodeID(id), dim, dir, 1)
+					back := false
+					for bdim := 0; bdim < d.NDims(); bdim++ {
+						for _, bdir := range []Direction{Pos, Neg} {
+							if d.Wired(nb, bdim, bdir) && d.Advance(nb, bdim, bdir, 1) == NodeID(id) {
+								back = true
+							}
+						}
+					}
+					if !back {
+						t.Fatalf("D3(%d,%d): link %d --dim%d%s--> %d has no return port",
+							sh.k, sh.m, id, dim, dir, nb)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDragonflyRoute: for every (src, dst) pair the minimal route has
+// at most 3 hops (local, global, local), walks only wired ports, lands
+// on dst, and AppendPathLinkIDs reproduces the per-hop link ids.
+func TestDragonflyRoute(t *testing.T) {
+	for _, sh := range dragonflyShapes {
+		d := MustNewDragonfly(sh.k, sh.m)
+		n := d.Nodes()
+		for s := 0; s < n; s++ {
+			for ds := 0; ds < n; ds++ {
+				src, dst := NodeID(s), NodeID(ds)
+				route := d.Route(src, dst)
+				if s == ds {
+					if len(route) != 0 {
+						t.Fatalf("D3(%d,%d): Route(%d,%d) = %v, want empty", sh.k, sh.m, s, ds, route)
+					}
+					continue
+				}
+				if len(route) == 0 || len(route) > 3 {
+					t.Fatalf("D3(%d,%d): Route(%d,%d) has %d hops", sh.k, sh.m, s, ds, len(route))
+				}
+				if mh := d.MinHops(src, dst); mh != len(route) {
+					t.Fatalf("D3(%d,%d): MinHops(%d,%d) = %d, route has %d hops", sh.k, sh.m, s, ds, mh, len(route))
+				}
+				cur := src
+				for _, h := range route {
+					if !d.Wired(cur, h.Dim, h.Dir) {
+						t.Fatalf("D3(%d,%d): Route(%d,%d) crosses unwired port at %d dim%d%s",
+							sh.k, sh.m, s, ds, cur, h.Dim, h.Dir)
+					}
+					ids := d.AppendPathLinkIDs(nil, cur, h.Dim, h.Dir, 1)
+					if len(ids) != 1 || ids[0] != int32(d.LinkID(Link{From: cur, Dim: h.Dim, Dir: h.Dir})) {
+						t.Fatalf("D3(%d,%d): AppendPathLinkIDs mismatch at %d dim%d%s", sh.k, sh.m, cur, h.Dim, h.Dir)
+					}
+					cur = d.Advance(cur, h.Dim, h.Dir, 1)
+				}
+				if cur != dst {
+					t.Fatalf("D3(%d,%d): Route(%d,%d) lands on %d", sh.k, sh.m, s, ds, cur)
+				}
+			}
+		}
+	}
+}
+
+func TestDragonflyAdvanceUnwiredPanics(t *testing.T) {
+	d := MustNewDragonfly(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance over an unwired port did not panic")
+		}
+	}()
+	// Global ports are Pos-only; Neg on a global dim is always unwired.
+	d.Advance(0, d.NDims()-1, Neg, 1)
+}
+
+func TestDragonflyEachNode(t *testing.T) {
+	d := MustNewDragonfly(2, 3)
+	var got []NodeID
+	d.EachNode(func(id NodeID, c Coord) {
+		if c[0] != d.Group(id) || c[1] != d.Router(id) {
+			t.Fatalf("EachNode coord %v for node %d", c, id)
+		}
+		got = append(got, id)
+	})
+	if len(got) != d.Nodes() {
+		t.Fatalf("EachNode visited %d nodes, want %d", len(got), d.Nodes())
+	}
+	for i, id := range got {
+		if id != NodeID(i) {
+			t.Fatalf("EachNode order broken at %d: %v", i, got)
+		}
+	}
+}
+
+func BenchmarkDragonflyRoute(b *testing.B) {
+	for _, sh := range []struct{ k, m int }{{2, 4}, {4, 8}} {
+		d := MustNewDragonfly(sh.k, sh.m)
+		n := d.Nodes()
+		b.Run(fmt.Sprintf("D3(%d,%d)", sh.k, sh.m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := NodeID(i % n)
+				_ = d.Route(s, NodeID((i*7+3)%n))
+			}
+		})
+	}
+}

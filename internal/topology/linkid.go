@@ -37,13 +37,27 @@ func (t *Torus) LinkAt(id int) Link {
 
 // AppendPathLinkIDs appends the dense ids of the links occupied by a
 // hops-long move from src along dim in direction dir, in path order.
-// It is PathLinks composed with LinkID, without materializing Link
-// values.
-func (t *Torus) AppendPathLinkIDs(ids []int32, src Coord, dim int, dir Direction, hops int) []int32 {
-	cur := src.Clone()
+// It is PathLinks composed with LinkID, without materializing Link or
+// Coord values: only the dim coordinate changes along the walk, so the
+// id sequence is base + x*stride with x wrapping in [0, size).
+func (t *Torus) AppendPathLinkIDs(ids []int32, src NodeID, dim int, dir Direction, hops int) []int32 {
+	nd := len(t.dims)
+	stride := t.strides[dim]
+	size := t.dims[dim]
+	x := (int(src) / stride) % size
+	base := int(src) - x*stride
+	d := 0
+	if dir == Neg {
+		d = 1
+	}
 	for i := 0; i < hops; i++ {
-		ids = append(ids, int32(t.LinkID(Link{From: t.ID(cur), Dim: dim, Dir: dir})))
-		cur = t.Move(cur, dim, int(dir))
+		ids = append(ids, int32(((base+x*stride)*nd+dim)*2+d))
+		x += int(dir)
+		if x < 0 {
+			x += size
+		} else if x >= size {
+			x -= size
+		}
 	}
 	return ids
 }

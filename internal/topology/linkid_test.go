@@ -38,7 +38,7 @@ func TestAppendPathLinkIDs(t *testing.T) {
 	for _, dir := range []Direction{Pos, Neg} {
 		for dim := 0; dim < 2; dim++ {
 			links := tor.PathLinks(src, dim, dir, 3)
-			ids := tor.AppendPathLinkIDs(nil, src, dim, dir, 3)
+			ids := tor.AppendPathLinkIDs(nil, tor.ID(src), dim, dir, 3)
 			if len(links) != len(ids) {
 				t.Fatalf("dim %d dir %v: %d links vs %d ids", dim, dir, len(links), len(ids))
 			}
@@ -95,7 +95,7 @@ func TestAppendPathLinkIDsProperty(t *testing.T) {
 				for _, dir := range []Direction{Pos, Neg} {
 					for hops := 0; hops <= tor.Dim(dim)+1; hops++ {
 						prefix := []int32{-7}
-						ids := tor.AppendPathLinkIDs(prefix, src, dim, dir, hops)
+						ids := tor.AppendPathLinkIDs(prefix, NodeID(node), dim, dir, hops)
 						if len(ids) != 1+hops || ids[0] != -7 {
 							t.Fatalf("%v node %d dim %d dir %v hops %d: prefix not preserved (%v)",
 								dims, node, dim, dir, hops, ids)

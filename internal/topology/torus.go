@@ -90,6 +90,7 @@ type Torus struct {
 	dims    []int
 	strides []int // row-major strides; strides[last] == 1
 	n       int   // total node count
+	fp      string
 }
 
 // New constructs a torus with the given per-dimension sizes.
@@ -111,6 +112,7 @@ func New(dims ...int) (*Torus, error) {
 		n *= dims[i]
 	}
 	t.n = n
+	t.fp = "torus:" + t.String()
 	return t, nil
 }
 

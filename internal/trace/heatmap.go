@@ -37,11 +37,11 @@ func heatGlyph(v float64) byte {
 	return heatRamp[idx]
 }
 
-// linkDirs enumerates the torus's (dim, dir) channel classes in
+// linkDirs enumerates the fabric's (dim, dir) channel classes in
 // canonical order.
-func linkDirs(t *topology.Torus) [][2]int {
+func linkDirs(f topology.Fabric) [][2]int {
 	var out [][2]int
-	for d := 0; d < t.NDims(); d++ {
+	for d := 0; d < f.NDims(); d++ {
 		out = append(out, [2]int{d, int(topology.Pos)}, [2]int{d, int(topology.Neg)})
 	}
 	return out
@@ -50,14 +50,15 @@ func linkDirs(t *topology.Torus) [][2]int {
 // LinkHeatmap renders per-link utilization (0..1, e.g. the "link.util"
 // gauges of a telemetry stream) as ASCII heat grids. 2D tori get one
 // grid per (dimension, direction) — rows are the paper's r axis,
-// columns the c axis, matching Groups2D — and higher-dimensional tori
-// fall back to a per-channel-class summary with the hottest links
-// listed. maxListed bounds the hottest-link list (0 means 5).
-func LinkHeatmap(t *topology.Torus, util map[topology.Link]float64, maxListed int) string {
+// columns the c axis, matching Groups2D — and every other fabric
+// (higher-dimensional tori, dragonflies) falls back to a
+// per-channel-class summary with the hottest links listed. maxListed
+// bounds the hottest-link list (0 means 5).
+func LinkHeatmap(f topology.Fabric, util map[topology.Link]float64, maxListed int) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "link utilization of the %s torus (%d links, %d busy):\n",
-		t, len(t.AllLinks()), len(util))
-	if t.NDims() == 2 {
+	fmt.Fprintf(&b, "link utilization of %s (%d links, %d busy):\n",
+		f, len(f.Links()), len(util))
+	if t, ok := f.(*topology.Torus); ok && t.NDims() == 2 {
 		cSize, rSize := t.Dim(0), t.Dim(1)
 		for _, dd := range linkDirs(t) {
 			dim, dir := dd[0], topology.Direction(dd[1])
@@ -80,13 +81,13 @@ func LinkHeatmap(t *topology.Torus, util map[topology.Link]float64, maxListed in
 		return b.String()
 	}
 
-	// N-dimensional fallback: per-channel-class aggregates plus the
-	// hottest individual links.
-	for _, dd := range linkDirs(t) {
+	// Generic fallback: per-channel-class aggregates plus the hottest
+	// individual links, using only the Fabric interface.
+	for _, dd := range linkDirs(f) {
 		dim, dir := dd[0], topology.Direction(dd[1])
 		var sum, max float64
 		busy, total := 0, 0
-		for _, l := range t.AllLinks() {
+		for _, l := range f.Links() {
 			if l.Dim != dim || l.Dir != dir {
 				continue
 			}
@@ -115,7 +116,7 @@ func LinkHeatmap(t *topology.Torus, util map[topology.Link]float64, maxListed in
 		v float64
 	}
 	var hots []hot
-	for _, l := range t.AllLinks() {
+	for _, l := range f.Links() {
 		if v, ok := util[l]; ok && v > 0 {
 			hots = append(hots, hot{l, v})
 		}
@@ -130,7 +131,7 @@ func LinkHeatmap(t *topology.Torus, util map[topology.Link]float64, maxListed in
 		hots = hots[:maxListed]
 	}
 	for _, h := range hots {
-		fmt.Fprintf(&b, "  hottest: %v from %v  util %5.3f\n", h.l, t.CoordOf(h.l.From), h.v)
+		fmt.Fprintf(&b, "  hottest: %v from %v  util %5.3f\n", h.l, f.CoordOf(h.l.From), h.v)
 	}
 	return b.String()
 }

@@ -16,8 +16,8 @@ import (
 // transfer count, largest message, hop distance.
 func Summary(sc *schedule.Schedule) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "schedule for %s torus: %d phases, %d steps\n",
-		sc.Torus, len(sc.Phases), sc.NumSteps())
+	fmt.Fprintf(&b, "schedule for %s: %d phases, %d steps\n",
+		fabricLabel(sc.Fabric), len(sc.Phases), sc.NumSteps())
 	sc.EachStep(func(p *schedule.Phase, si int, st *schedule.Step) {
 		shared := ""
 		if st.Shared {
@@ -27,6 +27,16 @@ func Summary(sc *schedule.Schedule) string {
 			p.Name, si+1, len(st.Transfers), st.MaxBlocks(), st.MaxHops(), shared)
 	})
 	return b.String()
+}
+
+// fabricLabel names a fabric for trace headers: tori keep the
+// familiar "8x8 torus" form, other fabrics speak for themselves
+// ("D3(2,3)").
+func fabricLabel(f topology.Fabric) string {
+	if _, ok := f.(*topology.Torus); ok {
+		return fmt.Sprintf("%s torus", f)
+	}
+	return fmt.Sprint(f)
 }
 
 // routeLabel renders a transfer's route: the familiar single-leg form
@@ -42,7 +52,7 @@ func routeLabel(tr *schedule.Transfer) string {
 // truncated to at most limit transfers per step (0 means no limit).
 func Detail(sc *schedule.Schedule, limit int) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "schedule for %s torus\n", sc.Torus)
+	fmt.Fprintf(&b, "schedule for %s\n", fabricLabel(sc.Fabric))
 	sc.EachStep(func(p *schedule.Phase, si int, st *schedule.Step) {
 		fmt.Fprintf(&b, "%s step %d (%d transfers):\n", p.Name, si+1, len(st.Transfers))
 		trs := append([]schedule.Transfer(nil), st.Transfers...)
@@ -52,8 +62,8 @@ func Detail(sc *schedule.Schedule, limit int) string {
 				fmt.Fprintf(&b, "  ... %d more\n", len(trs)-limit)
 				break
 			}
-			src := sc.Torus.CoordOf(tr.Src)
-			dst := sc.Torus.CoordOf(tr.Dst)
+			src := sc.Fabric.CoordOf(tr.Src)
+			dst := sc.Fabric.CoordOf(tr.Dst)
 			fmt.Fprintf(&b, "  %v -> %v  %s  %d blocks\n",
 				src, dst, routeLabel(&tr), tr.Blocks)
 		}
@@ -65,16 +75,16 @@ func Detail(sc *schedule.Schedule, limit int) string {
 // whole schedule: what it sent and received in each step.
 func NodeHistory(sc *schedule.Schedule, node int) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "node %d %v history:\n", node, sc.Torus.CoordOf(topology.NodeID(node)))
+	fmt.Fprintf(&b, "node %d %v history:\n", node, sc.Fabric.CoordOf(topology.NodeID(node)))
 	sc.EachStep(func(p *schedule.Phase, si int, st *schedule.Step) {
 		for _, tr := range st.Transfers {
 			if int(tr.Src) == node {
 				fmt.Fprintf(&b, "  %-8s step %2d: send %4d blocks to %v (%s)\n",
-					p.Name, si+1, tr.Blocks, sc.Torus.CoordOf(tr.Dst), routeLabel(&tr))
+					p.Name, si+1, tr.Blocks, sc.Fabric.CoordOf(tr.Dst), routeLabel(&tr))
 			}
 			if int(tr.Dst) == node {
 				fmt.Fprintf(&b, "  %-8s step %2d: recv %4d blocks from %v\n",
-					p.Name, si+1, tr.Blocks, sc.Torus.CoordOf(tr.Src))
+					p.Name, si+1, tr.Blocks, sc.Fabric.CoordOf(tr.Src))
 			}
 		}
 	})

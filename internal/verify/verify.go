@@ -13,8 +13,8 @@ import (
 
 // Conservation checks that the buffers together hold exactly one block
 // per (origin, dest) pair of the full N×N exchange.
-func Conservation(t *topology.Torus, bufs []*block.Buffer) error {
-	n := t.Nodes()
+func Conservation(f topology.Fabric, bufs []*block.Buffer) error {
+	n := f.Nodes()
 	seen := make([]bool, n*n)
 	total := 0
 	for holder, buf := range bufs {
@@ -38,8 +38,8 @@ func Conservation(t *topology.Torus, bufs []*block.Buffer) error {
 
 // Delivered checks the exchange post-condition: node i holds exactly
 // the N blocks {B[j,i] : all j}, with intact payload checksums.
-func Delivered(t *topology.Torus, bufs []*block.Buffer) error {
-	n := t.Nodes()
+func Delivered(f topology.Fabric, bufs []*block.Buffer) error {
+	n := f.Nodes()
 	if len(bufs) != n {
 		return fmt.Errorf("verify: %d buffers for %d nodes", len(bufs), n)
 	}
@@ -70,8 +70,8 @@ func Delivered(t *topology.Torus, bufs []*block.Buffer) error {
 // i, no more and no fewer. Duplicate (origin, dest) pairs in traffic
 // are rejected. This is the post-condition the shared executor
 // enforces after replaying any payload-annotated schedule.
-func DeliveredMatrix(t *topology.Torus, bufs []*block.Buffer, traffic []block.Block) error {
-	n := t.Nodes()
+func DeliveredMatrix(f topology.Fabric, bufs []*block.Buffer, traffic []block.Block) error {
+	n := f.Nodes()
 	if len(bufs) != n {
 		return fmt.Errorf("verify: %d buffers for %d nodes", len(bufs), n)
 	}
@@ -114,7 +114,7 @@ func DeliveredMatrix(t *topology.Torus, bufs []*block.Buffer, traffic []block.Bl
 // nodes exchange): node i must hold exactly one block from each origin
 // in origins destined to i, and nothing else; nodes not in the
 // destination set must hold nothing.
-func DeliveredSubset(t *topology.Torus, bufs []*block.Buffer, participants []topology.NodeID) error {
+func DeliveredSubset(_ topology.Fabric, bufs []*block.Buffer, participants []topology.NodeID) error {
 	inSet := make(map[topology.NodeID]bool, len(participants))
 	for _, id := range participants {
 		inSet[id] = true
