@@ -49,7 +49,7 @@ func run(args []string, w io.Writer) error {
 	var (
 		fabricFlag   = fs.String("fabric", "torus", "fabric kind: torus or dragonfly (D3(K,M), shape KxM)")
 		dimsFlag     = fs.String("dims", "12x12", "fabric shape: torus dimensions like 12x8x4, or KxM for -fabric dragonfly")
-		algFlag      = fs.String("alg", "proposed", "algorithm: proposed, direct, ring, factored, logtime, concurrent, virtual, or any registered name ("+strings.Join(algorithm.Names(), ", ")+")")
+		algFlag      = fs.String("alg", "proposed", "algorithm: proposed, direct, ring, factored, logtime, concurrent, virtual, auto (cost-model planner, needs or implies -traffic), or any registered name ("+strings.Join(algorithm.Names(), ", ")+")")
 		mFlag        = fs.Int("m", 64, "block size in bytes")
 		tsFlag       = fs.Float64("ts", 25, "startup time per message (us)")
 		tcFlag       = fs.Float64("tc", 0.01, "transmission time per byte (us)")
@@ -58,6 +58,7 @@ func run(args []string, w io.Writer) error {
 		parallelFlag = fs.Bool("parallel", true, "fan the executor out across GOMAXPROCS workers (results are bit-identical to -parallel=false)")
 		workersFlag  = fs.Int("workers", 0, "parallel executor worker count (0 = GOMAXPROCS)")
 	)
+	trafficFlag := cli.RegisterTraffic(fs)
 	tel := cli.RegisterTelemetry(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +72,17 @@ func run(args []string, w io.Writer) error {
 	params := torusx.CostParams{Ts: *tsFlag, Tc: *tcFlag, Tl: *tlFlag, Rho: *rhoFlag, M: *mFlag}
 
 	alg := *algFlag
+	if *trafficFlag != "" || alg == "auto" {
+		// Sparse-traffic path: a declared matrix rides a pruned (or
+		// natively sparse) schedule, and -alg auto lets the cost-model
+		// planner pick the cheapest algorithm for the matrix.
+		switch alg {
+		case "proposed", "concurrent", "virtual":
+			return fmt.Errorf("-traffic needs a sparse-capable executor algorithm (auto, %s); %q is a dense simulator path",
+				strings.Join(algorithm.SparseSupporting(fab), ", "), alg)
+		}
+		return runSparse(w, tel, alg, fab, *trafficFlag, params, execOpt)
+	}
 	if _, isTorus := fab.(*topology.Torus); !isTorus {
 		// Non-torus fabrics resolve through the registry only; the
 		// simulator-specific paths below are torus algorithms.
@@ -143,6 +155,67 @@ func run(args []string, w io.Writer) error {
 		}
 		return runExecutor(w, tel, alg, fab, params, execOpt)
 	}
+	return nil
+}
+
+// runSparse runs the sparse-traffic path: parse the matrix, resolve
+// the algorithm (or let the planner pick), and replay the compiled
+// sparse program through the shared executor with the matrix declared
+// as the program's traffic — so the run delivery-verifies exactly it.
+func runSparse(w io.Writer, tel *cli.Telemetry, alg string, fab topology.Fabric, spec string, params torusx.CostParams, execOpt exec.Options) error {
+	m, err := cli.ResolveTraffic(spec, fab)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "traffic: %s\n", m)
+
+	var pg *exec.Program
+	var title string
+	if alg == "auto" {
+		plan, err := algorithm.PlanSparse(fab, m, params, execOpt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "planner candidates on %s:\n", fab)
+		for _, s := range plan.Scores {
+			if s.Err != nil {
+				fmt.Fprintf(w, "  %-14s excluded: %v\n", s.Name, s.Err)
+				continue
+			}
+			fmt.Fprintf(w, "  %-14s %10.1f us  (steps=%d blocks=%d hops=%d rearr=%d)\n",
+				s.Name, s.Completion, s.Measure.Steps, s.Measure.Blocks, s.Measure.Hops, s.Measure.RearrangedBlocks)
+		}
+		pg = plan.Program
+		alg = plan.Winner
+		title = fmt.Sprintf("%s (planner pick, sparse, delivery-verified)", alg)
+	} else {
+		b, err := algorithm.For(alg)
+		if err != nil {
+			return err
+		}
+		pg, err = algorithm.BuildSparseProgram(b, fab, m, execOpt)
+		if err != nil {
+			return err
+		}
+		title = fmt.Sprintf("%s (sparse, delivery-verified)", alg)
+	}
+
+	label := alg + "+" + spec + "@" + fab.String()
+	rec, err := tel.Labeled(params, label)
+	if err != nil {
+		return err
+	}
+	execOpt.Telemetry = rec
+	arena := pg.AcquireArena()
+	res, err := pg.RunArena(arena, execOpt)
+	if err != nil {
+		return err
+	}
+	pg.ReleaseArena(arena)
+	if err := tel.Finish(w, fab, label); err != nil {
+		return err
+	}
+	printReport(w, title, res.Measure, params)
 	return nil
 }
 

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSparseNamedAlg(t *testing.T) {
+	out := runOut(t, "-dims", "8x8", "-alg", "direct", "-traffic", "perm:seed=1")
+	for _, want := range []string{"traffic: traffic{n=64 blocks=64", "direct (sparse, delivery-verified)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSparseAutoPlanner(t *testing.T) {
+	out := runOut(t, "-dims", "8x8", "-alg", "auto", "-traffic", "ring:radius=1")
+	for _, want := range []string{"planner candidates on 8x8", "direct", "planner pick, sparse, delivery-verified"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// -alg auto without -traffic plans over the full all-to-all matrix.
+	out = runOut(t, "-dims", "8x8", "-alg", "auto")
+	if !strings.Contains(out, "planner candidates") {
+		t.Fatalf("auto without -traffic did not plan:\n%s", out)
+	}
+}
+
+func TestRunSparseDragonfly(t *testing.T) {
+	out := runOut(t, "-fabric", "dragonfly", "-dims", "2x4", "-alg", "auto", "-traffic", "hotspot:k=2,seed=1")
+	if !strings.Contains(out, "planner pick, sparse, delivery-verified") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunSparseErrors(t *testing.T) {
+	var b strings.Builder
+	// Dense simulator paths cannot serve a sparse matrix.
+	if err := run([]string{"-dims", "8x8", "-alg", "proposed", "-traffic", "perm:seed=1"}, &b); err == nil || !strings.Contains(err.Error(), "sparse-capable") {
+		t.Fatalf("proposed with -traffic: %v", err)
+	}
+	// Collectives have no sparse variant.
+	if err := run([]string{"-dims", "8x8", "-alg", "allgather", "-traffic", "perm:seed=1"}, &b); err == nil || !strings.Contains(err.Error(), "sparse") {
+		t.Fatalf("allgather with -traffic: %v", err)
+	}
+	// Broken specs are parse errors, not silent full matrices.
+	if err := run([]string{"-dims", "8x8", "-alg", "direct", "-traffic", "uniform:nope=1"}, &b); err == nil || !strings.Contains(err.Error(), "unknown parameter") {
+		t.Fatalf("bad spec: %v", err)
+	}
+}

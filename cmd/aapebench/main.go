@@ -59,6 +59,7 @@ import (
 	"torusx/internal/costmodel"
 	"torusx/internal/exec"
 	"torusx/internal/topology"
+	"torusx/internal/traffic"
 )
 
 // benchCells counts completed sweep cells, exported on /debug/vars
@@ -92,10 +93,24 @@ func run(args []string, w io.Writer) error {
 		baselineFlag   = fs.String("baseline", "", "compare the sweep against this committed ledger: print per-cell ns/op and allocs/op deltas and exit nonzero when allocs/op regress beyond -tolerance percent")
 		toleranceFlag  = fs.Float64("tolerance", 25, "allocs/op regression tolerance for -baseline, in percent")
 		smokeFlag      = fs.Bool("smoke", false, "registry smoke: compile and replay every supported (fabric, algorithm) pair once, report, and exit — no timings, no ledger")
+		trafficFlag    = fs.String("traffic", "", "sweep sparse traffic instead of the dense all-to-all: a spec (see internal/traffic), or 'all' for one canned matrix per generator; with -smoke, compile+replay every (generator, sparse algorithm) pair plus the planner pick")
 	)
 	tel := cli.RegisterTelemetry(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *trafficFlag != "" {
+		// Sparse cells must never overwrite the committed dense ledger:
+		// unless -out was given explicitly, a sparse sweep goes to stdout.
+		outSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "out" {
+				outSet = true
+			}
+		})
+		if !outSet {
+			*outFlag = "-"
+		}
 	}
 
 	if *pprofFlag != "" {
@@ -119,7 +134,13 @@ func run(args []string, w io.Writer) error {
 	serial := *serialFlag || !*parallelFlag
 	opt := exec.Options{Serial: serial, Workers: *workersFlag}
 	if *smokeFlag {
+		if *trafficFlag != "" {
+			return sparseSmoke(w, opt, *trafficFlag)
+		}
 		return registrySmoke(w, opt)
+	}
+	if *trafficFlag != "" {
+		return sparseSweep(w, *fabricFlag, *outFlag, shapes, algs, *algsFlag != "", trafficSpecs(*trafficFlag), opt, *quickFlag, *samplesFlag)
 	}
 
 	ledger := &benchfmt.File{
@@ -436,6 +457,202 @@ func registrySmoke(w io.Writer, opt exec.Options) error {
 		return fmt.Errorf("registry smoke: no (fabric, algorithm) pair ran")
 	}
 	fmt.Fprintf(w, "registry smoke: %d pairs compiled and replayed, %d skipped\n", pairs, skipped)
+	return nil
+}
+
+// trafficSpecs expands the -traffic flag: 'all' becomes one canned
+// matrix per generator, anything else is a single spec.
+func trafficSpecs(flag string) []string {
+	if flag == "all" {
+		return traffic.CannedSpecs()
+	}
+	return []string{flag}
+}
+
+// sparseSweep is the -traffic counterpart of the main sweep: every
+// (shape, traffic spec, sparse algorithm) cell compiles its sparse
+// program through the cache (timed into the compile columns) and times
+// the replay, with the matrix delivery-verified on every op. Entries
+// carry the spec in the Traffic field, so their keys can never collide
+// with the dense ledger's.
+func sparseSweep(w io.Writer, fabric, out string, shapes [][]int, algs []string, algsExplicit bool, specs []string, opt exec.Options, quick bool, samples int) error {
+	ledger := &benchfmt.File{
+		Schema: benchfmt.Schema,
+		GoOS:   runtime.GOOS, GoArch: runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	fmt.Fprintf(w, "%-14s %-10s %-24s %14s %12s %12s %10s %8s\n", "alg", "dims", "traffic", "ns/op", "allocs/op", "compile ns", "steps", "blocks")
+	for _, dims := range shapes {
+		fab, err := cli.ParseFabric(fabric, shapeString(dims))
+		if err != nil {
+			return fmt.Errorf("shape %v: %v", dims, err)
+		}
+		cellAlgs := algorithm.SparseSupporting(fab)
+		if algsExplicit {
+			cellAlgs = algs
+		}
+		for _, spec := range specs {
+			m, err := cli.ResolveTraffic(spec, fab)
+			if err != nil {
+				return err
+			}
+			for _, name := range cellAlgs {
+				b, err := algorithm.For(strings.TrimSpace(name))
+				if err != nil {
+					return err
+				}
+				if !algorithm.SparseCapable(b.Name()) {
+					return fmt.Errorf("algorithm %q has no sparse variant; -traffic sweeps support %s",
+						b.Name(), strings.Join(algorithm.SparseSupporting(fab), ", "))
+				}
+				var pg *exec.Program
+				var buildErr error
+				compileNs, compileAllocs := timeIt(func() {
+					pg, buildErr = algorithm.BuildSparseProgram(b, fab, m, opt)
+				})
+				if buildErr != nil {
+					fmt.Fprintf(os.Stderr, "aapebench: skip %s+%s on %s: %v\n", b.Name(), spec, shapeString(dims), buildErr)
+					continue
+				}
+				arena := pg.AcquireArena()
+				runOnce := func(topt exec.Options) (*exec.Result, error) { return pg.RunArena(arena, topt) }
+				res, err := runOnce(opt)
+				if err != nil {
+					pg.ReleaseArena(arena)
+					return fmt.Errorf("%s+%s on %s: %v", b.Name(), spec, shapeString(dims), err)
+				}
+				entry := benchfmt.Entry{
+					Alg: b.Name(), Dims: dims, Traffic: spec, Parallel: !opt.Serial, Compiled: true,
+					CompileNs: compileNs, CompileAllocs: compileAllocs,
+					Steps: res.Measure.Steps, Blocks: res.Measure.Blocks,
+					Hops: res.Measure.Hops, Rearranged: res.Measure.RearrangedBlocks,
+					MaxSharing: res.MaxSharing,
+				}
+				if quick {
+					entry.NsPerOp, entry.AllocsPerOp, entry.BytesPerOp = timeOnce(runOnce, opt)
+				} else {
+					br := testing.Benchmark(func(bb *testing.B) {
+						bb.ReportAllocs()
+						for i := 0; i < bb.N; i++ {
+							if _, err := runOnce(opt); err != nil {
+								bb.Fatal(err)
+							}
+						}
+					})
+					entry.NsPerOp = float64(br.NsPerOp())
+					entry.AllocsPerOp = br.AllocsPerOp()
+					entry.BytesPerOp = br.AllocedBytesPerOp()
+				}
+				if samples >= 2 {
+					iters := sampleIters(entry.NsPerOp, quick)
+					sv := make([]float64, samples)
+					for i := range sv {
+						sv[i] = timeBatch(runOnce, opt, iters)
+					}
+					entry.NsMin, entry.NsMax, entry.NsStddev = benchfmt.SampleStats(sv)
+					entry.Samples = len(sv)
+					if entry.NsPerOp < entry.NsMin {
+						entry.NsMin = entry.NsPerOp
+					}
+					if entry.NsPerOp > entry.NsMax {
+						entry.NsMax = entry.NsPerOp
+					}
+				}
+				pg.ReleaseArena(arena)
+				benchCells.Add(1)
+				ledger.Entries = append(ledger.Entries, entry)
+				fmt.Fprintf(w, "%-14s %-10s %-24s %14.0f %12d %12.0f %10d %8d\n",
+					entry.Alg, shapeString(dims), spec, entry.NsPerOp, entry.AllocsPerOp, entry.CompileNs, entry.Steps, entry.Blocks)
+			}
+		}
+	}
+	fmt.Fprintf(w, "progcache: %s\n", algorithm.CacheStats())
+	if len(ledger.Entries) == 0 {
+		return fmt.Errorf("sparse sweep: no runnable cells")
+	}
+	if err := ledger.Validate(); err != nil {
+		return err
+	}
+	if out != "-" && out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ledger.Write(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d entries to %s\n", len(ledger.Entries), out)
+		return nil
+	}
+	return ledger.Write(w)
+}
+
+// sparseSmoke is the -traffic form of the registry smoke: on every
+// smoke fabric, compile and replay each (traffic generator, sparse
+// algorithm) pair once — delivery verified against exactly the
+// declared matrix — then run the planner on the same cell and verify
+// its pick scores no worse than the best candidate (within
+// costmodel.PlannerModelError). CI's bench-regression job runs this so
+// the whole sparse seam (generators → prune/native build → compile →
+// replay → planner) breaks loudly, independent of timings.
+func sparseSmoke(w io.Writer, opt exec.Options, trafficArg string) error {
+	fabrics := []topology.Fabric{
+		topology.MustNew(8, 8),
+		topology.MustNew(4, 4, 4),
+		topology.MustNew(12, 8),
+		topology.MustNewDragonfly(2, 4),
+	}
+	specs := trafficSpecs(trafficArg)
+	pairs, skipped := 0, 0
+	for _, fab := range fabrics {
+		for _, spec := range specs {
+			m, err := cli.ResolveTraffic(spec, fab)
+			if err != nil {
+				return err
+			}
+			best := 0.0
+			for _, name := range algorithm.SparseSupporting(fab) {
+				b, err := algorithm.For(name)
+				if err != nil {
+					return err
+				}
+				pg, err := algorithm.BuildSparseProgram(b, fab, m, opt)
+				if err != nil {
+					fmt.Fprintf(w, "sparse smoke skip: %s+%s@%s: %v\n", name, spec, fab, err)
+					skipped++
+					continue
+				}
+				arena := pg.AcquireArena()
+				res, err := pg.RunArena(arena, opt)
+				pg.ReleaseArena(arena)
+				if err != nil {
+					return fmt.Errorf("sparse smoke: replay %s+%s@%s: %v", name, spec, fab, err)
+				}
+				c := costmodel.T3D(64).Completion(res.Measure)
+				if best == 0 || c < best {
+					best = c
+				}
+				fmt.Fprintf(w, "sparse smoke ok: %-14s %-22s %-10s steps=%-4d blocks=%-6d replayed=%v\n",
+					name, spec, fab, res.Measure.Steps, res.Measure.Blocks, res.Replayed)
+				pairs++
+			}
+			plan, err := algorithm.PlanSparse(fab, m, costmodel.T3D(64), opt)
+			if err != nil {
+				return fmt.Errorf("sparse smoke: plan %s@%s: %v", spec, fab, err)
+			}
+			pick := plan.Scores[0].Completion
+			if best > 0 && pick > best*(1+costmodel.PlannerModelError) {
+				return fmt.Errorf("sparse smoke: planner pick %s costs %.1f on %s+%s, beyond best candidate %.1f",
+					plan.Winner, pick, fab, spec, best)
+			}
+			fmt.Fprintf(w, "sparse smoke plan: %-22s %-10s pick=%s (%.1f us)\n", spec, fab, plan.Winner, pick)
+		}
+	}
+	if pairs == 0 {
+		return fmt.Errorf("sparse smoke: no (generator, algorithm) pair ran")
+	}
+	fmt.Fprintf(w, "sparse smoke: %d pairs compiled and replayed, %d skipped\n", pairs, skipped)
 	return nil
 }
 

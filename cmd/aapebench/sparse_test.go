@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"torusx/internal/benchfmt"
+)
+
+func TestSparseSweepLedger(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_sparse.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-dims", "8x8", "-quick", "-samples", "0", "-traffic", "all", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ledger, err := benchfmt.Decode(f) // Decode validates, incl. key uniqueness
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 canned generators x 5 sparse torus algorithms.
+	if len(ledger.Entries) != 20 {
+		t.Fatalf("got %d entries, want 20", len(ledger.Entries))
+	}
+	for i := range ledger.Entries {
+		e := &ledger.Entries[i]
+		if e.Traffic == "" {
+			t.Fatalf("entry %s missing the traffic spec", e.Key())
+		}
+		if !strings.Contains(e.Key(), "+"+e.Traffic) {
+			t.Fatalf("entry key %q does not isolate the sparse cell", e.Key())
+		}
+	}
+}
+
+func TestSparseSweepDefaultsToStdout(t *testing.T) {
+	// Without an explicit -out, a sparse sweep must not write the
+	// dense ledger's default path.
+	dir := t.TempDir()
+	prev, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(prev)
+	var buf bytes.Buffer
+	if err := run([]string{"-dims", "8x8", "-quick", "-samples", "0", "-traffic", "perm:seed=1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_exec.json")); !os.IsNotExist(err) {
+		t.Fatal("sparse sweep clobbered BENCH_exec.json")
+	}
+	if !strings.Contains(buf.String(), `"traffic": "perm:seed=1"`) {
+		t.Fatalf("ledger not written to stdout:\n%s", buf.String())
+	}
+}
+
+func TestSparseSweepRejectsIncapableAlg(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-dims", "8x8", "-quick", "-traffic", "perm:seed=1", "-algs", "allgather"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "no sparse variant") {
+		t.Fatalf("allgather sparse sweep: %v", err)
+	}
+}
+
+func TestSparseSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-smoke", "-traffic", "all"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sparse smoke ok:", "sparse smoke plan:", "pairs compiled and replayed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// Every fabric/generator cell must report a planner pick.
+	if strings.Count(out, "sparse smoke plan:") != 16 { // 4 fabrics x 4 generators
+		t.Fatalf("want 16 planner picks:\n%s", out)
+	}
+}

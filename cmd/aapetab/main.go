@@ -9,6 +9,10 @@
 //	aapetab -table replay -alg direct   # any algorithm through the shared
 //	                                    # executor and all timing backends
 //	aapetab -table replay -fabric dragonfly -alg dimexchange   # dragonfly sweep
+//	aapetab -table replay -alg direct -traffic perm:seed=1   # sparse replay
+//	aapetab -table planner              # cost-model planner vs every sparse
+//	                                    # candidate, canned generator grid
+//	aapetab -table planner -traffic hotspot:k=4,seed=2   # one spec
 //
 // Machine parameters can be overridden with -m, -ts, -tc, -tl, -rho.
 package main
@@ -29,12 +33,13 @@ import (
 	"torusx/internal/schedule"
 	"torusx/internal/stats"
 	"torusx/internal/topology"
+	"torusx/internal/traffic"
 	"torusx/internal/wormhole"
 )
 
 func main() {
 	var (
-		tableFlag    = flag.String("table", "1", "artifact: 1, 2, sweep, ablation, crossover, switching, replay")
+		tableFlag    = flag.String("table", "1", "artifact: 1, 2, sweep, ablation, crossover, switching, replay, planner")
 		algFlag      = flag.String("alg", "proposed", "algorithm for -table replay: "+strings.Join(algorithm.Names(), ", "))
 		fabricFlag   = flag.String("fabric", "torus", "fabric for -table replay: torus or dragonfly")
 		mFlag        = flag.Int("m", 64, "block size in bytes")
@@ -46,13 +51,17 @@ func main() {
 		parallelFlag = flag.Bool("parallel", true, "run -table replay backends on their parallel paths (bit-identical to serial)")
 		workersFlag  = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
 	)
+	trafficFlag := cli.RegisterTraffic(flag.CommandLine)
 	tel := cli.RegisterTelemetry(flag.CommandLine)
 	flag.Parse()
 	if tel.Enabled() && *tableFlag != "replay" {
 		cli.Fatalf("aapetab: -telemetry/-trace-out/-heatmap apply to -table replay only")
 	}
-	if *fabricFlag != "torus" && *tableFlag != "replay" {
-		cli.Fatalf("aapetab: -fabric applies to -table replay only")
+	if *fabricFlag != "torus" && *tableFlag != "replay" && *tableFlag != "planner" {
+		cli.Fatalf("aapetab: -fabric applies to -table replay and -table planner only")
+	}
+	if *trafficFlag != "" && *tableFlag != "replay" && *tableFlag != "planner" {
+		cli.Fatalf("aapetab: -traffic applies to -table replay and -table planner only")
 	}
 	p := costmodel.Params{Ts: *tsFlag, Tc: *tcFlag, Tl: *tlFlag, Rho: *rhoFlag, M: *mFlag}
 	render = func(t *stats.Table) string {
@@ -76,7 +85,13 @@ func main() {
 	case "switching":
 		fmt.Print(SwitchingTable(p))
 	case "replay":
-		out, err := Replay(p, *algFlag, ReplayOpt{Serial: !*parallelFlag, Workers: *workersFlag, Fabric: *fabricFlag, Telemetry: tel})
+		out, err := Replay(p, *algFlag, ReplayOpt{Serial: !*parallelFlag, Workers: *workersFlag, Fabric: *fabricFlag, Traffic: *trafficFlag, Telemetry: tel})
+		if err != nil {
+			cli.Fatalf("aapetab: %v", err)
+		}
+		fmt.Print(out)
+	case "planner":
+		out, err := PlannerTable(p, *fabricFlag, *trafficFlag)
 		if err != nil {
 			cli.Fatalf("aapetab: %v", err)
 		}
@@ -317,10 +332,15 @@ var replayDragonflyShapes = [][2]int{{2, 3}, {2, 4}, {3, 4}}
 // flit simulators to their link-tracking entry points, and appends the
 // requested trace/heatmap outputs (heatmap laid out on the first
 // shape) after the table.
+// Traffic, when non-empty, replays the sparse specialization of each
+// shape instead of the dense all-to-all: the spec is parsed per shape
+// (internal/traffic.ParseSpec) and the schedule pruned — or natively
+// built — for exactly that matrix, with delivery verified against it.
 type ReplayOpt struct {
 	Serial    bool
 	Workers   int
 	Fabric    string
+	Traffic   string
 	Telemetry *cli.Telemetry
 }
 
@@ -337,8 +357,11 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 		return "", err
 	}
 	const flitsPerBlock = 4
-	tb := stats.NewTable(
-		fmt.Sprintf("Replay of %q through the shared executor; %s", algName, p),
+	title := fmt.Sprintf("Replay of %q through the shared executor; %s", algName, p)
+	if opt.Traffic != "" {
+		title = fmt.Sprintf("Replay of %q under traffic %q through the shared executor; %s", algName, opt.Traffic, p)
+	}
+	tb := stats.NewTable(title,
 		"network", "steps", "blocks", "hops", "rearr", "replayed",
 		"model", "eventsim", "WH cycles", "SAF cycles")
 	var fabrics []topology.Fabric
@@ -357,7 +380,16 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 	var firstFab topology.Fabric
 	for _, fab := range fabrics {
 		tor, isTorus := fab.(*topology.Torus)
-		pg, berr := algorithm.BuildProgram(b, fab, exec.Options{})
+		var pg *exec.Program
+		var berr error
+		if opt.Traffic != "" {
+			var m traffic.Matrix
+			if m, berr = cli.ResolveTraffic(opt.Traffic, fab); berr == nil {
+				pg, berr = algorithm.BuildSparseProgram(b, fab, m, exec.Options{})
+			}
+		} else {
+			pg, berr = algorithm.BuildProgram(b, fab, exec.Options{})
+		}
 		if berr != nil {
 			tb.AddRowf(fab.String(), "-", "-", "-", "-", "-", "-", "-", "-",
 				fmt.Sprintf("(%v)", berr))
@@ -493,6 +525,70 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 		}
 	}
 	return out.String(), nil
+}
+
+// plannerShapes is the (small, replayable) shape grid of the planner
+// table, per fabric kind.
+var plannerShapes = map[string][]func() topology.Fabric{
+	"torus": {
+		func() topology.Fabric { return topology.MustNew(8, 8) },
+		func() topology.Fabric { return topology.MustNew(4, 4, 4) },
+	},
+	"dragonfly": {
+		func() topology.Fabric { return topology.MustNewDragonfly(2, 4) },
+		func() topology.Fabric { return topology.MustNewDragonfly(3, 4) },
+	},
+}
+
+// PlannerTable renders the cost-model planner against every sparse
+// candidate: for each (shape, traffic generator) cell, the planner's
+// pick with its modelled completion next to the best and worst
+// candidate — the spread the planner saves over a fixed choice. A
+// non-empty spec replaces the canned generator grid with one matrix.
+func PlannerTable(p costmodel.Params, fabric, spec string) (string, error) {
+	kind := fabric
+	if kind == "" {
+		kind = "torus"
+	}
+	if kind == "d3" {
+		kind = "dragonfly"
+	}
+	makers, ok := plannerShapes[kind]
+	if !ok {
+		return "", fmt.Errorf("unknown fabric %q (have torus, dragonfly)", fabric)
+	}
+	specs := traffic.CannedSpecs()
+	if spec != "" {
+		specs = []string{spec}
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("Cost-model planner vs every sparse candidate; %s", p),
+		"network", "traffic", "pick", "pick cost", "best", "worst", "worst alg", "spread")
+	for _, mk := range makers {
+		fab := mk()
+		for _, s := range specs {
+			m, err := cli.ResolveTraffic(s, fab)
+			if err != nil {
+				return "", err
+			}
+			plan, err := algorithm.PlanSparse(fab, m, p, exec.Options{})
+			if err != nil {
+				return "", err
+			}
+			best := plan.Scores[0]
+			worst := best
+			for _, sc := range plan.Scores {
+				if sc.Err == nil && sc.Completion > worst.Completion {
+					worst = sc
+				}
+			}
+			tb.AddRowf(fab.String(), s, plan.Winner,
+				stats.FmtUS(best.Completion), stats.FmtUS(best.Completion),
+				stats.FmtUS(worst.Completion), worst.Name,
+				stats.Ratio(worst.Completion, best.Completion))
+		}
+	}
+	return render(tb), nil
 }
 
 // SwitchingTable renders the proposed-vs-ring comparison under

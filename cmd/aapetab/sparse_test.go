@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlannerTableRenders(t *testing.T) {
+	out, err := PlannerTable(p, "torus", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Cost-model planner", "8x8", "4x4x4", "uniform:p=0.25,seed=1", "perm:seed=1", "spread"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	out, err = PlannerTable(p, "dragonfly", "hotspot:k=2,seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "D3(2,4)") || strings.Contains(out, "perm:seed=1") {
+		t.Fatalf("single-spec dragonfly table wrong:\n%s", out)
+	}
+	if _, err := PlannerTable(p, "hypercube", ""); err == nil {
+		t.Fatal("unknown fabric should error")
+	}
+}
+
+func TestReplaySparseTraffic(t *testing.T) {
+	out, err := Replay(p, "direct", ReplayOpt{Traffic: "perm:seed=1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`under traffic "perm:seed=1"`, "verified"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// Sparse-incapable algorithms report per-row build errors instead
+	// of aborting the table.
+	out, err = Replay(p, "allgather", ReplayOpt{Traffic: "perm:seed=1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no sparse variant") {
+		t.Fatalf("expected per-row sparse-capability errors:\n%s", out)
+	}
+}

@@ -60,6 +60,7 @@ func run(args []string, w io.Writer) error {
 		parallelFlag = fs.Bool("parallel", true, "validate with the parallel executor (bit-identical to serial)")
 		workersFlag  = fs.Int("workers", 0, "parallel executor worker count (0 = GOMAXPROCS)")
 	)
+	trafficFlag := cli.RegisterTraffic(fs)
 	tel := cli.RegisterTelemetry(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +71,9 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
+	if *figFlag != "" && *trafficFlag != "" {
+		return fmt.Errorf("-figure renders the dense algorithm structure; it cannot be combined with -traffic")
+	}
 	if *figFlag != "" {
 		tor, ok := fab.(*topology.Torus)
 		if !ok {
@@ -113,12 +117,25 @@ func run(args []string, w io.Writer) error {
 	// Compile validates (and, for payload-carrying schedules, proves
 	// replay and delivery); the run is the compiled fast path. The
 	// timeline's attribution uses the paper's T3D machine parameters.
-	pg, err := algorithm.BuildProgram(b, fab, exec.Options{})
+	// With -traffic, the printed schedule is the sparse specialization —
+	// pruned (or natively built) for exactly the declared matrix.
+	var pg *exec.Program
+	label := *algFlag + "@" + fab.String()
+	if *trafficFlag != "" {
+		m, merr := cli.ResolveTraffic(*trafficFlag, fab)
+		if merr != nil {
+			return merr
+		}
+		fmt.Fprintf(w, "traffic: %s\n", m)
+		pg, err = algorithm.BuildSparseProgram(b, fab, m, exec.Options{})
+		label = *algFlag + "+" + *trafficFlag + "@" + fab.String()
+	} else {
+		pg, err = algorithm.BuildProgram(b, fab, exec.Options{})
+	}
 	if err != nil {
 		return err
 	}
 	sc := pg.Schedule()
-	label := *algFlag + "@" + fab.String()
 	rec, err := tel.Labeled(costmodel.T3D(64), label)
 	if err != nil {
 		return err

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparseTraceSummary(t *testing.T) {
+	out := runOut(t, "-dims", "8x8", "-alg", "direct", "-traffic", "perm:seed=1")
+	for _, want := range []string{"traffic: traffic{n=64 blocks=64", "schedule for 8x8 torus"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// The sparse schedule is strictly smaller than the dense one: the
+	// dense direct schedule on 8x8 has 63 steps.
+	if strings.Contains(out, "63 steps") {
+		t.Fatalf("sparse trace shows the dense schedule:\n%s", out)
+	}
+}
+
+func TestSparseTraceDragonfly(t *testing.T) {
+	out := runOut(t, "-fabric", "dragonfly", "-dims", "2x4", "-alg", "dimexchange", "-traffic", "ring:radius=1")
+	if !strings.Contains(out, "traffic: traffic{n=32 blocks=64") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestSparseTraceRejectsFigure(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-dims", "8x8", "-figure", "groups", "-traffic", "perm:seed=1"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "-figure") {
+		t.Fatalf("figure+traffic: %v", err)
+	}
+}

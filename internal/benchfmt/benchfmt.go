@@ -34,6 +34,10 @@ type File struct {
 type Entry struct {
 	Alg  string `json:"alg"`
 	Dims []int  `json:"dims"`
+	// Traffic is the traffic-matrix spec the cell replayed (see
+	// internal/traffic.ParseSpec); empty for the dense all-to-all
+	// sweeps, so pre-sparse ledgers decode unchanged.
+	Traffic string `json:"traffic,omitempty"`
 	// Parallel records whether the executor ran its fan-out path.
 	Parallel bool `json:"parallel"`
 	// Compiled records whether the timing is the compiled
@@ -75,7 +79,10 @@ type Entry struct {
 	MaxSharing int `json:"max_sharing"`
 }
 
-// Key identifies an entry's cell: algorithm plus shape.
+// Key identifies an entry's cell: algorithm plus shape, plus the
+// traffic spec when the cell replayed a sparse matrix — so a sparse
+// sweep can never collide with (or be compared against) the dense cell
+// of the same algorithm and shape.
 func (e *Entry) Key() string {
 	s := e.Alg
 	for i, d := range e.Dims {
@@ -85,6 +92,9 @@ func (e *Entry) Key() string {
 			s += "x"
 		}
 		s += fmt.Sprint(d)
+	}
+	if e.Traffic != "" {
+		s += "+" + e.Traffic
 	}
 	return s
 }

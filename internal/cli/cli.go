@@ -1,15 +1,32 @@
 // Package cli holds the small helpers shared by the command-line
-// tools: fabric and torus-shape parsing and exit-with-message.
+// tools: fabric, torus-shape and traffic-spec parsing and
+// exit-with-message.
 package cli
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
 	"torusx/internal/topology"
+	"torusx/internal/traffic"
 )
+
+// RegisterTraffic registers the shared -traffic flag on fs and returns
+// the spec destination. The empty spec selects each tool's legacy
+// dense all-to-all path; any other value is parsed per fabric with
+// ResolveTraffic.
+func RegisterTraffic(fs *flag.FlagSet) *string {
+	return fs.String("traffic", "", traffic.SpecHelp)
+}
+
+// ResolveTraffic parses a -traffic spec against a concrete fabric's
+// node count.
+func ResolveTraffic(spec string, f topology.Fabric) (traffic.Matrix, error) {
+	return traffic.ParseSpec(spec, f.Nodes())
+}
 
 // ParseDims parses a torus shape like "12x8x4" into dimension sizes.
 func ParseDims(s string) ([]int, error) {

@@ -1,0 +1,31 @@
+package costmodel
+
+import "testing"
+
+func TestSparseFloor(t *testing.T) {
+	cases := []struct {
+		name    string
+		out, in []int
+		want    int
+	}{
+		{"empty", nil, nil, 0},
+		{"zeros", []int{0, 0}, []int{0, 0}, 0},
+		{"permutation", []int{1, 1, 1}, []int{1, 1, 1}, 1},
+		{"out dominates", []int{5, 1}, []int{2, 2}, 5},
+		{"in dominates (incast)", []int{1, 1, 1, 1}, []int{4, 0, 0, 0}, 4},
+		{"full all-to-all n=4", []int{3, 3, 3, 3}, []int{3, 3, 3, 3}, 3},
+	}
+	for _, tc := range cases {
+		if got := SparseFloor(tc.out, tc.in); got != tc.want {
+			t.Errorf("%s: SparseFloor = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPlannerModelErrorIsSmall(t *testing.T) {
+	// The differential wall leans on this constant being a genuine
+	// error budget, not an escape hatch: pin it below 10%.
+	if PlannerModelError <= 0 || PlannerModelError > 0.1 {
+		t.Fatalf("PlannerModelError = %v, want a small positive slack", PlannerModelError)
+	}
+}

@@ -121,6 +121,15 @@ func (p *Program) Schedule() *schedule.Schedule { return p.sc }
 // replay and deliver blocks (rather than only reporting the measure).
 func (p *Program) Replayable() bool { return p.replay }
 
+// Measure returns the compile-time cost measure of the program's
+// schedule — identical to the Measure every Run reports. Exposed so
+// cost-model planners can rank compiled candidates without replaying.
+func (p *Program) Measure() costmodel.Measure { return p.measure }
+
+// MaxSharing returns the largest link-sharing serialization factor of
+// any step, as Run would report it.
+func (p *Program) MaxSharing() int { return p.maxSharing }
+
 // SizeBytes estimates the heap bytes owned by the compiled form — the
 // lowered steps with their dense payload, link and span slices plus the
 // replay tables — excluding the source schedule the program references.

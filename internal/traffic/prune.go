@@ -1,0 +1,145 @@
+package traffic
+
+import (
+	"fmt"
+
+	"torusx/internal/block"
+	"torusx/internal/schedule"
+)
+
+// Prune specializes a payload-annotated schedule to a sub-matrix of
+// the traffic it carries: dead-transfer elimination over the schedule
+// IR. Every transfer's payload is filtered to the blocks m contains;
+// transfers left empty are dropped, steps left without transfers are
+// dropped (each dropped step is one startup saved), and phases left
+// without steps vanish. Because a block's journey through a schedule
+// is exactly the subsequence of transfers whose payload lists it,
+// filtering by block identity preserves every kept block's full
+// relay chain — the pruned schedule replays and delivery-verifies
+// against m through the unmodified executor. Validity is monotone
+// under pruning: a subset of a step's transfers cannot introduce a
+// one-port or contention violation, and a Shared step's serialization
+// factor can only shrink.
+//
+// Per-phase Rearrange annotations are scaled by the matrix density
+// (rounded up): the paper charges each node for rearranging the blocks
+// it holds in a phase, and under a sparse matrix each node holds, in
+// expectation, the density fraction of its dense working set. This is
+// the one modelled (rather than measured) quantity a pruned schedule
+// carries; costmodel.PlannerModelError budgets for it.
+//
+// The source schedule must carry complete payload annotations
+// (sc.HasPayload) and cover every block of m — pruning an all-to-all
+// schedule to any sub-matrix satisfies this by construction. The
+// source schedule is not modified; the result shares its Fabric and
+// (for untouched transfers) payload slices.
+func Prune(sc *schedule.Schedule, m Matrix) (*schedule.Schedule, error) {
+	if sc == nil || sc.Fabric == nil {
+		return nil, fmt.Errorf("traffic: prune of nil schedule")
+	}
+	n := sc.Fabric.Nodes()
+	if n != m.Nodes() {
+		return nil, fmt.Errorf("traffic: matrix over %d nodes pruning a %d-node schedule", m.Nodes(), n)
+	}
+
+	// Dense membership of the kept blocks, and a carried-blocks check:
+	// every non-self block of m must appear in some transfer payload,
+	// or the pruned schedule could not possibly deliver it and the
+	// error should name the block now rather than fail delivery later.
+	keep := make([]bool, n*n)
+	for _, b := range m.Blocks() {
+		keep[int(b.Origin)*n+int(b.Dest)] = true
+	}
+	carried := make([]bool, n*n)
+
+	out := &schedule.Schedule{Fabric: sc.Fabric}
+	denseBlocks := n * n
+	for pi := range sc.Phases {
+		ph := &sc.Phases[pi]
+		np := schedule.Phase{Name: ph.Name}
+		if ph.Rearrange > 0 && m.Len() > 0 {
+			// ceil(Rearrange * |m| / n²): density-scaled, never rounded
+			// to zero while any traffic remains.
+			np.Rearrange = (ph.Rearrange*m.Len() + denseBlocks - 1) / denseBlocks
+		}
+		for si := range ph.Steps {
+			s := &ph.Steps[si]
+			var ns schedule.Step
+			for i := range s.Transfers {
+				tr := &s.Transfers[i]
+				if len(tr.Payload) != tr.Blocks {
+					return nil, fmt.Errorf("traffic: prune needs full payload annotations; phase %q step %d transfer %v carries %d of %d",
+						ph.Name, si, tr, len(tr.Payload), tr.Blocks)
+				}
+				kept := filterPayload(tr.Payload, keep, carried, n)
+				if len(kept) == 0 {
+					continue
+				}
+				ntr := *tr
+				ntr.Payload = kept
+				ntr.Blocks = len(kept)
+				ns.Transfers = append(ns.Transfers, ntr)
+			}
+			if len(ns.Transfers) == 0 {
+				continue
+			}
+			ns.Shared = s.Shared
+			np.Steps = append(np.Steps, ns)
+		}
+		if len(np.Steps) > 0 {
+			out.Phases = append(out.Phases, np)
+		}
+	}
+
+	for _, b := range m.Blocks() {
+		if b.Origin == b.Dest {
+			continue // self blocks are born delivered and never travel
+		}
+		if !carried[int(b.Origin)*n+int(b.Dest)] {
+			return nil, fmt.Errorf("traffic: schedule never carries block %v of the matrix", b)
+		}
+	}
+	return out, nil
+}
+
+// filterPayload returns the sub-slice of payload the keep set retains,
+// recording each kept block in carried. When every block survives the
+// original slice is returned unchanged (no copy — the common case for
+// dense-ish matrices); out-of-range payload blocks are left for the
+// executor's compile-time validation to report.
+func filterPayload(payload []block.Block, keep, carried []bool, n int) []block.Block {
+	cnt := 0
+	for _, b := range payload {
+		if id, ok := denseID(b, n); ok && keep[id] {
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return nil
+	}
+	if cnt == len(payload) {
+		for _, b := range payload {
+			if id, ok := denseID(b, n); ok {
+				carried[id] = true
+			}
+		}
+		return payload
+	}
+	kept := make([]block.Block, 0, cnt)
+	for _, b := range payload {
+		if id, ok := denseID(b, n); ok && keep[id] {
+			carried[id] = true
+			kept = append(kept, b)
+		}
+	}
+	return kept
+}
+
+// denseID maps a block to its origin*n+dest id, reporting false for
+// out-of-range blocks.
+func denseID(b block.Block, n int) (int, bool) {
+	if int(b.Origin) < 0 || int(b.Origin) >= n || int(b.Dest) < 0 || int(b.Dest) >= n {
+		return 0, false
+	}
+	return int(b.Origin)*n + int(b.Dest), true
+}

@@ -1,0 +1,159 @@
+package traffic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the -traffic flag grammar shared by the command-line
+// tools: a generator name plus optional key=value parameters,
+//
+//	full
+//	uniform:p=0.25,seed=1
+//	ring:radius=2
+//	hotspot:k=4,seed=1
+//	perm:seed=1
+//
+// Parameters may be omitted (each generator documents its defaults),
+// so "uniform" alone is a valid spec. ParseSpec needs the node count,
+// which the tools take from the already-parsed fabric.
+
+// SpecHelp is the one-line flag usage shared by the cmd tools.
+const SpecHelp = "traffic matrix: full, uniform[:p=0.25,seed=1], ring[:radius=1], hotspot[:k=2,seed=1], or perm[:seed=1] (default: full all-to-all)"
+
+// CannedSpecs returns one representative spec per sparse generator —
+// the grid aapebench's -traffic smoke and the CI burst iterate.
+func CannedSpecs() []string {
+	return []string{
+		"uniform:p=0.25,seed=1",
+		"ring:radius=1",
+		"hotspot:k=2,seed=1",
+		"perm:seed=1",
+	}
+}
+
+// ParseSpec builds the matrix a spec describes over n nodes. The empty
+// spec and "full" both yield the dense all-to-all matrix.
+func ParseSpec(spec string, n int) (Matrix, error) {
+	name, argstr := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, argstr = spec[:i], spec[i+1:]
+	}
+	name = strings.ToLower(strings.TrimSpace(name))
+	args, err := parseArgs(argstr)
+	if err != nil {
+		return Matrix{}, fmt.Errorf("traffic spec %q: %v", spec, err)
+	}
+	used := func(keys ...string) error {
+		for k := range args {
+			ok := false
+			for _, want := range keys {
+				if k == want {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("traffic spec %q: unknown parameter %q (have %s)", spec, k, strings.Join(keys, ", "))
+			}
+		}
+		return nil
+	}
+	switch name {
+	case "", "full":
+		if err := used(); err != nil {
+			return Matrix{}, err
+		}
+		return Full(n), nil
+	case "uniform":
+		if err := used("p", "seed"); err != nil {
+			return Matrix{}, err
+		}
+		p, err := floatArg(args, "p", 0.25)
+		if err != nil {
+			return Matrix{}, fmt.Errorf("traffic spec %q: %v", spec, err)
+		}
+		seed, err := intArg(args, "seed", 1)
+		if err != nil {
+			return Matrix{}, fmt.Errorf("traffic spec %q: %v", spec, err)
+		}
+		return Uniform(n, p, int64(seed)), nil
+	case "ring", "halo":
+		if err := used("radius"); err != nil {
+			return Matrix{}, err
+		}
+		radius, err := intArg(args, "radius", 1)
+		if err != nil {
+			return Matrix{}, fmt.Errorf("traffic spec %q: %v", spec, err)
+		}
+		return Ring(n, radius), nil
+	case "hotspot", "incast":
+		if err := used("k", "seed"); err != nil {
+			return Matrix{}, err
+		}
+		k, err := intArg(args, "k", 2)
+		if err != nil {
+			return Matrix{}, fmt.Errorf("traffic spec %q: %v", spec, err)
+		}
+		seed, err := intArg(args, "seed", 1)
+		if err != nil {
+			return Matrix{}, fmt.Errorf("traffic spec %q: %v", spec, err)
+		}
+		return Hotspot(n, k, int64(seed)), nil
+	case "perm", "permutation":
+		if err := used("seed"); err != nil {
+			return Matrix{}, err
+		}
+		seed, err := intArg(args, "seed", 1)
+		if err != nil {
+			return Matrix{}, fmt.Errorf("traffic spec %q: %v", spec, err)
+		}
+		return Permutation(n, int64(seed)), nil
+	}
+	return Matrix{}, fmt.Errorf("traffic spec %q: unknown generator %q (have full, uniform, ring, hotspot, perm)", spec, name)
+}
+
+// parseArgs splits "k=v,k=v" into a map.
+func parseArgs(s string) (map[string]string, error) {
+	args := map[string]string{}
+	if strings.TrimSpace(s) == "" {
+		return args, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("parameter %q is not key=value", part)
+		}
+		k := strings.ToLower(strings.TrimSpace(kv[0]))
+		if _, dup := args[k]; dup {
+			return nil, fmt.Errorf("duplicate parameter %q", k)
+		}
+		args[k] = strings.TrimSpace(kv[1])
+	}
+	return args, nil
+}
+
+func intArg(args map[string]string, key string, def int) (int, error) {
+	s, ok := args[key]
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s=%q is not an integer", key, s)
+	}
+	return v, nil
+}
+
+func floatArg(args map[string]string, key string, def float64) (float64, error) {
+	s, ok := args[key]
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s=%q is not a number", key, s)
+	}
+	return v, nil
+}

@@ -1,0 +1,209 @@
+// Package traffic promotes the traffic matrix to a first-class input
+// of the exchange stack. The paper's schedules assume the dense
+// all-to-all matrix — every node sends one block to every node — but
+// real workloads are sparse, skewed and shifting: a particle filter
+// exchanges halo neighborhoods, an incast hammers a few hot sinks, a
+// transpose is a permutation. This package provides
+//
+//   - Matrix, the canonical normalized form of an arbitrary personalized
+//     traffic matrix (duplicate-free, in-range, sorted origin-major)
+//     with a stable 64-bit Fingerprint that the program cache folds
+//     into its keys, so distinct matrices never share a compiled
+//     Program;
+//   - seed-deterministic workload generators (Uniform, Ring, Hotspot,
+//     Permutation) — the same seed always yields the byte-identical
+//     matrix, on every platform, so fuzz corpora, golden tests and
+//     cross-host benchmark ledgers stay reproducible;
+//   - Prune, a generic dead-transfer elimination pass over the schedule
+//     IR: any payload-annotated all-to-all schedule becomes a sparse
+//     schedule for a sub-matrix by dropping the blocks, transfers,
+//     steps and phases the matrix never uses — which is how every
+//     registry algorithm gains a sparse variant without per-algorithm
+//     code.
+//
+// internal/algorithm builds on these to score builders per (matrix,
+// fabric) pair and pick a winner (the cost-model auto-planner).
+package traffic
+
+import (
+	"fmt"
+	"sort"
+
+	"torusx/internal/block"
+	"torusx/internal/topology"
+)
+
+// Matrix is a normalized personalized traffic matrix on n nodes: a
+// duplicate-free set of (origin, dest) blocks, each in [0, n), held
+// sorted origin-major/dest-minor. The zero value is the empty matrix
+// on 0 nodes; construct with New, Full or a generator. A Matrix is
+// immutable after construction and safe to share between goroutines.
+type Matrix struct {
+	n      int
+	blocks []block.Block
+	fp     uint64
+}
+
+// New builds the canonical matrix over n nodes from blocks. Blocks
+// out of range or duplicated are rejected — the same contract the
+// executor enforces on Options.Traffic, surfaced at construction time
+// so a bad matrix fails before any schedule is built. The input slice
+// is copied and sorted; the caller keeps ownership of blocks.
+func New(n int, blocks []block.Block) (Matrix, error) {
+	if n < 0 {
+		return Matrix{}, fmt.Errorf("traffic: negative node count %d", n)
+	}
+	bs := append([]block.Block(nil), blocks...)
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].Origin != bs[j].Origin {
+			return bs[i].Origin < bs[j].Origin
+		}
+		return bs[i].Dest < bs[j].Dest
+	})
+	for i, b := range bs {
+		if int(b.Origin) < 0 || int(b.Origin) >= n || int(b.Dest) < 0 || int(b.Dest) >= n {
+			return Matrix{}, fmt.Errorf("traffic: block %v out of range for %d nodes", b, n)
+		}
+		if i > 0 && bs[i-1] == b {
+			return Matrix{}, fmt.Errorf("traffic: duplicate block %v", b)
+		}
+	}
+	return newNormalized(n, bs), nil
+}
+
+// newNormalized wraps a validated, duplicate-free, owned slice,
+// sorting it into canonical order.
+func newNormalized(n int, bs []block.Block) Matrix {
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].Origin != bs[j].Origin {
+			return bs[i].Origin < bs[j].Origin
+		}
+		return bs[i].Dest < bs[j].Dest
+	})
+	m := Matrix{n: n, blocks: bs}
+	m.fp = fingerprint(n, bs)
+	return m
+}
+
+// Full returns the dense all-to-all matrix on n nodes: one block from
+// every node to every node, self included — the matrix the paper's
+// exchange algorithms carry.
+func Full(n int) Matrix {
+	bs := make([]block.Block, 0, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			bs = append(bs, block.Block{Origin: topology.NodeID(i), Dest: topology.NodeID(j)})
+		}
+	}
+	return newNormalized(n, bs)
+}
+
+// Nodes returns the node count the matrix is defined over.
+func (m Matrix) Nodes() int { return m.n }
+
+// Len returns the number of blocks in the matrix.
+func (m Matrix) Len() int { return len(m.blocks) }
+
+// Blocks returns the normalized block list, sorted origin-major. The
+// returned slice is the matrix's own backing and must not be mutated;
+// it is in exactly the form exec.Options.Traffic expects.
+func (m Matrix) Blocks() []block.Block { return m.blocks }
+
+// Fingerprint returns the matrix's stable 64-bit identity: an FNV-1a
+// chain over the node count and the normalized block sequence. Two
+// matrices with equal fingerprints are (collisions aside) the same
+// matrix; the program cache keys sparse compiles on it so distinct
+// matrices never share a Program.
+func (m Matrix) Fingerprint() uint64 { return m.fp }
+
+// IsFull reports whether the matrix is the dense all-to-all matrix.
+func (m Matrix) IsFull() bool { return len(m.blocks) == m.n*m.n }
+
+// Density returns the filled fraction of the n×n matrix (1.0 = dense
+// all-to-all, 0 for the empty matrix or 0 nodes).
+func (m Matrix) Density() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return float64(len(m.blocks)) / float64(m.n*m.n)
+}
+
+// NonSelf returns the number of blocks whose origin and destination
+// differ — the blocks that actually require network transfers (a
+// self block is born delivered).
+func (m Matrix) NonSelf() int {
+	c := 0
+	for _, b := range m.blocks {
+		if b.Origin != b.Dest {
+			c++
+		}
+	}
+	return c
+}
+
+// OutDegrees returns, per origin node, the number of non-self blocks
+// it must inject — the row marginals of the matrix with the diagonal
+// removed.
+func (m Matrix) OutDegrees() []int {
+	out := make([]int, m.n)
+	for _, b := range m.blocks {
+		if b.Origin != b.Dest {
+			out[b.Origin]++
+		}
+	}
+	return out
+}
+
+// InDegrees returns, per destination node, the number of non-self
+// blocks it must absorb — the column marginals with the diagonal
+// removed.
+func (m Matrix) InDegrees() []int {
+	in := make([]int, m.n)
+	for _, b := range m.blocks {
+		if b.Origin != b.Dest {
+			in[b.Dest]++
+		}
+	}
+	return in
+}
+
+// Contains reports whether the matrix holds the block (o, d).
+func (m Matrix) Contains(b block.Block) bool {
+	i := sort.Search(len(m.blocks), func(i int) bool {
+		x := m.blocks[i]
+		if x.Origin != b.Origin {
+			return x.Origin > b.Origin
+		}
+		return x.Dest >= b.Dest
+	})
+	return i < len(m.blocks) && m.blocks[i] == b
+}
+
+func (m Matrix) String() string {
+	return fmt.Sprintf("traffic{n=%d blocks=%d density=%.3f fp=%016x}", m.n, len(m.blocks), m.Density(), m.fp)
+}
+
+// fingerprint chains FNV-1a over the node count and the normalized
+// sequence. Order-sensitive on purpose: the sequence is canonical, so
+// sensitivity buys separation (the commutative sums used elsewhere can
+// alias block swaps; a chained hash cannot, short of a real collision).
+func fingerprint(n int, bs []block.Block) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(n))
+	mix(uint64(len(bs)))
+	for _, b := range bs {
+		mix(uint64(b.Origin))
+		mix(uint64(b.Dest))
+	}
+	return h
+}

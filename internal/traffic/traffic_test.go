@@ -1,0 +1,154 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+
+	"torusx/internal/block"
+	"torusx/internal/topology"
+)
+
+func b(o, d int) block.Block {
+	return block.Block{Origin: topology.NodeID(o), Dest: topology.NodeID(d)}
+}
+
+func TestNewNormalizes(t *testing.T) {
+	m, err := New(4, []block.Block{b(3, 1), b(0, 2), b(3, 0), b(0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []block.Block{b(0, 0), b(0, 2), b(3, 0), b(3, 1)}
+	got := m.Blocks()
+	if len(got) != len(want) {
+		t.Fatalf("got %d blocks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("blocks[%d] = %v, want %v (normalized order)", i, got[i], want[i])
+		}
+	}
+	if m.Nodes() != 4 || m.Len() != 4 {
+		t.Fatalf("Nodes/Len = %d/%d, want 4/4", m.Nodes(), m.Len())
+	}
+}
+
+func TestNewRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		blocks []block.Block
+		want   string
+	}{
+		{"origin out of range", 4, []block.Block{b(4, 0)}, "out of range"},
+		{"dest out of range", 4, []block.Block{b(0, 4)}, "out of range"},
+		{"negative origin", 4, []block.Block{b(-1, 0)}, "out of range"},
+		{"duplicate", 4, []block.Block{b(1, 2), b(1, 2)}, "duplicate"},
+		{"negative n", -1, nil, "negative node count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.n, tc.blocks); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("New(%d, %v) err = %v, want %q", tc.n, tc.blocks, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFull(t *testing.T) {
+	m := Full(3)
+	if m.Len() != 9 || !m.IsFull() || m.Density() != 1 {
+		t.Fatalf("Full(3): len=%d full=%v density=%v", m.Len(), m.IsFull(), m.Density())
+	}
+	if m.NonSelf() != 6 {
+		t.Fatalf("Full(3).NonSelf() = %d, want 6", m.NonSelf())
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	m, err := New(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 || m.IsFull() || m.Density() != 0 || m.NonSelf() != 0 {
+		t.Fatalf("empty matrix misreported: %v", m)
+	}
+	var zero Matrix
+	if zero.Density() != 0 {
+		t.Fatalf("zero-value matrix density = %v", zero.Density())
+	}
+}
+
+func TestContains(t *testing.T) {
+	m, err := New(5, []block.Block{b(0, 3), b(2, 2), b(4, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, present := range []block.Block{b(0, 3), b(2, 2), b(4, 0)} {
+		if !m.Contains(present) {
+			t.Fatalf("Contains(%v) = false, want true", present)
+		}
+	}
+	for _, absent := range []block.Block{b(0, 0), b(3, 0), b(4, 4), b(2, 3)} {
+		if m.Contains(absent) {
+			t.Fatalf("Contains(%v) = true, want false", absent)
+		}
+	}
+}
+
+func TestMarginals(t *testing.T) {
+	m, err := New(3, []block.Block{b(0, 1), b(0, 2), b(1, 1), b(2, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, in := m.OutDegrees(), m.InDegrees()
+	wantOut, wantIn := []int{2, 0, 1}, []int{0, 2, 1}
+	for i := range wantOut {
+		if out[i] != wantOut[i] || in[i] != wantIn[i] {
+			t.Fatalf("marginals: out=%v in=%v, want out=%v in=%v (self block b(1,1) must not count)", out, in, wantOut, wantIn)
+		}
+	}
+}
+
+func TestFingerprintSeparatesMatrices(t *testing.T) {
+	// A family of near-miss matrices: none may share a fingerprint.
+	ms := []Matrix{
+		Full(4),
+		Full(5),
+		mustNew(t, 4, nil),
+		mustNew(t, 5, nil), // same blocks as above, different n
+		mustNew(t, 4, []block.Block{b(0, 1)}),
+		mustNew(t, 4, []block.Block{b(1, 0)}), // transposed pair
+		mustNew(t, 4, []block.Block{b(0, 1), b(2, 3)}),
+		mustNew(t, 4, []block.Block{b(0, 3), b(2, 1)}), // swapped dests
+		Uniform(8, 0.3, 1),
+		Uniform(8, 0.3, 2),
+		Permutation(8, 1),
+		Hotspot(8, 2, 1),
+		Ring(8, 1),
+	}
+	seen := map[uint64]int{}
+	for i, m := range ms {
+		if j, dup := seen[m.Fingerprint()]; dup {
+			t.Fatalf("matrices %d and %d share fingerprint %016x: %v vs %v", j, i, m.Fingerprint(), ms[j], m)
+		}
+		seen[m.Fingerprint()] = i
+	}
+}
+
+func TestFingerprintStableAcrossConstruction(t *testing.T) {
+	// Same matrix via different input orders → same fingerprint.
+	a := mustNew(t, 4, []block.Block{b(0, 1), b(2, 3), b(1, 1)})
+	bb := mustNew(t, 4, []block.Block{b(1, 1), b(0, 1), b(2, 3)})
+	if a.Fingerprint() != bb.Fingerprint() {
+		t.Fatalf("input order changed the fingerprint: %016x vs %016x", a.Fingerprint(), bb.Fingerprint())
+	}
+}
+
+func mustNew(t *testing.T, n int, blocks []block.Block) Matrix {
+	t.Helper()
+	m, err := New(n, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
