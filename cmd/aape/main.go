@@ -155,7 +155,9 @@ func run(args []string, w io.Writer) error {
 		}
 		return runExecutor(w, tel, alg, fab, params, execOpt)
 	}
-	return nil
+	// The simulator paths above bypass the executor pipeline; still
+	// honor -metrics-out (the registry carries whatever the process did).
+	return tel.Finish(w, fab, "")
 }
 
 // runSparse runs the sparse-traffic path: parse the matrix, resolve
@@ -168,6 +170,14 @@ func runSparse(w io.Writer, tel *cli.Telemetry, alg string, fab topology.Fabric,
 		return err
 	}
 	fmt.Fprintf(w, "traffic: %s\n", m)
+
+	// One wall-clock request spans the whole pipeline — planning (for
+	// auto), cache lookup, compile, arena acquire and replay all record
+	// stages on it; named by the *requested* algorithm, so an auto
+	// request's track reads "auto+..." while the model-time stream
+	// carries the winner's label.
+	req := tel.StartRequest(alg + "+" + spec + "@" + fab.String())
+	execOpt.Request = req
 
 	var pg *exec.Program
 	var title string
@@ -206,7 +216,9 @@ func runSparse(w io.Writer, tel *cli.Telemetry, alg string, fab topology.Fabric,
 		return err
 	}
 	execOpt.Telemetry = rec
+	asp := req.Stage("arena-acquire")
 	arena := pg.AcquireArena()
+	asp.End()
 	res, err := pg.RunArena(arena, execOpt)
 	if err != nil {
 		return err
@@ -230,19 +242,23 @@ func runExecutor(w io.Writer, tel *cli.Telemetry, alg string, fab topology.Fabri
 		return fmt.Errorf("algorithm %q does not support %s; have %s",
 			alg, fab, strings.Join(algorithm.Supporting(fab), ", "))
 	}
+	label := b.Name() + "@" + fab.String()
+	req := tel.StartRequest(label)
+	execOpt.Request = req
 	// Compile once (validation + lowering), then run the compiled fast
 	// path; Serial/Workers/Telemetry stay run-time choices.
 	pg, err := algorithm.BuildProgram(b, fab, execOpt)
 	if err != nil {
 		return err
 	}
-	label := b.Name() + "@" + fab.String()
 	rec, err := tel.Labeled(params, label)
 	if err != nil {
 		return err
 	}
 	execOpt.Telemetry = rec
+	asp := req.Stage("arena-acquire")
 	arena := pg.AcquireArena()
+	asp.End()
 	res, err := pg.RunArena(arena, execOpt)
 	if err != nil {
 		return err

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"torusx/internal/obs"
+)
+
+// TestAutoTraceCarriesRequestAndModelSpans is the PR's acceptance
+// check: one -trace-out file from an auto-planned sparse run must hold
+// both timelines — the wall-clock pipeline (request + stage spans on
+// the requests process) and the model-time schedule spans — so a
+// single Perfetto load shows where real time went next to where
+// modelled time goes.
+func TestAutoTraceCarriesRequestAndModelSpans(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	out := runOut(t, "-dims", "8x8", "-alg", "auto", "-traffic", "hotspot",
+		"-trace-out", tracePath, "-metrics-out", metricsPath)
+	if !strings.Contains(out, "planner candidates") {
+		t.Fatalf("missing planner report:\n%s", out)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	cats := map[string]int{}
+	stages := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		cats[ev.Cat]++
+		if ev.Cat == "pipeline-stage" {
+			stages[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"request", "pipeline-stage", "phase", "step", "transfer"} {
+		if cats[want] == 0 {
+			t.Errorf("trace has no %q spans; cats: %v", want, cats)
+		}
+	}
+	// The auto pipeline's decomposition must be visible stage by stage.
+	for _, want := range []string{"plan-scoring", "cache-lookup", "plan", "prune", "compile", "arena-acquire", "replay"} {
+		if !stages[want] {
+			t.Errorf("trace missing pipeline stage %q; have %v", want, stages)
+		}
+	}
+
+	// And the metrics dump must be structurally valid Prometheus with
+	// the same stages' latency histograms.
+	mf, err := os.Open(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	pm, err := obs.ParsePrometheus(mf)
+	if err != nil {
+		t.Fatalf("metrics dump failed structural validation: %v", err)
+	}
+	for _, want := range []string{"torusx_stage_replay_ns", "torusx_stage_compile_ns", "torusx_stage_plan_scoring_ns"} {
+		if pm.Types[want] != "histogram" {
+			t.Errorf("metrics dump missing histogram %s", want)
+		}
+	}
+	if pm.Types["torusx_progcache_hits"] != "counter" {
+		t.Errorf("metrics dump missing progcache counters; types: %v", pm.Types)
+	}
+}

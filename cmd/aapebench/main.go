@@ -58,6 +58,7 @@ import (
 	"torusx/internal/cli"
 	"torusx/internal/costmodel"
 	"torusx/internal/exec"
+	"torusx/internal/obs"
 	"torusx/internal/topology"
 	"torusx/internal/traffic"
 )
@@ -119,6 +120,9 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		defer ln.Close()
+		// /debug/vars serves the live metrics registry next to the
+		// sweep-progress counter; the snapshot is taken per scrape.
+		obs.Default().PublishExpvar("torusx_obs")
 		go http.Serve(ln, nil)
 		fmt.Fprintf(w, "profiling: http://%s/debug/pprof/ and http://%s/debug/vars\n", ln.Addr(), ln.Addr())
 	}
@@ -140,7 +144,7 @@ func run(args []string, w io.Writer) error {
 		return registrySmoke(w, opt)
 	}
 	if *trafficFlag != "" {
-		return sparseSweep(w, *fabricFlag, *outFlag, shapes, algs, *algsFlag != "", trafficSpecs(*trafficFlag), opt, *quickFlag, *samplesFlag)
+		return sparseSweep(w, *fabricFlag, *outFlag, shapes, algs, *algsFlag != "", trafficSpecs(*trafficFlag), opt, *quickFlag, *samplesFlag, tel)
 	}
 
 	ledger := &benchfmt.File{
@@ -169,6 +173,12 @@ func run(args []string, w io.Writer) error {
 			var runOnce func(topt exec.Options) (*exec.Result, error)
 			var compileNs float64
 			var compileAllocs int64
+			// One wall-clock request per cell (compiled path only):
+			// cache-lookup/plan/compile record during the one-shot build,
+			// arena-acquire and a single replay during the untimed
+			// observability run below — never inside a timed region, so
+			// the timings stay exactly what the ledger always measured.
+			var req *obs.Request
 			if *uncompiledFlag {
 				sc, err := b.BuildSchedule(fab)
 				if err != nil {
@@ -177,16 +187,21 @@ func run(args []string, w io.Writer) error {
 				}
 				runOnce = func(topt exec.Options) (*exec.Result, error) { return exec.Run(sc, topt) }
 			} else {
+				req = tel.StartRequest(b.Name() + "@" + shapeString(dims))
+				bopt := opt
+				bopt.Request = req
 				var pg *exec.Program
 				var buildErr error
 				compileNs, compileAllocs = timeIt(func() {
-					pg, buildErr = algorithm.BuildProgram(b, fab, opt)
+					pg, buildErr = algorithm.BuildProgram(b, fab, bopt)
 				})
 				if buildErr != nil {
 					fmt.Fprintf(os.Stderr, "aapebench: skip %s on %s: %v\n", b.Name(), shapeString(dims), buildErr)
 					continue
 				}
+				asp := req.Stage("arena-acquire")
 				arena := pg.AcquireArena()
+				asp.End()
 				defer pg.ReleaseArena(arena)
 				runOnce = func(topt exec.Options) (*exec.Result, error) { return pg.RunArena(arena, topt) }
 			}
@@ -231,22 +246,35 @@ func run(args []string, w io.Writer) error {
 				}
 				entry.NsMin, entry.NsMax, entry.NsStddev = benchfmt.SampleStats(samples)
 				entry.Samples = len(samples)
+				entry.NsP50 = benchfmt.Percentile(samples, 0.50)
+				entry.NsP99 = benchfmt.Percentile(samples, 0.99)
 				if entry.NsPerOp < entry.NsMin {
 					entry.NsMin = entry.NsPerOp
 				}
 				if entry.NsPerOp > entry.NsMax {
 					entry.NsMax = entry.NsPerOp
 				}
+				// With -metrics-out, the same repeat timings feed a
+				// registry histogram, so the dump's per-cell percentiles
+				// line up with the ledger columns.
+				if tel.ObsEnabled() {
+					h := obs.Default().Histogram("bench." + entry.Key() + ".ns")
+					for _, s := range samples {
+						h.Observe(int64(s))
+					}
+				}
 			}
 			// Telemetry rides on a separate, untimed run so sinks never
-			// perturb the timings recorded above.
-			if tel.Enabled() {
+			// perturb the timings recorded above; the cell's request rides
+			// the same run, recording its replay stage.
+			if tel.Enabled() || tel.ObsEnabled() {
 				rec, err := tel.Labeled(costmodel.T3D(64), entry.Key())
 				if err != nil {
 					return err
 				}
 				topt := opt
 				topt.Telemetry = rec
+				topt.Request = req
 				if _, err := runOnce(topt); err != nil {
 					return err
 				}
@@ -262,18 +290,22 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	if firstFab != nil {
-		if err := tel.Finish(w, firstFab, firstLabel); err != nil {
-			return err
-		}
-	}
 	if *shapesFlag > 0 && !*uncompiledFlag {
 		if err := tenantSweep(w, *fabricFlag, shapes, algs, opt, *shapesFlag); err != nil {
 			return err
 		}
 	}
 	if !*uncompiledFlag {
-		fmt.Fprintf(w, "progcache: %s\n", algorithm.CacheStats())
+		// The footer is the registry's view of the sweep — the same
+		// counters /debug/vars and -metrics-out export, replacing the
+		// old one-line progcache snapshot.
+		obs.Default().WriteText(w, "progcache.", "exec.")
+	}
+	// Finish after the footer so a -metrics-out dump includes the tenant
+	// sweep's cache traffic; tolerates a fabric-less sweep (every cell
+	// skipped).
+	if err := tel.Finish(w, firstFab, firstLabel); err != nil {
+		return err
 	}
 	if err := ledger.Validate(); err != nil {
 		return err
@@ -475,7 +507,7 @@ func trafficSpecs(flag string) []string {
 // the replay, with the matrix delivery-verified on every op. Entries
 // carry the spec in the Traffic field, so their keys can never collide
 // with the dense ledger's.
-func sparseSweep(w io.Writer, fabric, out string, shapes [][]int, algs []string, algsExplicit bool, specs []string, opt exec.Options, quick bool, samples int) error {
+func sparseSweep(w io.Writer, fabric, out string, shapes [][]int, algs []string, algsExplicit bool, specs []string, opt exec.Options, quick bool, samples int, tel *cli.Telemetry) error {
 	ledger := &benchfmt.File{
 		Schema: benchfmt.Schema,
 		GoOS:   runtime.GOOS, GoArch: runtime.GOARCH,
@@ -505,16 +537,21 @@ func sparseSweep(w io.Writer, fabric, out string, shapes [][]int, algs []string,
 					return fmt.Errorf("algorithm %q has no sparse variant; -traffic sweeps support %s",
 						b.Name(), strings.Join(algorithm.SparseSupporting(fab), ", "))
 				}
+				req := tel.StartRequest(b.Name() + "+" + spec + "@" + shapeString(dims))
+				bopt := opt
+				bopt.Request = req
 				var pg *exec.Program
 				var buildErr error
 				compileNs, compileAllocs := timeIt(func() {
-					pg, buildErr = algorithm.BuildSparseProgram(b, fab, m, opt)
+					pg, buildErr = algorithm.BuildSparseProgram(b, fab, m, bopt)
 				})
 				if buildErr != nil {
 					fmt.Fprintf(os.Stderr, "aapebench: skip %s+%s on %s: %v\n", b.Name(), spec, shapeString(dims), buildErr)
 					continue
 				}
+				asp := req.Stage("arena-acquire")
 				arena := pg.AcquireArena()
+				asp.End()
 				runOnce := func(topt exec.Options) (*exec.Result, error) { return pg.RunArena(arena, topt) }
 				res, err := runOnce(opt)
 				if err != nil {
@@ -551,11 +588,29 @@ func sparseSweep(w io.Writer, fabric, out string, shapes [][]int, algs []string,
 					}
 					entry.NsMin, entry.NsMax, entry.NsStddev = benchfmt.SampleStats(sv)
 					entry.Samples = len(sv)
+					entry.NsP50 = benchfmt.Percentile(sv, 0.50)
+					entry.NsP99 = benchfmt.Percentile(sv, 0.99)
 					if entry.NsPerOp < entry.NsMin {
 						entry.NsMin = entry.NsPerOp
 					}
 					if entry.NsPerOp > entry.NsMax {
 						entry.NsMax = entry.NsPerOp
+					}
+					if tel.ObsEnabled() {
+						h := obs.Default().Histogram("bench." + entry.Key() + ".ns")
+						for _, s := range sv {
+							h.Observe(int64(s))
+						}
+					}
+				}
+				if req != nil {
+					// An untimed replay records the cell's replay stage on
+					// its request, mirroring the dense sweep.
+					topt := opt
+					topt.Request = req
+					if _, err := runOnce(topt); err != nil {
+						pg.ReleaseArena(arena)
+						return err
 					}
 				}
 				pg.ReleaseArena(arena)
@@ -566,7 +621,10 @@ func sparseSweep(w io.Writer, fabric, out string, shapes [][]int, algs []string,
 			}
 		}
 	}
-	fmt.Fprintf(w, "progcache: %s\n", algorithm.CacheStats())
+	obs.Default().WriteText(w, "progcache.", "exec.")
+	if err := tel.Finish(w, nil, ""); err != nil {
+		return err
+	}
 	if len(ledger.Entries) == 0 {
 		return fmt.Errorf("sparse sweep: no runnable cells")
 	}

@@ -226,8 +226,13 @@ func TestBenchTenantSweep(t *testing.T) {
 	if !strings.Contains(out, "compiles +0") {
 		t.Fatalf("tenant sweep recompiled cached cells:\n%s", out)
 	}
-	if !strings.Contains(out, "progcache: hits") {
-		t.Fatalf("missing progcache footer:\n%s", out)
+	// The footer is the metrics registry's view of the sweep: progcache
+	// counters plus the arena pool's traffic.
+	if !strings.Contains(out, "progcache.hits") {
+		t.Fatalf("missing registry footer:\n%s", out)
+	}
+	if !strings.Contains(out, "exec.arena.acquires") {
+		t.Fatalf("missing arena counters in registry footer:\n%s", out)
 	}
 }
 

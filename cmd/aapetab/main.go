@@ -91,7 +91,7 @@ func main() {
 		}
 		fmt.Print(out)
 	case "planner":
-		out, err := PlannerTable(p, *fabricFlag, *trafficFlag)
+		out, err := PlannerTable(p, *fabricFlag, *trafficFlag, tel)
 		if err != nil {
 			cli.Fatalf("aapetab: %v", err)
 		}
@@ -380,15 +380,24 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 	var firstFab topology.Fabric
 	for _, fab := range fabrics {
 		tor, isTorus := fab.(*topology.Torus)
+		// One wall-clock request per table cell: build (cache lookup,
+		// plan, prune, compile), arena acquire and replay all record
+		// stages on it.
+		label := algName + "@" + fab.String()
+		if opt.Traffic != "" {
+			label = algName + "+" + opt.Traffic + "@" + fab.String()
+		}
+		req := opt.Telemetry.StartRequest(label)
+		bopt := exec.Options{Request: req}
 		var pg *exec.Program
 		var berr error
 		if opt.Traffic != "" {
 			var m traffic.Matrix
 			if m, berr = cli.ResolveTraffic(opt.Traffic, fab); berr == nil {
-				pg, berr = algorithm.BuildSparseProgram(b, fab, m, exec.Options{})
+				pg, berr = algorithm.BuildSparseProgram(b, fab, m, bopt)
 			}
 		} else {
-			pg, berr = algorithm.BuildProgram(b, fab, exec.Options{})
+			pg, berr = algorithm.BuildProgram(b, fab, bopt)
 		}
 		if berr != nil {
 			tb.AddRowf(fab.String(), "-", "-", "-", "-", "-", "-", "-", "-",
@@ -403,8 +412,10 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 		if err != nil {
 			return "", err
 		}
+		asp := req.Stage("arena-acquire")
 		arena := pg.AcquireArena()
-		res, err := pg.RunArena(arena, exec.Options{Serial: opt.Serial, Workers: opt.Workers, Telemetry: rec})
+		asp.End()
+		res, err := pg.RunArena(arena, exec.Options{Serial: opt.Serial, Workers: opt.Workers, Telemetry: rec, Request: req})
 		if err != nil {
 			return "", err
 		}
@@ -519,10 +530,14 @@ func Replay(p costmodel.Params, algName string, opt ReplayOpt) (string, error) {
 	}
 	out := strings.Builder{}
 	out.WriteString(render(tb))
+	// Finish tolerates a nil fabric (every row excluded): the heatmap is
+	// skipped but requests still close and -metrics-out still writes.
+	label := ""
 	if firstFab != nil {
-		if err := opt.Telemetry.Finish(&out, firstFab, algName+"@"+firstFab.String()); err != nil {
-			return "", err
-		}
+		label = algName + "@" + firstFab.String()
+	}
+	if err := opt.Telemetry.Finish(&out, firstFab, label); err != nil {
+		return "", err
 	}
 	return out.String(), nil
 }
@@ -545,7 +560,10 @@ var plannerShapes = map[string][]func() topology.Fabric{
 // pick with its modelled completion next to the best and worst
 // candidate — the spread the planner saves over a fixed choice. A
 // non-empty spec replaces the canned generator grid with one matrix.
-func PlannerTable(p costmodel.Params, fabric, spec string) (string, error) {
+// With -metrics-out, each cell's planner sweep runs under its own
+// wall-clock request ("auto+spec@shape"), so the registry's latency
+// histograms separate plan-scoring from compile time.
+func PlannerTable(p costmodel.Params, fabric, spec string, tel *cli.Telemetry) (string, error) {
 	kind := fabric
 	if kind == "" {
 		kind = "torus"
@@ -571,7 +589,8 @@ func PlannerTable(p costmodel.Params, fabric, spec string) (string, error) {
 			if err != nil {
 				return "", err
 			}
-			plan, err := algorithm.PlanSparse(fab, m, p, exec.Options{})
+			req := tel.StartRequest("auto+" + s + "@" + fab.String())
+			plan, err := algorithm.PlanSparse(fab, m, p, exec.Options{Request: req})
 			if err != nil {
 				return "", err
 			}
@@ -588,7 +607,12 @@ func PlannerTable(p costmodel.Params, fabric, spec string) (string, error) {
 				stats.Ratio(worst.Completion, best.Completion))
 		}
 	}
-	return render(tb), nil
+	out := strings.Builder{}
+	out.WriteString(render(tb))
+	if err := tel.Finish(&out, nil, ""); err != nil {
+		return "", err
+	}
+	return out.String(), nil
 }
 
 // SwitchingTable renders the proposed-vs-ring comparison under

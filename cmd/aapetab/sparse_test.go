@@ -6,7 +6,7 @@ import (
 )
 
 func TestPlannerTableRenders(t *testing.T) {
-	out, err := PlannerTable(p, "torus", "")
+	out, err := PlannerTable(p, "torus", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -15,14 +15,14 @@ func TestPlannerTableRenders(t *testing.T) {
 			t.Fatalf("missing %q:\n%s", want, out)
 		}
 	}
-	out, err = PlannerTable(p, "dragonfly", "hotspot:k=2,seed=1")
+	out, err = PlannerTable(p, "dragonfly", "hotspot:k=2,seed=1", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "D3(2,4)") || strings.Contains(out, "perm:seed=1") {
 		t.Fatalf("single-spec dragonfly table wrong:\n%s", out)
 	}
-	if _, err := PlannerTable(p, "hypercube", ""); err == nil {
+	if _, err := PlannerTable(p, "hypercube", "", nil); err == nil {
 		t.Fatal("unknown fabric should error")
 	}
 }

@@ -122,15 +122,19 @@ func run(args []string, w io.Writer) error {
 	var pg *exec.Program
 	label := *algFlag + "@" + fab.String()
 	if *trafficFlag != "" {
+		label = *algFlag + "+" + *trafficFlag + "@" + fab.String()
+	}
+	req := tel.StartRequest(label)
+	bopt := exec.Options{Request: req}
+	if *trafficFlag != "" {
 		m, merr := cli.ResolveTraffic(*trafficFlag, fab)
 		if merr != nil {
 			return merr
 		}
 		fmt.Fprintf(w, "traffic: %s\n", m)
-		pg, err = algorithm.BuildSparseProgram(b, fab, m, exec.Options{})
-		label = *algFlag + "+" + *trafficFlag + "@" + fab.String()
+		pg, err = algorithm.BuildSparseProgram(b, fab, m, bopt)
 	} else {
-		pg, err = algorithm.BuildProgram(b, fab, exec.Options{})
+		pg, err = algorithm.BuildProgram(b, fab, bopt)
 	}
 	if err != nil {
 		return err
@@ -140,8 +144,10 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	asp := req.Stage("arena-acquire")
 	arena := pg.AcquireArena()
-	if _, err := pg.RunArena(arena, exec.Options{Serial: !*parallelFlag, Workers: *workersFlag, Telemetry: rec}); err != nil {
+	asp.End()
+	if _, err := pg.RunArena(arena, exec.Options{Serial: !*parallelFlag, Workers: *workersFlag, Telemetry: rec, Request: req}); err != nil {
 		return err
 	}
 	pg.ReleaseArena(arena)

@@ -22,6 +22,7 @@ import (
 	"torusx/internal/dfly"
 	"torusx/internal/exchange"
 	"torusx/internal/exec"
+	"torusx/internal/obs"
 	"torusx/internal/progcache"
 	"torusx/internal/schedule"
 	"torusx/internal/topology"
@@ -94,6 +95,12 @@ type ProgramBuilder interface {
 // requesters is safe; each replays through its own Arena.
 var cache = progcache.New(progcache.DefaultMaxBytes)
 
+func init() {
+	// Export the process cache on the default obs registry; dumps and
+	// the expvar endpoint read these live instead of printed snapshots.
+	cache.RegisterMetrics(obs.Default(), "progcache")
+}
+
 // BuildProgram resolves an algorithm to its compiled form on f: the
 // builder's own BuildProgram when it implements ProgramBuilder,
 // otherwise BuildSchedule followed by exec.Compile. Results are
@@ -109,28 +116,37 @@ var cache = progcache.New(progcache.DefaultMaxBytes)
 // by construction.
 func BuildProgram(b Builder, f topology.Fabric, opt exec.Options) (*exec.Program, error) {
 	key := progcache.Key(b.Name(), f, progcache.Fingerprint(opt))
-	return cache.GetOrCompile(key, func() (*exec.Program, error) {
+	return cache.GetOrCompileTraced(key, opt.Request, func() (*exec.Program, error) {
 		return buildProgramUncached(b, f, opt)
 	})
 }
 
 // buildProgramUncached is the cache-miss path: the builder's own
 // BuildProgram when it implements ProgramBuilder, otherwise
-// BuildSchedule followed by exec.Compile.
+// BuildSchedule followed by exec.Compile. opt.Request (nil-safe)
+// receives the miss's wall-clock decomposition as "plan" (schedule
+// construction) and "compile" (exec.Compile) stage spans.
 func buildProgramUncached(b Builder, f topology.Fabric, opt exec.Options) (*exec.Program, error) {
 	if pb, ok := b.(ProgramBuilder); ok {
+		sp := opt.Request.Stage("compile")
+		defer sp.End()
 		return pb.BuildProgram(f, opt)
 	}
+	psp := opt.Request.Stage("plan")
 	sc, err := b.BuildSchedule(f)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
+	csp := opt.Request.Stage("compile")
+	defer csp.End()
 	return exec.Compile(sc, opt)
 }
 
 // CacheStats snapshots the process-wide program cache counters —
 // surfaced by aapebench's cache footer and useful for embedding
-// services that want hit-rate telemetry.
+// services that want hit-rate telemetry. The same counters are
+// exported continuously as "progcache.*" on the default obs registry.
 func CacheStats() progcache.Stats { return cache.Stats() }
 
 var registry = map[string]Builder{}

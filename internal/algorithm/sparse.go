@@ -9,6 +9,7 @@ import (
 	"torusx/internal/dfly"
 	"torusx/internal/exchange"
 	"torusx/internal/exec"
+	"torusx/internal/obs"
 	"torusx/internal/progcache"
 	"torusx/internal/schedule"
 	"torusx/internal/topology"
@@ -65,6 +66,13 @@ func SparseSupporting(f topology.Fabric) []string {
 // transfers/steps/phases, density-scales Rearrange annotations, and
 // proves every non-self block of m is carried.
 func SparseSchedule(b Builder, f topology.Fabric, m traffic.Matrix) (*schedule.Schedule, error) {
+	return sparseSchedule(b, f, m, nil)
+}
+
+// sparseSchedule is SparseSchedule with request tracing: the native or
+// dense schedule construction is recorded as a "plan" stage and the
+// prune pass as "prune" on req (nil-safe).
+func sparseSchedule(b Builder, f topology.Fabric, m traffic.Matrix, req *obs.Request) (*schedule.Schedule, error) {
 	if !sparseCapable[b.Name()] {
 		return nil, fmt.Errorf("algorithm: %q has no sparse variant (sparse-capable: %v)", b.Name(), SparseSupporting(f))
 	}
@@ -76,6 +84,7 @@ func SparseSchedule(b Builder, f topology.Fabric, m traffic.Matrix) (*schedule.S
 	}
 	var sc *schedule.Schedule
 	var err error
+	psp := req.Stage("plan")
 	switch {
 	case b.Name() == "proposed-sim":
 		// Native: the simulator's routing predicates act per block, so
@@ -101,9 +110,12 @@ func SparseSchedule(b Builder, f topology.Fabric, m traffic.Matrix) (*schedule.S
 	default:
 		sc, err = b.BuildSchedule(f)
 	}
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
+	prsp := req.Stage("prune")
+	defer prsp.End()
 	return traffic.Prune(sc, m)
 }
 
@@ -122,11 +134,13 @@ func BuildSparseProgram(b Builder, f topology.Fabric, m traffic.Matrix, opt exec
 	}
 	name := b.Name() + "+sparse:" + strconv.FormatUint(m.Fingerprint(), 16)
 	key := progcache.Key(name, f, optBits)
-	return cache.GetOrCompile(key, func() (*exec.Program, error) {
-		sc, err := SparseSchedule(b, f, m)
+	return cache.GetOrCompileTraced(key, opt.Request, func() (*exec.Program, error) {
+		sc, err := sparseSchedule(b, f, m, opt.Request)
 		if err != nil {
 			return nil, err
 		}
+		csp := opt.Request.Stage("compile")
+		defer csp.End()
 		return exec.Compile(sc, opt)
 	})
 }
@@ -172,6 +186,10 @@ func PlanSparse(f topology.Fabric, m traffic.Matrix, p costmodel.Params, opt exe
 	plan := &Plan{Params: p}
 	programs := map[string]*exec.Program{}
 	var ranked, excluded []Score
+	// One "plan-scoring" span brackets the whole candidate sweep; each
+	// candidate's cache-lookup/plan/prune/compile spans nest inside it
+	// on the request's timeline.
+	ssp := opt.Request.Stage("plan-scoring")
 	for _, name := range names {
 		b := registry[name]
 		pg, err := BuildSparseProgram(b, f, m, opt)
@@ -183,6 +201,7 @@ func PlanSparse(f topology.Fabric, m traffic.Matrix, p costmodel.Params, opt exe
 		ranked = append(ranked, Score{Name: name, Measure: mm, Completion: p.Completion(mm)})
 		programs[name] = pg
 	}
+	ssp.End()
 	if len(ranked) == 0 {
 		return nil, fmt.Errorf("algorithm: every sparse candidate failed on %s: %v", f.Fingerprint(), excluded[0].Err)
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 )
 
 // Schema is the format identifier of the current layout.
@@ -57,6 +58,12 @@ type Entry struct {
 	NsMin    float64 `json:"ns_min,omitempty"`
 	NsMax    float64 `json:"ns_max,omitempty"`
 	NsStddev float64 `json:"ns_stddev,omitempty"`
+	// NsP50/NsP99 are nearest-rank percentiles of the same repeat
+	// timings (Percentile), the ledger's tail-latency columns. Zero in
+	// pre-observability and single-sample ledgers, which decode
+	// unchanged.
+	NsP50 float64 `json:"ns_p50,omitempty"`
+	NsP99 float64 `json:"ns_p99,omitempty"`
 	// Samples is the number of repeat timings behind the variance
 	// fields (0 for single-sample ledgers).
 	Samples int `json:"samples,omitempty"`
@@ -182,6 +189,14 @@ func (e *Entry) validateVariance() error {
 	if e.NsStddev < 0 {
 		return fmt.Errorf("negative ns_stddev %v", e.NsStddev)
 	}
+	if e.NsP50 != 0 || e.NsP99 != 0 {
+		if e.NsP50 < e.NsMin || e.NsP50 > e.NsMax {
+			return fmt.Errorf("ns_p50 %v outside sampled [ns_min, ns_max] = [%v, %v]", e.NsP50, e.NsMin, e.NsMax)
+		}
+		if e.NsP99 < e.NsP50 || e.NsP99 > e.NsMax {
+			return fmt.Errorf("ns_p99 %v outside [ns_p50, ns_max] = [%v, %v]", e.NsP99, e.NsP50, e.NsMax)
+		}
+	}
 	return nil
 }
 
@@ -210,6 +225,26 @@ func SampleStats(ns []float64) (min, max, stddev float64) {
 	}
 	stddev = math.Sqrt(sq / float64(len(ns)))
 	return min, max, stddev
+}
+
+// Percentile returns the nearest-rank q-quantile (0 < q <= 1) of ns —
+// the value at rank ceil(q*len), the same estimator internal/obs uses
+// for its latency histograms, so the ledger's p50/p99 columns and a
+// -metrics-out dump agree on what a percentile means. The input is
+// sorted in place. Returns 0 on an empty slice.
+func Percentile(ns []float64, q float64) float64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	sort.Float64s(ns)
+	rank := int(math.Ceil(q * float64(len(ns))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(ns) {
+		rank = len(ns)
+	}
+	return ns[rank-1]
 }
 
 // Write encodes the ledger as indented JSON.

@@ -7,25 +7,31 @@ import (
 	"os"
 
 	"torusx/internal/costmodel"
+	"torusx/internal/obs"
 	"torusx/internal/telemetry"
 	"torusx/internal/topology"
 	"torusx/internal/trace"
 )
 
-// Telemetry is the shared -telemetry/-trace-out/-heatmap plumbing of
-// the command-line tools: it owns the sinks behind a run's recorder and
-// renders the requested outputs once the run is over. The zero value is
-// the disabled state and costs the instrumented code one Enabled
-// branch.
+// Telemetry is the shared observability plumbing of the command-line
+// tools: the -telemetry/-trace-out/-heatmap flags own the sinks behind
+// a run's model-time recorder, and -metrics-out/-trace-out additionally
+// enable wall-clock observability — per-request pipeline spans
+// (internal/obs) folded into the Chrome trace next to the model-time
+// stream, and a Prometheus-text dump of the process metrics registry
+// after the run. The zero value is the disabled state and costs the
+// instrumented code one Enabled branch.
 type Telemetry struct {
-	jsonlPath string
-	tracePath string
-	heatmap   bool
+	jsonlPath   string
+	tracePath   string
+	metricsPath string
+	heatmap     bool
 
-	mem  *telemetry.MemorySink
-	jl   *telemetry.JSONLSink
-	file *os.File
-	rec  *telemetry.Recorder
+	mem      *telemetry.MemorySink
+	jl       *telemetry.JSONLSink
+	file     *os.File
+	rec      *telemetry.Recorder
+	requests []*obs.Request
 }
 
 // RegisterTelemetry registers the telemetry flags on fs and returns the
@@ -35,13 +41,37 @@ func RegisterTelemetry(fs *flag.FlagSet) *Telemetry {
 	t := &Telemetry{}
 	fs.StringVar(&t.jsonlPath, "telemetry", "", "stream execution telemetry as JSONL to this file ('-' = stdout)")
 	fs.StringVar(&t.tracePath, "trace-out", "", "write a Chrome/Perfetto trace-event JSON timeline to this file")
+	fs.StringVar(&t.metricsPath, "metrics-out", "", "write a Prometheus-text dump of the process metrics registry to this file ('-' = stdout) after the run")
 	fs.BoolVar(&t.heatmap, "heatmap", false, "render an ASCII link-utilization heatmap after the run")
 	return t
 }
 
-// Enabled reports whether any telemetry output was requested.
+// Enabled reports whether any model-time telemetry output was
+// requested (the executor's Recorder path).
 func (t *Telemetry) Enabled() bool {
 	return t != nil && (t.jsonlPath != "" || t.tracePath != "" || t.heatmap)
+}
+
+// ObsEnabled reports whether wall-clock request tracing should run:
+// -metrics-out wants the latency histograms fed and -trace-out wants
+// request spans on the timeline. Everything else leaves requests nil —
+// the pipeline's zero-cost disabled state.
+func (t *Telemetry) ObsEnabled() bool {
+	return t != nil && (t.metricsPath != "" || t.tracePath != "")
+}
+
+// StartRequest opens a wall-clock request trace named name (the
+// tool's cell label, e.g. "direct+hotspot@torus:8x8") on the process
+// registry, retaining it so Finish can close it, feed the latency
+// histograms and fold its spans into the trace. Returns nil — the
+// pipeline's no-op state — when wall-clock observability is off.
+func (t *Telemetry) StartRequest(name string) *obs.Request {
+	if !t.ObsEnabled() {
+		return nil
+	}
+	req := obs.Default().StartRequest(name)
+	t.requests = append(t.requests, req)
+	return req
 }
 
 // Recorder builds (once) and returns the recorder the run should emit
@@ -89,31 +119,42 @@ func (t *Telemetry) Labeled(p costmodel.Params, label string) (*telemetry.Record
 	return &labeled, nil
 }
 
-// Finish renders the requested post-run outputs: the Chrome trace file,
-// the heatmap (on w, from the "link.util" gauges, laid out on f), and
-// closes the JSONL stream, surfacing any deferred write error.
-// heatmapLabel restricts the heatmap to one cell's gauges — node IDs
-// collide across shapes in a sweep, so a blended map would be
-// meaningless; "" uses every event. Safe to call when disabled.
+// Finish renders the requested post-run outputs: every open request is
+// finished (feeding the registry's latency histograms), the Chrome
+// trace file is written with the wall-clock request spans appended to
+// the model-time stream, the heatmap rendered (on w, from the
+// "link.util" gauges, laid out on f — skipped when f is nil, as in
+// fabric-less sweeps), the JSONL stream closed surfacing any deferred
+// write error, and the metrics dump written. heatmapLabel restricts
+// the heatmap to one cell's gauges — node IDs collide across shapes in
+// a sweep, so a blended map would be meaningless; "" uses every event.
+// Safe to call when disabled.
 func (t *Telemetry) Finish(w io.Writer, f topology.Fabric, heatmapLabel string) error {
-	if !t.Enabled() || t.rec == nil {
+	if t == nil {
 		return nil
 	}
-	if t.tracePath != "" {
-		f, err := os.Create(t.tracePath)
+	for _, req := range t.requests {
+		req.Finish()
+	}
+	if t.tracePath != "" && t.mem != nil {
+		evs := t.mem.Events()
+		for _, req := range t.requests {
+			evs = append(evs, req.Events(req.Name())...)
+		}
+		tf, err := os.Create(t.tracePath)
 		if err != nil {
 			return err
 		}
-		if err := telemetry.WriteChromeTrace(f, t.mem.Events()); err != nil {
-			f.Close()
+		if err := telemetry.WriteChromeTrace(tf, evs); err != nil {
+			tf.Close()
 			return err
 		}
-		if err := f.Close(); err != nil {
+		if err := tf.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "wrote Chrome trace (%d events) to %s\n", t.mem.Len(), t.tracePath)
+		fmt.Fprintf(w, "wrote Chrome trace (%d events) to %s\n", len(evs), t.tracePath)
 	}
-	if t.heatmap {
+	if t.heatmap && t.mem != nil && f != nil {
 		evs := t.mem.Events()
 		if heatmapLabel != "" {
 			kept := evs[:0]
@@ -131,9 +172,36 @@ func (t *Telemetry) Finish(w io.Writer, f topology.Fabric, heatmapLabel string) 
 		if err := t.file.Close(); err != nil {
 			return err
 		}
+		t.file = nil
+	}
+	if t.metricsPath != "" {
+		if err := t.writeMetrics(w); err != nil {
+			return err
+		}
 	}
 	if t.jl != nil {
 		return t.jl.Err()
 	}
+	return nil
+}
+
+// writeMetrics dumps the process registry in Prometheus text format to
+// the -metrics-out destination.
+func (t *Telemetry) writeMetrics(w io.Writer) error {
+	if t.metricsPath == "-" {
+		return obs.Default().WritePrometheus(os.Stdout)
+	}
+	mf, err := os.Create(t.metricsPath)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default().WritePrometheus(mf); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote metrics dump to %s\n", t.metricsPath)
 	return nil
 }

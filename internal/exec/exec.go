@@ -27,6 +27,7 @@ import (
 
 	"torusx/internal/block"
 	"torusx/internal/costmodel"
+	"torusx/internal/obs"
 	"torusx/internal/schedule"
 	"torusx/internal/telemetry"
 	"torusx/internal/verify"
@@ -56,6 +57,12 @@ type Options struct {
 	// the executor takes exactly the uninstrumented code path behind a
 	// single branch, which the overhead guard benchmarks.
 	Telemetry *telemetry.Recorder
+	// Request, when non-nil, receives wall-clock pipeline stage spans
+	// ("replay" here; "plan"/"compile"/"cache-lookup" upstream in
+	// internal/algorithm and internal/progcache — see internal/obs).
+	// Nil is the disabled state and costs the replay path nothing,
+	// same contract as Telemetry.
+	Request *obs.Request
 }
 
 // Result is the outcome of executing a schedule.

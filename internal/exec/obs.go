@@ -1,0 +1,31 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"torusx/internal/obs"
+)
+
+// Process-wide observability of the executor's shared state: the
+// arena pool's acquire/release traffic and the FullTraffic LRU's
+// counters, exported as pull-based metrics on the default obs
+// registry. Registration happens once at init; the hooks read live
+// atomics (or take the LRU's snapshot lock) only when a dump or
+// scrape asks, so the replay paths stay untouched.
+
+// arenaAcquires and arenaReleases count AcquireArena/ReleaseArena
+// calls across every program in the process; a widening gap means
+// arenas are being dropped (error-poisoned runs) or leaked instead of
+// pooled.
+var arenaAcquires, arenaReleases atomic.Int64
+
+func init() {
+	reg := obs.Default()
+	reg.CounterFunc("exec.arena.acquires", arenaAcquires.Load)
+	reg.CounterFunc("exec.arena.releases", arenaReleases.Load)
+	reg.CounterFunc("exec.fulltraffic.hits", func() int64 { return FullTrafficCacheStats().Hits })
+	reg.CounterFunc("exec.fulltraffic.misses", func() int64 { return FullTrafficCacheStats().Misses })
+	reg.CounterFunc("exec.fulltraffic.evictions", func() int64 { return FullTrafficCacheStats().Evictions })
+	reg.GaugeFunc("exec.fulltraffic.entries", func() float64 { return float64(FullTrafficCacheStats().Entries) })
+	reg.GaugeFunc("exec.fulltraffic.bytes", func() float64 { return float64(FullTrafficCacheStats().Bytes) })
+}

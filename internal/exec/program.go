@@ -570,6 +570,7 @@ func (p *Program) NewArena() *Arena {
 // reallocated; the pool is sync.Pool-backed and safe for concurrent
 // use.
 func (p *Program) AcquireArena() *Arena {
+	arenaAcquires.Add(1)
 	if a, ok := p.arenas.Get().(*Arena); ok && a != nil {
 		return a
 	}
@@ -584,6 +585,7 @@ func (p *Program) ReleaseArena(a *Arena) {
 	if a == nil || a.prog != p || a.bad {
 		return
 	}
+	arenaReleases.Add(1)
 	p.arenas.Put(a)
 }
 
@@ -604,6 +606,7 @@ func (p *Program) RunArena(a *Arena, opt Options) (*Result, error) {
 	}
 	res := &Result{Schedule: p.sc, Measure: p.measure, MaxSharing: p.maxSharing}
 	if p.replay {
+		sp := opt.Request.Stage("replay")
 		a.reset()
 		var err error
 		if opt.Serial {
@@ -615,11 +618,13 @@ func (p *Program) RunArena(a *Arena, opt Options) (*Result, error) {
 			err = a.checkDelivery()
 		}
 		if err != nil {
+			sp.End()
 			a.bad = true
 			return nil, err
 		}
 		res.Replayed = true
 		res.Buffers = a.materialize()
+		sp.End()
 	}
 	if opt.Telemetry.Enabled() {
 		emitRun(opt.Telemetry, p.sc, res, nil, p)

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+// expvar bridge: PublishExpvar exposes a registry snapshot under one
+// expvar name, so aapebench's existing -pprof endpoint (which mounts
+// expvar at /debug/vars) serves the obs metrics with zero extra
+// wiring. The snapshot is taken per scrape — expvar.Func is pull-
+// based — so the endpoint always reads live values.
+
+var (
+	publishMu  sync.Mutex
+	publishSet = map[string]bool{}
+)
+
+// PublishExpvar publishes the registry as the expvar variable name
+// (rendered as the JSON of a Snapshot). expvar.Publish panics on
+// duplicate names, so repeat calls with one name are deduplicated
+// here and only the first registry wins — the tools all publish the
+// Default registry under "torusx_obs", which makes repeats benign.
+func (r *Registry) PublishExpvar(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if publishSet[name] {
+		return
+	}
+	publishSet[name] = true
+	expvar.Publish(name, expvar.Func(func() interface{} {
+		s := r.Snapshot()
+		// Flatten histograms to their headline numbers; the full bucket
+		// vector is the Prometheus dump's job.
+		hists := make(map[string]map[string]float64, len(s.Hists))
+		for name, h := range s.Hists {
+			hists[name] = map[string]float64{
+				"count": float64(h.Count),
+				"sum":   float64(h.Sum),
+				"p50":   h.P50(),
+				"p95":   h.P95(),
+				"p99":   h.P99(),
+			}
+		}
+		return map[string]interface{}{
+			"counters":   s.Counters,
+			"gauges":     s.Gauges,
+			"histograms": hists,
+		}
+	}))
+}

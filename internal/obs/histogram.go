@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket log-scale latency histogram: bucket b
+// counts observations v (nanoseconds) with bits.Len64(v) == b, i.e.
+// v in [2^(b-1), 2^b), so bucket upper bounds double from 1ns up to
+// ~137s with the last bucket catching everything beyond. Power-of-two
+// bucketing keeps Observe branch-free (one bits.Len64, two atomic
+// adds) and — because a value's bucket is a pure function of the value
+// — makes the exported distribution deterministic under the parallel
+// executor: any interleaving of the same observations yields identical
+// buckets (guarded by the determinism test in internal/exec).
+//
+// Quantiles are exact with respect to the bucketing: Quantile returns
+// the upper bound of the bucket containing the nearest-rank element,
+// a deterministic overestimate by at most 2x (one bucket's width).
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	sum     atomic.Int64 // total observed nanoseconds
+}
+
+// numBuckets covers [0, 2^(numBuckets-2)) ns in doubling buckets;
+// with 39 buckets the last bounded bucket ends at 2^37 ns ≈ 137 s,
+// beyond any single request this pipeline serves, and the final
+// bucket is the +Inf catch-all.
+const numBuckets = 39
+
+// Observe records one latency in nanoseconds. Negative values clamp
+// to zero (the clock went backwards; still count the event).
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.sum.Add(ns)
+}
+
+// ObserveSince records the elapsed wall-clock time from start to now.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(int64(time.Since(start))) }
+
+// HistSnapshot is an atomic-read copy of a histogram. Count is derived
+// as the sum of the buckets, so "bucket counts sum to the total" holds
+// by construction in every export format.
+type HistSnapshot struct {
+	Buckets [numBuckets]int64
+	Count   int64
+	Sum     int64 // nanoseconds
+}
+
+// Snapshot copies the buckets. Concurrent Observes may land between
+// bucket reads; each observation is still counted exactly once or not
+// yet at all, and Count always equals the bucket sum.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		v := h.buckets[i].Load()
+		s.Buckets[i] = v
+		s.Count += v
+	}
+	return s
+}
+
+// BucketBound returns bucket i's inclusive upper bound in nanoseconds
+// (2^i - 1... reported as 2^i for the Prometheus `le` convention, the
+// smallest power of two no observation in the bucket reaches), or
+// +Inf for the final catch-all bucket.
+func BucketBound(i int) float64 {
+	if i >= numBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(uint64(1) << uint(i))
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the snapshot as the
+// upper bound of the bucket holding the nearest-rank element, in
+// nanoseconds; 0 for an empty histogram. Deterministic: depends only
+// on the multiset of observed values.
+func (s *HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(numBuckets - 1)
+}
+
+// P50, P95 and P99 are the SLO quantiles the ledger and dumps report.
+func (s *HistSnapshot) P50() float64 { return s.Quantile(0.50) }
+
+// P95 returns the 95th-percentile bucket bound.
+func (s *HistSnapshot) P95() float64 { return s.Quantile(0.95) }
+
+// P99 returns the 99th-percentile bucket bound.
+func (s *HistSnapshot) P99() float64 { return s.Quantile(0.99) }

@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"torusx/internal/telemetry"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.hits")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("test.hits") != c {
+		t.Fatalf("Counter not idempotent per name")
+	}
+	g := r.Gauge("test.bytes")
+	g.Set(12.5)
+	if got := g.Value(); got != 12.5 {
+		t.Fatalf("gauge = %g, want 12.5", got)
+	}
+	r.CounterFunc("test.pull", func() int64 { return 7 })
+	r.GaugeFunc("test.pullg", func() float64 { return -1 })
+	s := r.Snapshot()
+	if s.Counters["test.hits"] != 5 || s.Counters["test.pull"] != 7 {
+		t.Fatalf("snapshot counters = %v", s.Counters)
+	}
+	if s.Gauges["test.bytes"] != 12.5 || s.Gauges["test.pullg"] != -1 {
+		t.Fatalf("snapshot gauges = %v", s.Gauges)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..100: the nearest-rank p50 element is 50 (bucket le=64), p99 is
+	// 99 (bucket le=128), p95 is 95 (le=128).
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Sum != 5050 {
+		t.Fatalf("sum = %d, want 5050", s.Sum)
+	}
+	var bucketSum int64
+	for _, b := range s.Buckets {
+		bucketSum += b
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+	if got := s.P50(); got != 64 {
+		t.Fatalf("p50 = %g, want 64", got)
+	}
+	if got := s.P95(); got != 128 {
+		t.Fatalf("p95 = %g, want 128", got)
+	}
+	if got := s.P99(); got != 128 {
+		t.Fatalf("p99 = %g, want 128", got)
+	}
+	// Zero and negative clamp into the first bucket; huge values land in
+	// the +Inf bucket.
+	var h2 Histogram
+	h2.Observe(0)
+	h2.Observe(-5)
+	h2.Observe(int64(1) << 62)
+	s2 := h2.Snapshot()
+	if s2.Buckets[0] != 2 || s2.Buckets[numBuckets-1] != 1 {
+		t.Fatalf("clamp buckets: first=%d last=%d", s2.Buckets[0], s2.Buckets[numBuckets-1])
+	}
+	if !math.IsInf(s2.Quantile(1), 1) {
+		t.Fatalf("q1 of +Inf-bucket sample = %g, want +Inf", s2.Quantile(1))
+	}
+	var empty Histogram
+	if es := empty.Snapshot(); es.P99() != 0 {
+		t.Fatalf("empty histogram p99 = %g, want 0", es.P99())
+	}
+}
+
+// TestHistogramConcurrentDeterminism pins the histogram property the
+// parallel executor relies on: any interleaving of one multiset of
+// observations produces identical buckets and quantiles.
+func TestHistogramConcurrentDeterminism(t *testing.T) {
+	const goroutines, per = 8, 1000
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(g*per + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	var ref Histogram
+	for v := 0; v < goroutines*per; v++ {
+		ref.Observe(int64(v))
+	}
+	got, want := h.Snapshot(), ref.Snapshot()
+	if got != want {
+		t.Fatalf("concurrent snapshot diverged from serial reference:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRequestStagesAndHistograms(t *testing.T) {
+	r := NewRegistry()
+	req := r.StartRequest("direct@torus:4x4")
+	sp := req.Stage("cache-lookup")
+	sp.End()
+	sp.End() // idempotent
+	open := req.Stage("replay")
+	_ = open // left open: Finish must close it
+	req.Finish()
+	req.Finish() // idempotent
+
+	st := req.Stages()
+	if len(st) != 2 || st[0].Name != "cache-lookup" || st[1].Name != "replay" {
+		t.Fatalf("stages = %+v", st)
+	}
+	if st[1].End < st[1].Start {
+		t.Fatalf("open stage not closed by Finish: %+v", st[1])
+	}
+	s := r.Snapshot()
+	if s.Hists["req.direct@torus:4x4.ns"].Count != 1 {
+		t.Fatalf("request histogram missing: %v", sortedKeys(s.Hists))
+	}
+	if s.Hists["stage.cache-lookup.ns"].Count != 1 || s.Hists["stage.replay.ns"].Count != 1 {
+		t.Fatalf("stage histograms missing: %v", sortedKeys(s.Hists))
+	}
+}
+
+func TestNilRequestIsInert(t *testing.T) {
+	var req *Request
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := req.Stage("cache-lookup")
+		sp.End()
+		req.Finish()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil request allocated %g per run, want 0", allocs)
+	}
+	if req.Events("x") != nil || req.Stages() != nil || req.ID() != 0 || req.Name() != "" {
+		t.Fatalf("nil request leaked state")
+	}
+	var nilReg *Registry
+	if nilReg.StartRequest("x") != nil {
+		t.Fatalf("nil registry started a request")
+	}
+}
+
+func TestRequestEvents(t *testing.T) {
+	r := NewRegistry()
+	req := r.StartRequest("auto+hotspot@torus:4x4")
+	sp := req.Stage("compile")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if req.Events("lbl") != nil {
+		t.Fatalf("Events before Finish should be nil")
+	}
+	req.Finish()
+	evs := req.Events("lbl")
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	if evs[0].Scope != telemetry.ScopeRequest || evs[0].Kind != telemetry.SpanBegin ||
+		evs[1].Scope != telemetry.ScopeRequest || evs[1].Kind != telemetry.SpanEnd {
+		t.Fatalf("request pair malformed: %+v %+v", evs[0], evs[1])
+	}
+	if evs[2].Scope != telemetry.ScopeStage || evs[2].Name != "compile" || evs[2].Step != 0 {
+		t.Fatalf("stage begin malformed: %+v", evs[2])
+	}
+	if evs[1].Time < evs[3].Time || evs[3].Time <= evs[2].Time {
+		t.Fatalf("span times out of order: req end %g, stage [%g,%g]", evs[1].Time, evs[2].Time, evs[3].Time)
+	}
+	for _, ev := range evs {
+		if ev.Label != "lbl" || ev.Phase != int(req.ID()) || ev.Transfer != -1 {
+			t.Fatalf("event coordinates malformed: %+v", ev)
+		}
+	}
+	// The converted stream must be balanced and renderable.
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"request"`) || !strings.Contains(out, `"pipeline-stage"`) {
+		t.Fatalf("trace lacks request/stage categories:\n%s", out)
+	}
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("progcache.hits").Add(3)
+	r.Gauge("progcache.bytes").Set(1024)
+	r.CounterFunc("exec.arena.acquires", func() int64 { return 9 })
+	h := r.Histogram("stage.replay.ns")
+	for i := 0; i < 50; i++ {
+		h.Observe(int64(1000 + i))
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	pm, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParsePrometheus:\n%s\nerror: %v", buf.String(), err)
+	}
+	if pm.Samples["torusx_progcache_hits"] != 3 {
+		t.Fatalf("hits sample = %g", pm.Samples["torusx_progcache_hits"])
+	}
+	if pm.Samples["torusx_exec_arena_acquires"] != 9 {
+		t.Fatalf("pull counter sample = %g", pm.Samples["torusx_exec_arena_acquires"])
+	}
+	if pm.Samples["torusx_stage_replay_ns_count"] != 50 {
+		t.Fatalf("histogram count = %g", pm.Samples["torusx_stage_replay_ns_count"])
+	}
+	if pm.Types["torusx_stage_replay_ns"] != "histogram" {
+		t.Fatalf("types = %v", pm.Types)
+	}
+	// Two consecutive dumps of one registry are byte-identical when
+	// nothing moved — determinism of the export itself.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatalf("dump not deterministic")
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"torusx_x nope\n",
+		"# TYPE torusx_h histogram\ntorusx_h_sum 1\ntorusx_h_count 1\n",
+		"# TYPE torusx_h histogram\ntorusx_h_bucket{le=\"1\"} 2\ntorusx_h_bucket{le=\"+Inf\"} 1\ntorusx_h_sum 1\ntorusx_h_count 1\n",
+		"# TYPE torusx_h histogram\ntorusx_h_bucket{le=\"+Inf\"} 2\ntorusx_h_sum 1\ntorusx_h_count 1\n",
+		"# TYPE torusx_h histogram\ntorusx_h_bucket{le=\"1\"} 1\ntorusx_h_sum 1\ntorusx_h_count 1\n",
+		"# TYPE torusx_c counter\n",
+	}
+	for _, in := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("ParsePrometheus accepted malformed input:\n%s", in)
+		}
+	}
+}
+
+func TestWriteTextPrefixes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("progcache.hits").Add(1)
+	r.Counter("exec.arena.acquires").Add(2)
+	r.Counter("bench.cells").Add(3)
+	r.Histogram("stage.replay.ns").Observe(2000)
+	var buf bytes.Buffer
+	r.WriteText(&buf, "progcache.", "exec.")
+	out := buf.String()
+	if !strings.Contains(out, "progcache.hits 1") || !strings.Contains(out, "exec.arena.acquires 2") {
+		t.Fatalf("filtered dump missing families:\n%s", out)
+	}
+	if strings.Contains(out, "bench.cells") || strings.Contains(out, "stage.replay") {
+		t.Fatalf("filtered dump leaked other families:\n%s", out)
+	}
+	buf.Reset()
+	r.WriteText(&buf)
+	if !strings.Contains(buf.String(), "stage.replay.ns count 1") {
+		t.Fatalf("unfiltered dump missing histogram:\n%s", buf.String())
+	}
+}
+
+// TestRegistryConcurrentUse exercises registration and updates from
+// many goroutines (meaningful under -race, which CI runs for this
+// package).
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(float64(i))
+				r.Histogram("h").Observe(int64(i))
+				req := r.StartRequest("load")
+				sp := req.Stage("replay")
+				sp.End()
+				req.Finish()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Errorf("WritePrometheus under load: %v", err)
+				return
+			}
+			if _, err := ParsePrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Errorf("dump under load unparseable: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Counter("c").Value(); got != 8*500 {
+		t.Fatalf("counter under load = %d, want %d", got, 8*500)
+	}
+	if got := r.Histogram("h").Snapshot().Count; got != 8*500 {
+		t.Fatalf("histogram count under load = %d, want %d", got, 8*500)
+	}
+}

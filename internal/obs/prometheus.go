@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format export (and the strict parser the CI job
+// verifies dumps with). One registry snapshot renders as
+//
+//	# TYPE torusx_progcache_hits counter
+//	torusx_progcache_hits 42
+//	# TYPE torusx_stage_replay_ns histogram
+//	torusx_stage_replay_ns_bucket{le="1024"} 3
+//	...
+//	torusx_stage_replay_ns_bucket{le="+Inf"} 7
+//	torusx_stage_replay_ns_sum 123456
+//	torusx_stage_replay_ns_count 7
+//
+// Metric names are the registry names sanitized to the Prometheus
+// charset and prefixed "torusx_"; output is sorted by name so dumps
+// of one population are byte-comparable.
+
+// promName sanitizes a registry metric name to [a-zA-Z0-9_:] with the
+// exporter prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 7)
+	b.WriteString("torusx_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatLe renders a bucket bound the way Prometheus spells it.
+func formatLe(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders a snapshot of the registry in Prometheus
+// text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", pn, pn, strconv.FormatFloat(s.Gauges[name], 'g', -1, 64))
+	}
+	for _, name := range sortedKeys(s.Hists) {
+		pn := promName(name)
+		h := s.Hists[name]
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for i := range h.Buckets {
+			cum += h.Buckets[i]
+			// Cumulative counts, every bucket emitted: a fixed-shape
+			// histogram is trivially joinable across dumps.
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", pn, formatLe(BucketBound(i)), cum)
+		}
+		fmt.Fprintf(bw, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", pn, h.Count)
+	}
+	return bw.Flush()
+}
+
+// WriteText renders a compact human-readable dump: counters and gauges
+// as "name value" lines, histograms as one line with count and the SLO
+// quantiles, all sorted by name. When prefixes are given, only metrics
+// whose name starts with one of them are printed — e.g. aapebench's
+// footer dumps the "progcache." and "exec." families.
+func (r *Registry) WriteText(w io.Writer, prefixes ...string) {
+	match := func(name string) bool {
+		if len(prefixes) == 0 {
+			return true
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		if match(name) {
+			fmt.Fprintf(w, "%s %d\n", name, s.Counters[name])
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if match(name) {
+			fmt.Fprintf(w, "%s %s\n", name, strconv.FormatFloat(s.Gauges[name], 'g', -1, 64))
+		}
+	}
+	for _, name := range sortedKeys(s.Hists) {
+		if match(name) {
+			h := s.Hists[name]
+			fmt.Fprintf(w, "%s count %d  p50 %s  p95 %s  p99 %s\n",
+				name, h.Count, fmtNs(h.P50()), fmtNs(h.P95()), fmtNs(h.P99()))
+		}
+	}
+}
+
+// fmtNs renders a nanosecond quantile bound human-readably.
+func fmtNs(ns float64) string {
+	switch {
+	case math.IsInf(ns, 1):
+		return "+Inf"
+	case ns >= 1e9:
+		return strconv.FormatFloat(ns/1e9, 'g', 4, 64) + "s"
+	case ns >= 1e6:
+		return strconv.FormatFloat(ns/1e6, 'g', 4, 64) + "ms"
+	case ns >= 1e3:
+		return strconv.FormatFloat(ns/1e3, 'g', 4, 64) + "us"
+	default:
+		return strconv.FormatFloat(ns, 'g', 4, 64) + "ns"
+	}
+}
+
+// PromMetrics is a parsed Prometheus text dump: flat sample values
+// keyed by "name" or `name{le="..."}` plus the declared type per
+// metric family.
+type PromMetrics struct {
+	Types   map[string]string
+	Samples map[string]float64
+}
+
+// ParsePrometheus parses text exposition format as WritePrometheus
+// emits it and verifies the structural invariants the CI job asserts:
+// every sample line parses, counters are non-negative, histogram
+// bucket counts are cumulative (non-decreasing in le order) and the
+// +Inf bucket equals the _count sample. Returns the parsed samples so
+// callers can additionally check monotonicity across two dumps.
+func ParsePrometheus(r io.Reader) (*PromMetrics, error) {
+	pm := &PromMetrics{Types: map[string]string{}, Samples: map[string]float64{}}
+	type bucketSample struct {
+		le    float64
+		count float64
+	}
+	buckets := map[string][]bucketSample{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) == 4 && fields[1] == "TYPE" {
+				pm.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(text, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("obs: line %d: no value in %q", line, text)
+		}
+		key, valStr := text[:sp], text[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr == "+Inf" {
+			val, err = math.Inf(1), nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: bad value %q: %v", line, valStr, err)
+		}
+		pm.Samples[key] = val
+		if i := strings.Index(key, `_bucket{le="`); i >= 0 {
+			base := key[:i]
+			leStr := strings.TrimSuffix(key[i+len(`_bucket{le="`):], `"}`)
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				le, err = strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return nil, fmt.Errorf("obs: line %d: bad le %q: %v", line, leStr, err)
+				}
+			}
+			buckets[base] = append(buckets[base], bucketSample{le: le, count: val})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, typ := range pm.Types {
+		switch typ {
+		case "counter":
+			v, ok := pm.Samples[name]
+			if !ok {
+				return nil, fmt.Errorf("obs: counter %s declared but never sampled", name)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("obs: counter %s is negative: %g", name, v)
+			}
+		case "histogram":
+			bs := buckets[name]
+			if len(bs) == 0 {
+				return nil, fmt.Errorf("obs: histogram %s has no buckets", name)
+			}
+			sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+			for i := 1; i < len(bs); i++ {
+				if bs[i].count < bs[i-1].count {
+					return nil, fmt.Errorf("obs: histogram %s bucket le=%s count %g below preceding %g",
+						name, formatLe(bs[i].le), bs[i].count, bs[i-1].count)
+				}
+			}
+			if !math.IsInf(bs[len(bs)-1].le, 1) {
+				return nil, fmt.Errorf("obs: histogram %s lacks a +Inf bucket", name)
+			}
+			count, ok := pm.Samples[name+"_count"]
+			if !ok {
+				return nil, fmt.Errorf("obs: histogram %s lacks a _count sample", name)
+			}
+			if bs[len(bs)-1].count != count {
+				return nil, fmt.Errorf("obs: histogram %s +Inf bucket %g != count %g",
+					name, bs[len(bs)-1].count, count)
+			}
+			if _, ok := pm.Samples[name+"_sum"]; !ok {
+				return nil, fmt.Errorf("obs: histogram %s lacks a _sum sample", name)
+			}
+		}
+	}
+	return pm, nil
+}

@@ -20,6 +20,7 @@ import (
 
 	"torusx/internal/block"
 	"torusx/internal/exec"
+	"torusx/internal/obs"
 	"torusx/internal/topology"
 )
 
@@ -90,8 +91,8 @@ type Stats struct {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("hits %d  misses %d  coalesced %d  compiles %d  evictions %d  entries %d  bytes %d",
-		s.Hits, s.Misses, s.Coalesced, s.Compiles, s.Evictions, s.Entries, s.Bytes)
+	return fmt.Sprintf("hits %d  misses %d  coalesced %d  compiles %d  evictions %d  oversize %d  entries %d  bytes %d",
+		s.Hits, s.Misses, s.Coalesced, s.Compiles, s.Evictions, s.Oversize, s.Entries, s.Bytes)
 }
 
 // New returns a cache bounded to maxBytes of compiled programs
@@ -173,24 +174,43 @@ func blockHash(b block.Block) uint64 {
 // does not poison the key. Programs larger than a shard's byte budget
 // are returned uncached.
 func (c *Cache) GetOrCompile(key string, compile func() (*exec.Program, error)) (*exec.Program, error) {
+	return c.GetOrCompileTraced(key, nil, compile)
+}
+
+// GetOrCompileTraced is GetOrCompile recording the request's
+// wall-clock walk through the cache: a "cache-lookup" stage span over
+// the shard probe, and — when the request loses the singleflight race
+// and waits on another caller's compile — a "singleflight-wait" span
+// over the wait. The compile callback itself is *not* wrapped: the
+// caller owns its decomposition (internal/algorithm splits it into
+// "plan"/"prune"/"compile" stages). A nil req records nothing and
+// takes the identical code path — warm hits stay within the serving
+// layer's pinned allocation budget.
+func (c *Cache) GetOrCompileTraced(key string, req *obs.Request, compile func() (*exec.Program, error)) (*exec.Program, error) {
+	sp := req.Stage("cache-lookup")
 	s := &c.shards[c.shardOf(key)]
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
 		s.moveToFront(e)
 		s.mu.Unlock()
+		sp.End()
 		c.hits.Add(1)
 		return e.prog, nil
 	}
 	if cl, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
+		sp.End()
 		c.coalesced.Add(1)
+		wsp := req.Stage("singleflight-wait")
 		cl.wg.Wait()
+		wsp.End()
 		return cl.prog, cl.err
 	}
 	cl := &call{}
 	cl.wg.Add(1)
 	s.inflight[key] = cl
 	s.mu.Unlock()
+	sp.End()
 	c.misses.Add(1)
 
 	c.compiles.Add(1)
@@ -268,6 +288,23 @@ func (c *Cache) Stats() Stats {
 		s.mu.Unlock()
 	}
 	return st
+}
+
+// RegisterMetrics exports the cache's counters and live occupancy on
+// reg under prefix ("progcache" → "progcache.hits", ...): the atomic
+// counters as pull-based counters and entries/bytes as gauges reading
+// a fresh per-scrape Stats snapshot. This replaces ad-hoc snapshot
+// printing as the uniform way the serving layer is observed; call once
+// per (registry, cache) pair — re-registering replaces the hooks.
+func (c *Cache) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+".hits", c.hits.Load)
+	reg.CounterFunc(prefix+".misses", c.misses.Load)
+	reg.CounterFunc(prefix+".coalesced", c.coalesced.Load)
+	reg.CounterFunc(prefix+".compiles", c.compiles.Load)
+	reg.CounterFunc(prefix+".evictions", c.evictions.Load)
+	reg.CounterFunc(prefix+".oversize", c.oversize.Load)
+	reg.GaugeFunc(prefix+".entries", func() float64 { return float64(c.Stats().Entries) })
+	reg.GaugeFunc(prefix+".bytes", func() float64 { return float64(c.Stats().Bytes) })
 }
 
 // Keys lists the cached keys, sorted, for tests and introspection.

@@ -48,6 +48,7 @@ type traceFile struct {
 const (
 	schedulePid  = 0
 	transfersPid = 1
+	requestsPid  = 2 // wall-clock pipeline spans from internal/obs
 	runTid       = 0 // thread 0 of process 0; phase p uses tid p+1
 )
 
@@ -94,6 +95,11 @@ func matchSpans(events []Event) (map[spanKey]spanPair, []spanKey, error) {
 			p.end = ev
 		}
 		pairs[k] = p
+	}
+	for k, p := range pairs {
+		if p.begin == nil {
+			return nil, nil, fmt.Errorf("telemetry: span end %+v without a begin", k)
+		}
 	}
 	for _, k := range order {
 		p := pairs[k]
@@ -145,9 +151,10 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	meta(schedulePid, runTid, "thread_name", "run")
 
 	// Stable track naming: phases in index order, sender threads in
-	// node order.
+	// node order, request threads in request-id order.
 	phaseName := map[int]string{}
 	senders := map[int]bool{}
+	requestName := map[int]string{}
 	for _, k := range order {
 		p := pairs[k]
 		switch k.scope {
@@ -157,6 +164,10 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			}
 		case ScopeTransfer:
 			senders[p.begin.Src] = true
+		case ScopeRequest:
+			// The request id rides in the Phase field (see obs.Request.
+			// Events); one thread per request.
+			requestName[k.phase] = k.name
 		}
 	}
 	var phaseIdx []int
@@ -174,6 +185,17 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	sort.Ints(senderIdx)
 	for _, n := range senderIdx {
 		meta(transfersPid, n, "thread_name", fmt.Sprintf("node %d", n))
+	}
+	if len(requestName) > 0 {
+		meta(requestsPid, runTid, "process_name", "requests")
+		var reqIdx []int
+		for id := range requestName {
+			reqIdx = append(reqIdx, id)
+		}
+		sort.Ints(reqIdx)
+		for _, id := range reqIdx {
+			meta(requestsPid, id, "thread_name", fmt.Sprintf("req %d: %s", id, requestName[id]))
+		}
 	}
 
 	for _, k := range order {
@@ -201,6 +223,13 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			args["blocks"] = p.begin.Blocks
 			args["hops"] = p.begin.Hops
 			args["worker"] = p.begin.Worker
+		case ScopeRequest:
+			// Wall-clock spans: their Ts axis is real microseconds since
+			// the request started, disjoint from model time by living on
+			// the requests process.
+			te.Name, te.Pid, te.Tid, te.Cat = k.name, requestsPid, k.phase, "request"
+		case ScopeStage:
+			te.Name, te.Pid, te.Tid, te.Cat = k.name, requestsPid, k.phase, "pipeline-stage"
 		default:
 			continue
 		}

@@ -100,6 +100,13 @@ const (
 	ScopeTransfer
 	ScopeLink
 	ScopeNode
+	// ScopeRequest and ScopeStage carry wall-clock pipeline spans from
+	// internal/obs (one serving request and its cache-lookup / compile /
+	// replay stages); their Time axis is real microseconds since the
+	// request started, not model time, and the Chrome export renders
+	// them on their own process track.
+	ScopeRequest
+	ScopeStage
 )
 
 func (s Scope) String() string {
@@ -114,6 +121,10 @@ func (s Scope) String() string {
 		return "transfer"
 	case ScopeLink:
 		return "link"
+	case ScopeRequest:
+		return "request"
+	case ScopeStage:
+		return "stage"
 	default:
 		return "node"
 	}
@@ -139,6 +150,10 @@ func (s *Scope) UnmarshalJSON(b []byte) error {
 		*s = ScopeTransfer
 	case "link":
 		*s = ScopeLink
+	case "request":
+		*s = ScopeRequest
+	case "stage":
+		*s = ScopeStage
 	default:
 		*s = ScopeNode
 	}

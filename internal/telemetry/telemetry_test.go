@@ -230,6 +230,21 @@ func TestWriteChromeTraceRejectsUnbalancedSpans(t *testing.T) {
 			{Kind: SpanBegin, Scope: ScopeRun, Name: "run", Phase: -1, Step: -1, Transfer: -1, Time: 10},
 			{Kind: SpanEnd, Scope: ScopeRun, Name: "run", Phase: -1, Step: -1, Transfer: -1, Time: 5},
 		},
+		// An end with no begin used to slip through silently (only keys
+		// in the begin order were checked); it must be an error.
+		"orphan end": {
+			{Kind: SpanEnd, Scope: ScopeRun, Name: "run", Phase: -1, Step: -1, Transfer: -1, Time: 5},
+		},
+		"duplicate end": {
+			{Kind: SpanBegin, Scope: ScopeRun, Name: "run", Phase: -1, Step: -1, Transfer: -1},
+			{Kind: SpanEnd, Scope: ScopeRun, Name: "run", Phase: -1, Step: -1, Transfer: -1, Time: 5},
+			{Kind: SpanEnd, Scope: ScopeRun, Name: "run", Phase: -1, Step: -1, Transfer: -1, Time: 7},
+		},
+		"orphan stage end": {
+			{Kind: SpanBegin, Scope: ScopeRequest, Name: "req", Phase: 1, Step: -1, Transfer: -1},
+			{Kind: SpanEnd, Scope: ScopeRequest, Name: "req", Phase: 1, Step: -1, Transfer: -1, Time: 9},
+			{Kind: SpanEnd, Scope: ScopeStage, Name: "compile", Phase: 1, Step: 0, Transfer: -1, Time: 4},
+		},
 	}
 	for name, evs := range cases {
 		if err := WriteChromeTrace(new(bytes.Buffer), evs); err == nil {
