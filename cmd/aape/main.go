@@ -60,7 +60,11 @@ func run(args []string, w io.Writer) error {
 	)
 	trafficFlag := cli.RegisterTraffic(fs)
 	tel := cli.RegisterTelemetry(fs)
+	cacheDirFlag := cli.RegisterCacheDir(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := algorithm.SetCacheDir(*cacheDirFlag); err != nil {
 		return err
 	}
 	execOpt := exec.Options{Serial: !*parallelFlag, Workers: *workersFlag}

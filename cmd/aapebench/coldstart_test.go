@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"torusx/internal/benchfmt"
+)
+
+// TestColdStartLedgerGate is the CI cold-start gate: the committed
+// ledger must show the 16x16 direct exchange compiling (exec.Compile
+// alone, prebuilt schedule) in under 10ms and loading from a warm
+// tier-2 disk cache in under 1ms. A regression in the parallel
+// lowering or the codec shows up here as a regenerated ledger that no
+// longer clears the bar.
+func TestColdStartLedgerGate(t *testing.T) {
+	gf, err := os.Open(filepath.Join("..", "..", "BENCH_exec.json"))
+	if err != nil {
+		t.Fatalf("committed ledger: %v", err)
+	}
+	defer gf.Close()
+	var f benchfmt.File
+	if err := json.NewDecoder(gf).Decode(&f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("committed BENCH_exec.json invalid: %v", err)
+	}
+	found := false
+	for i := range f.Entries {
+		e := &f.Entries[i]
+		if e.Alg != "direct" || len(e.Dims) != 2 || e.Dims[0] != 16 || e.Dims[1] != 16 || e.Traffic != "" {
+			continue
+		}
+		found = true
+		if e.CompileParallelNs <= 0 {
+			t.Error("direct@16x16 has no compile_parallel_ns column")
+		} else if e.CompileParallelNs >= 10e6 {
+			t.Errorf("direct@16x16 cold compile %.2fms, gate is <10ms", e.CompileParallelNs/1e6)
+		}
+		if e.Tier2LoadNs <= 0 {
+			t.Error("direct@16x16 has no tier2_load_ns column")
+		} else if e.Tier2LoadNs >= 1e6 {
+			t.Errorf("direct@16x16 tier-2 load %.2fms, gate is <1ms", e.Tier2LoadNs/1e6)
+		}
+	}
+	if !found {
+		t.Fatal("no dense direct@16x16 entry in committed ledger")
+	}
+}
+
+// TestPrewarmPack: -prewarm fills the disk tier with one file per
+// (shape, algorithm) cell of the sweep grid and reports the stores in
+// its footer. (A fresh process serving the pack with zero compiles is
+// covered by progcache's TestTier2CrossProcessWarmth; the cache here
+// is process-wide and already warm.)
+func TestPrewarmPack(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-prewarm", "-progcache-dir", dir, "-dims", "4x4,2x2x2", "-algs", "direct,factored"}, &out); err != nil {
+		t.Fatalf("prewarm: %v\n%s", err, out.String())
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.txpg"))
+	if err != nil || len(files) != 4 {
+		t.Fatalf("want 4 packed programs, got %v (%v)\n%s", files, err, out.String())
+	}
+	if !strings.Contains(out.String(), "+4 stored") {
+		t.Fatalf("prewarm footer missing store count:\n%s", out.String())
+	}
+}
+
+func TestPrewarmNeedsDir(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-prewarm", "-dims", "4x4"}, &out); err == nil {
+		t.Fatal("prewarm without -progcache-dir succeeded")
+	}
+}

@@ -95,9 +95,14 @@ func run(args []string, w io.Writer) error {
 		toleranceFlag  = fs.Float64("tolerance", 25, "allocs/op regression tolerance for -baseline, in percent")
 		smokeFlag      = fs.Bool("smoke", false, "registry smoke: compile and replay every supported (fabric, algorithm) pair once, report, and exit — no timings, no ledger")
 		trafficFlag    = fs.String("traffic", "", "sweep sparse traffic instead of the dense all-to-all: a spec (see internal/traffic), or 'all' for one canned matrix per generator; with -smoke, compile+replay every (generator, sparse algorithm) pair plus the planner pick")
+		prewarmFlag    = fs.Bool("prewarm", false, "compile every (shape, algorithm) cell of the sweep grid into the -progcache-dir disk tier and exit — a shape pack later processes load in sub-millisecond instead of compiling")
 	)
 	tel := cli.RegisterTelemetry(fs)
+	cacheDirFlag := cli.RegisterCacheDir(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := algorithm.SetCacheDir(*cacheDirFlag); err != nil {
 		return err
 	}
 	if *trafficFlag != "" {
@@ -137,6 +142,12 @@ func run(args []string, w io.Writer) error {
 	}
 	serial := *serialFlag || !*parallelFlag
 	opt := exec.Options{Serial: serial, Workers: *workersFlag}
+	if *prewarmFlag {
+		if *cacheDirFlag == "" {
+			return fmt.Errorf("-prewarm needs -progcache-dir")
+		}
+		return prewarm(w, *fabricFlag, shapes, algs, opt)
+	}
 	if *smokeFlag {
 		if *trafficFlag != "" {
 			return sparseSmoke(w, opt, *trafficFlag)
@@ -173,6 +184,7 @@ func run(args []string, w io.Writer) error {
 			var runOnce func(topt exec.Options) (*exec.Result, error)
 			var compileNs float64
 			var compileAllocs int64
+			var compileParallelNs, tier2LoadNs float64
 			// One wall-clock request per cell (compiled path only):
 			// cache-lookup/plan/compile record during the one-shot build,
 			// arena-acquire and a single replay during the untimed
@@ -204,6 +216,7 @@ func run(args []string, w io.Writer) error {
 				asp.End()
 				defer pg.ReleaseArena(arena)
 				runOnce = func(topt exec.Options) (*exec.Result, error) { return pg.RunArena(arena, topt) }
+				compileParallelNs, tier2LoadNs = coldStartTimings(b, fab, pg, bopt)
 			}
 			res, err := runOnce(opt)
 			if err != nil {
@@ -212,6 +225,7 @@ func run(args []string, w io.Writer) error {
 			entry := benchfmt.Entry{
 				Alg: b.Name(), Dims: dims, Parallel: !serial, Compiled: !*uncompiledFlag,
 				CompileNs: compileNs, CompileAllocs: compileAllocs,
+				CompileParallelNs: compileParallelNs, Tier2LoadNs: tier2LoadNs,
 				Steps: res.Measure.Steps, Blocks: res.Measure.Blocks,
 				Hops: res.Measure.Hops, Rearranged: res.Measure.RearrangedBlocks,
 				MaxSharing: res.MaxSharing,

@@ -53,7 +53,11 @@ func main() {
 	)
 	trafficFlag := cli.RegisterTraffic(flag.CommandLine)
 	tel := cli.RegisterTelemetry(flag.CommandLine)
+	cacheDirFlag := cli.RegisterCacheDir(flag.CommandLine)
 	flag.Parse()
+	if err := algorithm.SetCacheDir(*cacheDirFlag); err != nil {
+		cli.Fatalf("aapetab: %v", err)
+	}
 	if tel.Enabled() && *tableFlag != "replay" {
 		cli.Fatalf("aapetab: -telemetry/-trace-out/-heatmap apply to -table replay only")
 	}

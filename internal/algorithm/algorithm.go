@@ -115,10 +115,28 @@ func init() {
 // registered under one name would alias; registry builders are unique
 // by construction.
 func BuildProgram(b Builder, f topology.Fabric, opt exec.Options) (*exec.Program, error) {
-	key := progcache.Key(b.Name(), f, progcache.Fingerprint(opt))
-	return cache.GetOrCompileTraced(key, opt.Request, func() (*exec.Program, error) {
+	fp := progcache.Fingerprint(opt)
+	key := progcache.Key(b.Name(), f, fp)
+	return cache.GetOrCompileTiered(key, f, fp, opt.Request, func() (*exec.Program, error) {
 		return buildProgramUncached(b, f, opt)
 	})
+}
+
+// SetCacheDir attaches a disk-backed second tier at dir to the
+// process-wide program cache: in-memory misses load serialized
+// programs from dir before compiling, and fresh compiles are written
+// back. The cmd tools call this from their -progcache-dir flag. An
+// empty dir is a no-op; call at most once, at startup.
+func SetCacheDir(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	store, err := progcache.NewDiskStore(dir)
+	if err != nil {
+		return err
+	}
+	cache.SetTier2(store)
+	return nil
 }
 
 // buildProgramUncached is the cache-miss path: the builder's own

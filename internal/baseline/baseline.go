@@ -33,6 +33,7 @@ import (
 	"torusx/internal/block"
 	"torusx/internal/costmodel"
 	"torusx/internal/exec"
+	"torusx/internal/par"
 	"torusx/internal/schedule"
 	"torusx/internal/topology"
 )
@@ -44,10 +45,11 @@ type Result struct {
 	Measure costmodel.Measure
 }
 
-// directRoute returns the dimension-ordered minimal route from a to b
-// as schedule segments (one per dimension with a non-zero offset).
-func directRoute(t *topology.Torus, a, b topology.Coord) []schedule.Seg {
-	var segs []schedule.Seg
+// appendDirectRoute appends the dimension-ordered minimal route from a
+// to b to segs as schedule segments (one per dimension with a non-zero
+// offset). Callers that hand in stack-backed scratch get route
+// computation without allocation.
+func appendDirectRoute(segs []schedule.Seg, t *topology.Torus, a, b topology.Coord) []schedule.Seg {
 	for dim := 0; dim < t.NDims(); dim++ {
 		fwd := t.Wrap(dim, b[dim]-a[dim])
 		if fwd == 0 {
@@ -78,26 +80,40 @@ func DirectSchedule(t *topology.Torus) *schedule.Schedule {
 	}
 	sc := &schedule.Schedule{Fabric: t}
 	ph := schedule.Phase{Name: "direct"}
-	for k := 1; k < n; k++ {
-		step := schedule.Step{Shared: true}
-		for i := 0; i < n; i++ {
-			j := (i + k) % n
-			segs := directRoute(t, coords[i], coords[j])
-			if len(segs) == 0 {
-				continue // degenerate single-node torus
+	if n > 1 {
+		// Every step k is a full cyclic-shift permutation (k != 0, so no
+		// route is ever empty), so sizes are known up front: the steps,
+		// the (n−1)·n transfers and their one-block payloads come from
+		// three preallocated backings instead of per-transfer
+		// allocations, and the independent steps fan out over the worker
+		// pool.
+		ph.Steps = make([]schedule.Step, n-1)
+		transfers := make([]schedule.Transfer, (n-1)*n)
+		payload := make([]block.Block, (n-1)*n)
+		steps := ph.Steps
+		par.ForEach(0, n-1, func(lo, hi int) {
+			var buf [16]schedule.Seg // route scratch; deeper tori fall back to append
+			var multi []schedule.Seg // chunk-local backing for multi-leg routes
+			for k := lo + 1; k <= hi; k++ {
+				base := (k - 1) * n
+				for i := 0; i < n; i++ {
+					j := (i + k) % n
+					segs := appendDirectRoute(buf[:0], t, coords[i], coords[j])
+					pay := payload[base+i : base+i+1 : base+i+1]
+					pay[0] = block.Block{Origin: topology.NodeID(i), Dest: topology.NodeID(j)}
+					tr := &transfers[base+i]
+					tr.Src, tr.Dst = topology.NodeID(i), topology.NodeID(j)
+					tr.Dim, tr.Dir, tr.Hops = segs[0].Dim, segs[0].Dir, segs[0].Hops
+					tr.Blocks, tr.Payload = 1, pay
+					if len(segs) > 1 {
+						off := len(multi)
+						multi = append(multi, segs...)
+						tr.Segs = multi[off : off+len(segs) : off+len(segs)]
+					}
+				}
+				steps[k-1] = schedule.Step{Transfers: transfers[base : base+n : base+n], Shared: true}
 			}
-			tr := schedule.Transfer{
-				Src: topology.NodeID(i), Dst: topology.NodeID(j),
-				Dim: segs[0].Dim, Dir: segs[0].Dir, Hops: segs[0].Hops,
-				Blocks:  1,
-				Payload: []block.Block{{Origin: topology.NodeID(i), Dest: topology.NodeID(j)}},
-			}
-			if len(segs) > 1 {
-				tr.Segs = segs
-			}
-			step.Transfers = append(step.Transfers, tr)
-		}
-		ph.Steps = append(ph.Steps, step)
+		})
 	}
 	sc.Phases = append(sc.Phases, ph)
 	return sc

@@ -74,6 +74,18 @@ type Entry struct {
 	// pre-cache ledgers.
 	CompileNs     float64 `json:"compile_ns,omitempty"`
 	CompileAllocs int64   `json:"compile_allocs,omitempty"`
+	// CompileParallelNs times exec.Compile alone on a prebuilt schedule
+	// — the lowering the compiler fans out over the worker pool, with
+	// the schedule build excluded — the figure the cold-start gate
+	// bounds. Zero in uncompiled sweeps, in pre-serialization ledgers,
+	// and for builders that emit programs directly.
+	CompileParallelNs float64 `json:"compile_parallel_ns,omitempty"`
+	// Tier2LoadNs times loading the cell's program from a warm
+	// disk-cache tier (file read + versioned decode), the cost a cold
+	// process pays instead of CompileNs when a previous process already
+	// compiled the shape. Zero when the sweep did not measure the disk
+	// tier.
+	Tier2LoadNs float64 `json:"tier2_load_ns,omitempty"`
 
 	// Deterministic fields: the executor's Measure, identical on every
 	// machine, compared field-for-field in golden tests.
@@ -147,6 +159,12 @@ func (f *File) Validate() error {
 		}
 		if e.CompileNs < 0 || e.CompileAllocs < 0 {
 			return fmt.Errorf("benchfmt: entry %d (%s) negative compile stats", i, e.Key())
+		}
+		if e.CompileParallelNs < 0 || e.Tier2LoadNs < 0 {
+			// No cross-field bound against CompileNs: on a warm process
+			// cache compile_ns measures a cache hit (microseconds) while
+			// compile_parallel_ns always measures a genuine compile.
+			return fmt.Errorf("benchfmt: entry %d (%s) negative cold-start stats", i, e.Key())
 		}
 		if e.Steps < 1 {
 			return fmt.Errorf("benchfmt: entry %d (%s) steps %d < 1", i, e.Key(), e.Steps)

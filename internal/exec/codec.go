@@ -1,0 +1,638 @@
+package exec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"unsafe"
+
+	"torusx/internal/topology"
+)
+
+// Versioned binary codec for compiled programs — the serialization
+// layer under the disk-backed program-cache tier. A program file is
+// split along the executor's own hot/cold boundary:
+//
+//   - The hot sections hold exactly what a replay touches — the
+//     lowered step and transfer tables, the extraction spans, the
+//     per-node delivery and capacity bounds, and the traffic ids —
+//     as flat little-endian arrays laid out field-for-field like the
+//     in-memory form, so decoding on a little-endian host is a
+//     handful of bounds-checked slice views over the file buffer
+//     (zero copies; big-endian hosts take an element-wise fallback).
+//     A decoded program replays through both executor paths without
+//     ever rebuilding the schedule it was compiled from.
+//   - The cold section holds what only telemetry, re-encoding and
+//     Program.Schedule need — phase names, declared block counts,
+//     route legs and the payload ids — and is not parsed at decode
+//     time at all: Schedule() materializes it on first use (see
+//     materialize.go), which also rebuilds the link table by
+//     re-walking the routes on the fabric.
+//
+// The header carries the fabric fingerprint and the compile-options
+// fingerprint (progcache.Fingerprint: SkipChecks + the traffic
+// matrix), and the file ends in a CRC32 of everything before it.
+// DecodeProgram rejects short, truncated, corrupted, version- or
+// fingerprint-mismatched input with descriptive errors and validates
+// every index a replay would follow, so a file that decodes cannot
+// make the executor read out of bounds.
+//
+// Format v1, all integers little-endian, sections 4-byte aligned:
+//
+//	magic "TXPG" | u16 version | u8 flags | u8 reserved | u64 optFP
+//	u32 len + fabric fingerprint string, padded to 4
+//	u32 x9: n, numSteps, numTransfers, numSpans, numPhases,
+//	        maxStepPayload, maxSharing, numDomains, numTraffic
+//	u64 x4: measure steps, blocks, hops, rearranged
+//	u32 coldLen
+//	steps     numSteps x 5 u32 (phaseIndex stepIndex sharing maxBlocks maxHops)
+//	stepT     (numSteps+1) x u32 (per-step transfer offsets)
+//	transfers numTransfers x 9 i32 (src dst payOff payLen linkOff
+//	          linkLen spanOff spanLen moveOff)
+//	spans     numSpans x 2 i32 (start end)
+//	perDest   n x i32            | only when flagReplay
+//	capacity  n x i32            | only when flagReplay
+//	traffic   numTraffic x i32   | only when flagReplay and not flagFullTraffic
+//	parallelErr u32 len + bytes, padded   | only when flagParallelErr
+//	cold section (coldLen bytes):
+//	  u32 numPayload + payload ids (numPayload x i32)
+//	  blocks    numTransfers x u32 (declared Blocks per transfer)
+//	  shared    ceil(numSteps/8) bytes bitmap, padded to 4
+//	  phases    numPhases x (u32 len + name padded, u32 steps, u32 rearrange)
+//	  segs      per transfer: u8 count + count x (u8 dim, u8 dir, u16 hops),
+//	            stream padded to 4
+//	u32 CRC32 (IEEE) over all preceding bytes
+
+// CodecVersion is the program file format version this build reads
+// and writes. Decoding rejects any other version.
+const CodecVersion = 1
+
+const codecMagic = "TXPG"
+
+const (
+	flagReplay      = 1 << 0
+	flagSpansDense  = 1 << 1
+	flagFullTraffic = 1 << 2
+	flagParallelErr = 1 << 3
+	flagKnown       = flagReplay | flagSpansDense | flagFullTraffic | flagParallelErr
+)
+
+// maxDecodeBlocks bounds the dense block-id space (n*n) a decoder will
+// reconstruct, so a corrupt or hostile header cannot demand an
+// absurd allocation before any real content is validated. 2^26 ids
+// (a 8192-node fabric) is far beyond any shape this repository runs.
+const maxDecodeBlocks = 1 << 26
+
+var (
+	errTruncated = errors.New("exec: program file truncated")
+)
+
+// hostLittle reports the host byte order; the zero-copy decode views
+// require little-endian (the file format's order).
+var hostLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// ptLayoutMatches reports that the in-memory ptransfer layout equals
+// the file's 36-byte transfer record, making bulk unsafe views exact.
+// It holds on every supported Go platform (nine consecutive int32s);
+// if a future field breaks it, both codec paths fall back to the
+// element-wise loops and the format stays unchanged.
+var ptLayoutMatches = unsafe.Sizeof(ptransfer{}) == 36 &&
+	unsafe.Offsetof(ptransfer{}.src) == 0 &&
+	unsafe.Offsetof(ptransfer{}.dst) == 4 &&
+	unsafe.Offsetof(ptransfer{}.payOff) == 8 &&
+	unsafe.Offsetof(ptransfer{}.payLen) == 12 &&
+	unsafe.Offsetof(ptransfer{}.linkOff) == 16 &&
+	unsafe.Offsetof(ptransfer{}.linkLen) == 20 &&
+	unsafe.Offsetof(ptransfer{}.spanOff) == 24 &&
+	unsafe.Offsetof(ptransfer{}.spanLen) == 28 &&
+	unsafe.Offsetof(ptransfer{}.moveOff) == 32
+
+var spanLayoutMatches = unsafe.Sizeof(idxSpan{}) == 8 &&
+	unsafe.Offsetof(idxSpan{}.start) == 0 &&
+	unsafe.Offsetof(idxSpan{}.end) == 4
+
+func aligned4(b []byte) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))&3 == 0
+}
+
+// asInt32s views b (length a multiple of 4) as little-endian int32s —
+// zero-copy on aligned little-endian hosts, copied otherwise.
+func asInt32s(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittle && aligned4(b) {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// ---- Encoding.
+
+// appendI32s appends vals little-endian — one bulk copy on
+// little-endian hosts.
+func appendI32s(b []byte, vals []int32) []byte {
+	if len(vals) == 0 {
+		return b
+	}
+	if hostLittle {
+		return append(b, unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), len(vals)*4)...)
+	}
+	for _, v := range vals {
+		b = binary.LittleEndian.AppendUint32(b, uint32(v))
+	}
+	return b
+}
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func pad4(b []byte) []byte {
+	for len(b)&3 != 0 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// EncodeProgram serializes p to the versioned binary program format.
+// optFP is the compile-options fingerprint the program was compiled
+// under (progcache.Fingerprint); it is embedded in the header and
+// re-checked by DecodeProgram, so a cached file can never be replayed
+// against options it was not compiled for. Encoding a decoded program
+// first materializes its schedule (the cold section is rebuilt from
+// it), so encode→decode→encode is byte-identical.
+func EncodeProgram(p *Program, optFP uint64) ([]byte, error) {
+	if p == nil {
+		return nil, fmt.Errorf("exec: encode nil program")
+	}
+	sc := p.Schedule()
+	if sc == nil {
+		if p.schedErr != nil {
+			return nil, fmt.Errorf("exec: encode: %w", p.schedErr)
+		}
+		return nil, fmt.Errorf("exec: encode: program has no schedule")
+	}
+	if p.fab == nil {
+		return nil, fmt.Errorf("exec: encode: program has no fabric")
+	}
+	n := p.n
+	numSteps := len(p.steps)
+	numTransfers := 0
+	for si := range p.steps {
+		numTransfers += len(p.steps[si].transfers)
+	}
+	var flags byte
+	if p.replay {
+		flags |= flagReplay
+	}
+	if p.spansDense {
+		flags |= flagSpansDense
+	}
+	if p.fullTraffic {
+		flags |= flagFullTraffic
+	}
+	if p.parallelErr != nil {
+		flags |= flagParallelErr
+	}
+	numTraffic := 0
+	if p.replay && !p.fullTraffic {
+		numTraffic = len(p.trafficIDs)
+	}
+
+	// Cold section first, so its length is at hand for the header.
+	cold := appendU32(nil, uint32(len(p.payloadBacking)))
+	cold = appendI32s(cold, p.payloadBacking)
+	shared := make([]byte, (numSteps+7)/8)
+	for si := range p.steps {
+		ps := &p.steps[si]
+		for ti := range ps.transfers {
+			tr := &ps.step.Transfers[ti]
+			if tr.Blocks < 0 || int64(tr.Blocks) > math.MaxUint32 {
+				return nil, fmt.Errorf("exec: encode: transfer block count %d out of range", tr.Blocks)
+			}
+			cold = appendU32(cold, uint32(tr.Blocks))
+		}
+		if ps.step.Shared {
+			shared[si>>3] |= 1 << uint(si&7)
+		}
+	}
+	cold = append(cold, shared...)
+	cold = pad4(cold)
+	for pi := range sc.Phases {
+		ph := &sc.Phases[pi]
+		if ph.Rearrange < 0 || int64(ph.Rearrange) > math.MaxUint32 {
+			return nil, fmt.Errorf("exec: encode: phase %q rearrange %d out of range", ph.Name, ph.Rearrange)
+		}
+		cold = appendU32(cold, uint32(len(ph.Name)))
+		cold = append(cold, ph.Name...)
+		cold = pad4(cold)
+		cold = appendU32(cold, uint32(len(ph.Steps)))
+		cold = appendU32(cold, uint32(ph.Rearrange))
+	}
+	for si := range p.steps {
+		for ti := range p.steps[si].transfers {
+			tr := &p.steps[si].step.Transfers[ti]
+			segs := tr.Segments()
+			if len(segs) > math.MaxUint8 {
+				return nil, fmt.Errorf("exec: encode: transfer %v has %d route legs (max %d)", tr, len(segs), math.MaxUint8)
+			}
+			cold = append(cold, byte(len(segs)))
+			for _, sg := range segs {
+				if sg.Dim < 0 || sg.Dim > math.MaxUint8 || sg.Hops < 0 || sg.Hops > math.MaxUint16 {
+					return nil, fmt.Errorf("exec: encode: route leg %+v exceeds codec limits", sg)
+				}
+				dir := byte(0)
+				if sg.Dir == topology.Neg {
+					dir = 1
+				}
+				cold = append(cold, byte(sg.Dim), dir)
+				cold = binary.LittleEndian.AppendUint16(cold, uint16(sg.Hops))
+			}
+		}
+	}
+	cold = pad4(cold)
+
+	fp := p.fab.Fingerprint()
+	b := make([]byte, 0, 256+len(cold)+numSteps*24+numTransfers*40+len(p.spanBacking)*8+3*n*4)
+	b = append(b, codecMagic...)
+	b = binary.LittleEndian.AppendUint16(b, CodecVersion)
+	b = append(b, flags, 0)
+	b = appendU64(b, optFP)
+	b = appendU32(b, uint32(len(fp)))
+	b = append(b, fp...)
+	b = pad4(b)
+	for _, v := range []int{n, numSteps, numTransfers, len(p.spanBacking),
+		len(sc.Phases), p.maxStepPayload, p.maxSharing, p.numDomains, numTraffic} {
+		if v < 0 || int64(v) > math.MaxUint32 {
+			return nil, fmt.Errorf("exec: encode: scalar %d out of range", v)
+		}
+		b = appendU32(b, uint32(v))
+	}
+	b = appendU64(b, uint64(p.measure.Steps))
+	b = appendU64(b, uint64(p.measure.Blocks))
+	b = appendU64(b, uint64(p.measure.Hops))
+	b = appendU64(b, uint64(p.measure.RearrangedBlocks))
+	b = appendU32(b, uint32(len(cold)))
+
+	for si := range p.steps {
+		ps := &p.steps[si]
+		b = appendU32(b, uint32(ps.phaseIndex))
+		b = appendU32(b, uint32(ps.stepIndex))
+		b = appendU32(b, uint32(ps.sharing))
+		b = appendU32(b, uint32(ps.maxBlocks))
+		b = appendU32(b, uint32(ps.maxHops))
+	}
+	off := 0
+	for si := range p.steps {
+		b = appendU32(b, uint32(off))
+		off += len(p.steps[si].transfers)
+	}
+	b = appendU32(b, uint32(off))
+	if hostLittle && ptLayoutMatches {
+		for si := range p.steps {
+			ts := p.steps[si].transfers
+			if len(ts) > 0 {
+				b = append(b, unsafe.Slice((*byte)(unsafe.Pointer(&ts[0])), len(ts)*36)...)
+			}
+		}
+	} else {
+		for si := range p.steps {
+			for ti := range p.steps[si].transfers {
+				pt := &p.steps[si].transfers[ti]
+				for _, v := range [9]int32{pt.src, pt.dst, pt.payOff, pt.payLen,
+					pt.linkOff, pt.linkLen, pt.spanOff, pt.spanLen, pt.moveOff} {
+					b = appendU32(b, uint32(v))
+				}
+			}
+		}
+	}
+	if hostLittle && spanLayoutMatches && len(p.spanBacking) > 0 {
+		b = append(b, unsafe.Slice((*byte)(unsafe.Pointer(&p.spanBacking[0])), len(p.spanBacking)*8)...)
+	} else {
+		for _, sp := range p.spanBacking {
+			b = appendU32(b, uint32(sp.start))
+			b = appendU32(b, uint32(sp.end))
+		}
+	}
+	if p.replay {
+		b = appendI32s(b, p.perDest)
+		b = appendI32s(b, p.capacity)
+		if !p.fullTraffic {
+			b = appendI32s(b, p.trafficIDs)
+		}
+	}
+	if p.parallelErr != nil {
+		msg := p.parallelErr.Error()
+		b = appendU32(b, uint32(len(msg)))
+		b = append(b, msg...)
+		b = pad4(b)
+	}
+	b = append(b, cold...)
+	b = appendU32(b, crc32.ChecksumIEEE(b))
+	return b, nil
+}
+
+// ---- Decoding.
+
+// creader is a bounds-checked cursor over the file buffer: every read
+// that would pass the end sets err and returns zeros, so a truncated
+// or corrupt file produces one descriptive error and no panics.
+type creader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *creader) fail() {
+	if r.err == nil {
+		r.err = errTruncated
+	}
+}
+
+func (r *creader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.b)-r.off {
+		r.fail()
+		return nil
+	}
+	b := r.b[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *creader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *creader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *creader) pad4() {
+	if pad := -r.off & 3; pad != 0 {
+		r.take(pad)
+	}
+}
+
+// count reads a u32 element count and verifies the section it sizes
+// (count*elem bytes) fits in the remaining buffer before the caller
+// allocates anything proportional to it.
+func (r *creader) count(elem int) int {
+	c := int(r.u32())
+	if r.err == nil && (c < 0 || elem > 0 && c > (len(r.b)-r.off)/elem) {
+		r.fail()
+	}
+	if r.err != nil {
+		return 0
+	}
+	return c
+}
+
+// DecodeProgram reconstructs a compiled program from data (a buffer
+// produced by EncodeProgram). f must be the fabric the program was
+// compiled on and optFP the compile-options fingerprint used at
+// encode time; both are checked against the embedded header so a
+// stale or misfiled cache artifact is rejected, not replayed. The
+// decoded program replays through both executor paths immediately;
+// its schedule (needed only for telemetry and re-encoding)
+// materializes lazily on first Schedule() call.
+//
+// On little-endian hosts the transfer, span and id tables are views
+// over data — decode cost is the header walk, the CRC check and the
+// per-transfer index validation. The caller must not mutate data
+// afterwards.
+func DecodeProgram(data []byte, f topology.Fabric, optFP uint64) (*Program, error) {
+	if f == nil {
+		return nil, fmt.Errorf("exec: decode: nil fabric")
+	}
+	if len(data) < 24 || string(data[:4]) != codecMagic {
+		return nil, fmt.Errorf("exec: decode: not a program file (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != CodecVersion {
+		return nil, fmt.Errorf("exec: decode: program file version %d, this build reads %d", v, CodecVersion)
+	}
+	body, crcField := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != crcField {
+		return nil, fmt.Errorf("exec: decode: checksum mismatch (file %08x, computed %08x): file corrupted or truncated", crcField, got)
+	}
+	flags := data[6]
+	if flags&^byte(flagKnown) != 0 {
+		return nil, fmt.Errorf("exec: decode: unknown flags %#x", flags&^byte(flagKnown))
+	}
+	r := &creader{b: body, off: 8}
+	if gotFP := r.u64(); gotFP != optFP {
+		return nil, fmt.Errorf("exec: decode: options fingerprint %#x, want %#x: file was compiled under different options", gotFP, optFP)
+	}
+	fabFP := string(r.take(r.count(1)))
+	r.pad4()
+	if r.err == nil && fabFP != f.Fingerprint() {
+		return nil, fmt.Errorf("exec: decode: program compiled for fabric %q, decoding on %q", fabFP, f.Fingerprint())
+	}
+
+	n := int(r.u32())
+	numSteps := int(r.u32())
+	numTransfers := int(r.u32())
+	numSpans := int(r.u32())
+	numPhases := int(r.u32())
+	maxStepPayload := int(r.u32())
+	maxSharing := int(r.u32())
+	numDomains := int(r.u32())
+	numTraffic := int(r.u32())
+	mSteps, mBlocks := r.u64(), r.u64()
+	mHops, mRearr := r.u64(), r.u64()
+	coldLen := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n <= 0 || int64(n)*int64(n) > maxDecodeBlocks {
+		return nil, fmt.Errorf("exec: decode: implausible node count %d", n)
+	}
+	replay := flags&flagReplay != 0
+	fullTraffic := flags&flagFullTraffic != 0
+	if fullTraffic && !replay || numTraffic != 0 && (!replay || fullTraffic) {
+		return nil, fmt.Errorf("exec: decode: inconsistent traffic flags")
+	}
+
+	p := &Program{
+		fab: f, n: n, numBlocks: n * n,
+		replay:         replay,
+		spansDense:     flags&flagSpansDense != 0,
+		fullTraffic:    fullTraffic,
+		maxSharing:     maxSharing,
+		maxStepPayload: maxStepPayload,
+		numDomains:     numDomains,
+	}
+	p.measure.Steps = int(mSteps)
+	p.measure.Blocks = int(mBlocks)
+	p.measure.Hops = int(mHops)
+	p.measure.RearrangedBlocks = int(mRearr)
+
+	stepHdr := asInt32s(r.take(numSteps * 20))
+	stepT := asInt32s(r.take((numSteps + 1) * 4))
+	tBytes := r.take(numTransfers * 36)
+	spBytes := r.take(numSpans * 8)
+	var perDest, capacity, trafficIDs []int32
+	if replay {
+		perDest = asInt32s(r.take(n * 4))
+		capacity = asInt32s(r.take(n * 4))
+		if !fullTraffic {
+			trafficIDs = asInt32s(r.take(numTraffic * 4))
+		}
+	}
+	if flags&flagParallelErr != 0 {
+		msg := r.take(r.count(1))
+		r.pad4()
+		if r.err == nil {
+			p.parallelErr = errors.New(string(msg))
+		}
+	}
+	cold := r.take(coldLen)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("exec: decode: %d trailing bytes after cold section", len(body)-r.off)
+	}
+
+	// Transfer and span tables: bulk views when the in-memory layout
+	// is the file layout, element-wise otherwise.
+	var transfers []ptransfer
+	if hostLittle && ptLayoutMatches && aligned4(tBytes) {
+		if numTransfers > 0 {
+			transfers = unsafe.Slice((*ptransfer)(unsafe.Pointer(&tBytes[0])), numTransfers)
+		}
+	} else {
+		transfers = make([]ptransfer, numTransfers)
+		for i := range transfers {
+			rec := tBytes[i*36:]
+			pt := &transfers[i]
+			pt.src = int32(binary.LittleEndian.Uint32(rec[0:]))
+			pt.dst = int32(binary.LittleEndian.Uint32(rec[4:]))
+			pt.payOff = int32(binary.LittleEndian.Uint32(rec[8:]))
+			pt.payLen = int32(binary.LittleEndian.Uint32(rec[12:]))
+			pt.linkOff = int32(binary.LittleEndian.Uint32(rec[16:]))
+			pt.linkLen = int32(binary.LittleEndian.Uint32(rec[20:]))
+			pt.spanOff = int32(binary.LittleEndian.Uint32(rec[24:]))
+			pt.spanLen = int32(binary.LittleEndian.Uint32(rec[28:]))
+			pt.moveOff = int32(binary.LittleEndian.Uint32(rec[32:]))
+		}
+	}
+	if hostLittle && spanLayoutMatches && aligned4(spBytes) {
+		if numSpans > 0 {
+			p.spanBacking = unsafe.Slice((*idxSpan)(unsafe.Pointer(&spBytes[0])), numSpans)
+		}
+	} else {
+		p.spanBacking = make([]idxSpan, numSpans)
+		for i := range p.spanBacking {
+			p.spanBacking[i].start = int32(binary.LittleEndian.Uint32(spBytes[i*8:]))
+			p.spanBacking[i].end = int32(binary.LittleEndian.Uint32(spBytes[i*8+4:]))
+		}
+	}
+
+	// Step table: partition the transfer backing by the recorded
+	// offsets and validate every field the replay will index with.
+	p.steps = make([]pstep, numSteps)
+	for si := 0; si < numSteps; si++ {
+		h := stepHdr[si*5:]
+		lo, hi := stepT[si], stepT[si+1]
+		if lo < 0 || hi < lo || int(hi) > numTransfers {
+			return nil, fmt.Errorf("exec: decode: step %d transfer window [%d,%d) invalid", si, lo, hi)
+		}
+		if h[0] < 0 || int(h[0]) >= numPhases || h[1] < 0 || h[2] < 1 || h[3] < 0 || h[4] < 0 {
+			return nil, fmt.Errorf("exec: decode: step %d header invalid", si)
+		}
+		p.steps[si] = pstep{
+			phaseIndex: int(h[0]), stepIndex: int(h[1]),
+			sharing: int(h[2]), maxBlocks: int(h[3]), maxHops: int(h[4]),
+			transfers: transfers[lo:hi:hi],
+		}
+	}
+	if numSteps > 0 && int(stepT[numSteps]) != numTransfers || numSteps == 0 && numTransfers != 0 {
+		return nil, fmt.Errorf("exec: decode: transfer table does not cover all transfers")
+	}
+	numPayload := 0
+	for i := range transfers {
+		pt := &transfers[i]
+		if int(pt.src) >= n || pt.src < 0 || int(pt.dst) >= n || pt.dst < 0 {
+			return nil, fmt.Errorf("exec: decode: transfer %d endpoints %d->%d out of range", i, pt.src, pt.dst)
+		}
+		if pt.payLen < 0 || pt.payOff < 0 || pt.linkLen < 0 || pt.linkOff < 0 {
+			return nil, fmt.Errorf("exec: decode: transfer %d negative window", i)
+		}
+		if pt.payLen > 0 {
+			if !replay {
+				return nil, fmt.Errorf("exec: decode: transfer %d carries payload in a measure-only program", i)
+			}
+			if p.spansDense {
+				if int64(pt.payOff)+int64(pt.payLen) > int64(numSpans) {
+					return nil, fmt.Errorf("exec: decode: transfer %d span window out of range", i)
+				}
+			} else if pt.spanOff < 0 || pt.spanLen < 1 || int64(pt.spanOff)+int64(pt.spanLen) > int64(numSpans) {
+				// spanLen >= 1: extraction reads spans[0] unconditionally.
+				return nil, fmt.Errorf("exec: decode: transfer %d span window out of range", i)
+			}
+			if pt.moveOff < 0 || int64(pt.moveOff)+int64(pt.payLen) > int64(maxStepPayload) {
+				return nil, fmt.Errorf("exec: decode: transfer %d extraction window out of range", i)
+			}
+		}
+		// numPayload (for the materialize cross-checks) is the largest
+		// payload window end, tracked inline to avoid a second pass.
+		if end := int(pt.payOff) + int(pt.payLen); end > numPayload {
+			numPayload = end
+		}
+	}
+	maxCap := int32(0)
+	if replay {
+		for v := 0; v < n; v++ {
+			if perDest[v] < 0 || capacity[v] < 0 {
+				return nil, fmt.Errorf("exec: decode: node %d delivery/capacity bound negative", v)
+			}
+			if capacity[v] > maxCap {
+				maxCap = capacity[v]
+			}
+		}
+		for _, sp := range p.spanBacking {
+			if sp.start < 0 || sp.end < sp.start || sp.end > maxCap {
+				return nil, fmt.Errorf("exec: decode: span [%d,%d) outside any node buffer", sp.start, sp.end)
+			}
+		}
+		p.perDest = perDest
+		p.capacity = capacity
+		if fullTraffic {
+			ids := make([]int32, p.numBlocks)
+			for i := range ids {
+				ids[i] = int32(i)
+			}
+			p.trafficIDs = ids
+		} else {
+			for _, id := range trafficIDs {
+				if id < 0 || int(id) >= p.numBlocks {
+					return nil, fmt.Errorf("exec: decode: traffic id %d out of range", id)
+				}
+			}
+			p.trafficIDs = trafficIDs
+		}
+	}
+	p.cold = cold
+	p.coldPhases = numPhases
+	p.coldPayload = numPayload
+	return p, nil
+}

@@ -1,0 +1,66 @@
+package exec_test
+
+import (
+	"testing"
+
+	"torusx/internal/baseline"
+	"torusx/internal/exec"
+	"torusx/internal/topology"
+)
+
+// The cold-start trio on the gate shape: what a cold process pays to
+// compile the 16x16 direct exchange from a prebuilt schedule, versus
+// what it pays to encode or decode the same program through the
+// versioned codec. The ledger's compile_parallel_ns and tier2_load_ns
+// columns (and the CI cold-start gate) bound the first and the last.
+
+func cold16(b *testing.B) (*exec.Program, []byte) {
+	b.Helper()
+	tor := topology.MustNew(16, 16)
+	pg, err := exec.Compile(baseline.DirectSchedule(tor), exec.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := exec.EncodeProgram(pg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pg, enc
+}
+
+func BenchmarkColdCompile16(b *testing.B) {
+	tor := topology.MustNew(16, 16)
+	sc := baseline.DirectSchedule(tor)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Compile(sc, exec.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProgramEncode16(b *testing.B) {
+	pg, enc := cold16(b)
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.EncodeProgram(pg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProgramDecode16(b *testing.B) {
+	_, enc := cold16(b)
+	tor := topology.MustNew(16, 16)
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.DecodeProgram(enc, tor, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

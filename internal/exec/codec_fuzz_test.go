@@ -1,0 +1,78 @@
+package exec_test
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"torusx/internal/algorithm"
+	"torusx/internal/exec"
+	"torusx/internal/topology"
+)
+
+// FuzzProgramDecode hammers the binary decoder with mutated program
+// files. The contract under test: DecodeProgram never panics and never
+// returns a program whose replay-facing tables are out of bounds — it
+// either errors or yields a program whose lazy schedule
+// materialization also completes without panicking. The fuzzer decodes
+// each input twice: once verbatim (exercising the CRC/framing layer)
+// and once with the trailing checksum recomputed, so mutations reach
+// the structural validation behind the integrity gate instead of
+// dying at the checksum 1/2^32 of the time.
+func FuzzProgramDecode(f *testing.F) {
+	tor := topology.MustNew(4, 4)
+	seed := func(alg string, fab topology.Fabric) []byte {
+		b, err := algorithm.For(alg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		sc, err := b.BuildSchedule(fab)
+		if err != nil {
+			f.Fatal(err)
+		}
+		pg, err := exec.Compile(sc, exec.Options{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		enc, err := exec.EncodeProgram(pg, 0)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return enc
+	}
+	direct := seed("direct", tor)
+	f.Add(direct)
+	f.Add(seed("proposed-sim", tor))
+	f.Add(seed("factored", tor))
+	f.Add(direct[:len(direct)/2])
+	f.Add(direct[:16])
+	flipped := append([]byte(nil), direct...)
+	flipped[len(flipped)/3] ^= 0xff
+	f.Add(flipped)
+	f.Add([]byte("TXPG"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		check := func(b []byte) {
+			pg, err := exec.DecodeProgram(b, tor, 0)
+			if err != nil {
+				return
+			}
+			// A program the decoder accepted must materialize its schedule
+			// without panicking (errors are the cold section's job to
+			// report), and its accessors must be safe.
+			if sc := pg.Schedule(); sc == nil && pg.SchedErr() == nil {
+				t.Fatal("nil schedule with nil error")
+			}
+			_ = pg.Measure()
+			_ = pg.MaxSharing()
+			_ = pg.SizeBytes()
+		}
+		check(data)
+		if len(data) >= 8 {
+			sealed := append([]byte(nil), data...)
+			binary.LittleEndian.PutUint32(sealed[len(sealed)-4:], crc32.ChecksumIEEE(sealed[:len(sealed)-4]))
+			check(sealed)
+		}
+	})
+}

@@ -1,0 +1,578 @@
+package exec
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"torusx/internal/block"
+	"torusx/internal/par"
+	"torusx/internal/topology"
+)
+
+// Compile-time reference replay, split so span discovery fans out over
+// internal/par.
+//
+// The former implementation replayed the whole schedule serially,
+// scanning the full source buffer of every transfer to find its
+// payload's positions — O(sum over transfers of buffer length), the
+// dominant term of cold compile on large tori (a 16x16 direct compile
+// walks ~17M buffer slots). The split below keeps the serial semantics
+// bit-for-bit while making the expensive part per-node:
+//
+//   - Pass 1 (serial, cheap) walks transfers in schedule order doing
+//     everything order-sensitive: payload/Blocks coherence, dense-id
+//     conversion, the sender-holds chain via a holder table, and a
+//     per-node arrival stamp for every block. A buffer is always
+//     sorted by arrival stamp (kept elements keep their order, new
+//     arrivals get fresh larger stamps), so the stamp order *is* the
+//     buffer order: each transfer's extraction order — the order its
+//     blocks sit in the source buffer, which is also the order they
+//     arrive at the destination — is just its payload sorted by stamp,
+//     with no buffers materialized at all. The same walk emits each
+//     transfer's insert/extract events straight into per-node event
+//     runs (the per-node counts were taken during Compile's counting
+//     pass), so no second walk over the schedule is needed.
+//   - Pass 2 (parallel over nodes) simulates each node's buffer
+//     independently: with every transfer's arrival order fixed by pass
+//     1, a node's evolution depends only on its own insert/extract
+//     events in global order. Physical positions come from a live-slot
+//     bitset with a Fenwick tree over per-word popcounts, so one
+//     extracted block costs O(log(buffer/64)) plus a popcount instead
+//     of O(buffer); the ascending positions coalesce into the same
+//     [start,end) spans the serial scan produced, and the same pass
+//     yields capacity peaks, the intra-step forwarding verdict and
+//     delivery checks.
+//
+// Error parity: pass 1 reports coherence errors at exactly the point
+// the serial walk would (first transfer in schedule order, first block
+// in payload order); pass 2's delivery errors reduce to the lowest
+// node index and the forwarding verdict to the lowest global transfer
+// ordinal, both matching a serial left-to-right walk.
+
+// opRec is one insert/extract event in a node's pass-2 simulation: a
+// flat copy of the transfer fields the simulation reads, with the
+// global transfer ordinal and four event flags packed into gr (a
+// self-transfer extracts and inserts in one event; opNewStep marks the
+// node's first event of a new schedule step; opHasOrd marks the rare
+// stamp-resorted payloads, resolved through the ordOff side table).
+// The records live in per-node runs of one backing array, so each
+// node's event replay is a sequential scan.
+type opRec struct {
+	gr             int32 // ordinal<<4 | flags
+	payOff, payLen int32
+}
+
+const (
+	opExtract = int32(1) << iota
+	opInsert
+	opNewStep
+	opHasOrd
+	opFlagBits = 4
+)
+
+// compileScratch pools compileReplay's large transient tables across
+// compiles. None of the slices carry any cross-use invariant: every
+// region a compile reads is fully written by that same compile first
+// (hs is refilled, the event backing is written densely, the span
+// backing is sentinel-terminated per transfer, initIDs and ordOff are
+// fully overwritten before use), so reuse needs no zeroing.
+type compileScratch struct {
+	hs        []uint64
+	opBacking []opRec
+	spanWC    []idxSpan
+	ordOff    []int32
+	initIDs   []int32
+}
+
+var compileScratchPool = sync.Pool{New: func() any { return new(compileScratch) }}
+
+// idSlotPool pools the per-worker block-id -> slot tables of pass 2.
+// Pooled tables hold the all-(-1) invariant: every worker resets the
+// slots it touched before releasing its table.
+var idSlotPool sync.Pool
+
+func acquireIDSlot(numBlocks int) []int32 {
+	if v, ok := idSlotPool.Get().([]int32); ok && cap(v) >= numBlocks {
+		return v[:numBlocks]
+	}
+	s := make([]int32, numBlocks)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
+// compileReplay resolves the traffic matrix to dense ids, validates the
+// full replay chain once with the serial reference semantics (each
+// transfer's extraction interleaved with the previous transfer's
+// insertion), records each transfer's extraction spans and each node's
+// peak buffer occupancy, and verifies final delivery. After this pass a
+// run is a pure, check-free id shuffle. opOff holds the per-node
+// prefix offsets of insert/extract event counts (from Compile's
+// counting pass); numT is the total transfer count.
+func (p *Program) compileReplay(opt Options, payloadBacking []int32, opOff []int32, numT int) error {
+	n := p.n
+	traffic := opt.Traffic
+	cs := compileScratchPool.Get().(*compileScratch)
+	defer compileScratchPool.Put(cs)
+
+	// ---- Pass 1: serial coherence walk in schedule order.
+	//
+	// hs packs each block's holder (high 32 bits: node, -1 absent, -2
+	// in flight) and arrival stamp (low 32) into one word, so the
+	// random-access walk below pays one cache miss per block where two
+	// parallel tables would pay two. A non-absent entry during traffic
+	// resolution doubles as the duplicate-block check.
+	const (
+		hsAbsent   = uint64(0xFFFFFFFF) << 32
+		hsInFlight = uint64(0xFFFFFFFE) << 32
+	)
+	if cap(cs.hs) < p.numBlocks {
+		cs.hs = make([]uint64, p.numBlocks)
+	}
+	hs := cs.hs[:p.numBlocks]
+	p.perDest = make([]int32, n)
+	arrivals := make([]int32, n) // per-node arrival counter == logical slot count
+	initOff := make([]int32, n+1)
+	var initIDs []int32 // per-node initial contents in matrix order
+	if opt.Traffic == nil {
+		// Full all-to-all: the matrix is every dense id in order, so
+		// the resolution tables are pure arithmetic — no Block walk, no
+		// duplicate or range checks, and the holder table fills with
+		// streaming writes (every id is present, so no absent-fill).
+		p.fullTraffic = true
+		ids := make([]int32, p.numBlocks)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		p.trafficIDs = ids
+		initIDs = ids
+		for v := 0; v < n; v++ {
+			p.perDest[v] = int32(n)
+			arrivals[v] = int32(n)
+			initOff[v+1] = int32((v + 1) * n)
+			base, hv := v*n, uint64(uint32(v))<<32
+			for j := 0; j < n; j++ {
+				hs[base+j] = hv | uint64(uint32(j))
+			}
+		}
+	} else {
+		for i := range hs {
+			hs[i] = hsAbsent
+		}
+		p.trafficIDs = make([]int32, 0, len(traffic))
+		for _, b := range traffic {
+			if int(b.Origin) < 0 || int(b.Origin) >= n || int(b.Dest) < 0 || int(b.Dest) >= n {
+				return fmt.Errorf("exec: traffic block %v out of range", b)
+			}
+			id := int32(int(b.Origin)*n + int(b.Dest))
+			if hs[id] != hsAbsent {
+				return fmt.Errorf("exec: duplicate traffic block %v", b)
+			}
+			o := int(b.Origin)
+			hs[id] = uint64(uint32(o))<<32 | uint64(uint32(arrivals[o]))
+			arrivals[o]++
+			p.trafficIDs = append(p.trafficIDs, id)
+			p.perDest[b.Dest]++
+		}
+		// Per-node initial contents in matrix order, flat with prefix
+		// offsets (arrivals still holds exactly the initial per-node
+		// counts here).
+		for v := 0; v < n; v++ {
+			initOff[v+1] = initOff[v] + arrivals[v]
+		}
+		if cap(cs.initIDs) < len(p.trafficIDs) {
+			cs.initIDs = make([]int32, len(p.trafficIDs))
+		}
+		initIDs = cs.initIDs[:len(p.trafficIDs)]
+		curInit := make([]int32, n)
+		copy(curInit, initOff[:n])
+		for _, id := range p.trafficIDs {
+			o := int(id) / n
+			initIDs[curInit[o]] = id
+			curInit[o]++
+		}
+	}
+
+	if cap(cs.ordOff) < numT {
+		cs.ordOff = make([]int32, numT)
+	}
+	ordOff := cs.ordOff[:numT] // ordinal -> ordSpill offset, read only under opHasOrd
+	var ordSpill []int32       // stamp-sorted payload copies for the rare unsorted transfers
+	if cap(cs.opBacking) < int(opOff[n]) {
+		cs.opBacking = make([]opRec, opOff[n])
+	}
+	opBacking := cs.opBacking[:opOff[n]]
+	curOp := make([]int32, n)
+	copy(curOp, opOff[:n])
+	nodeStep := make([]int32, n) // last step ordinal seen per node, +1 (0 = none)
+
+	g := 0
+	for si := range p.steps {
+		ps := &p.steps[si]
+		for ti := range ps.transfers {
+			pt := &ps.transfers[ti]
+			if pt.payLen == 0 {
+				g++
+				continue
+			}
+			pay := payloadBacking[pt.payOff : pt.payOff+pt.payLen]
+			src, dst := int(pt.src), int(pt.dst)
+			flags := opExtract
+			if len(pay) == 1 {
+				// Single-block transfer (the whole of a direct exchange):
+				// trivially in buffer order, no intra-payload duplicate
+				// possible, one holder-table touch.
+				id := pay[0]
+				if int32(hs[id]>>32) != int32(src) {
+					return fmt.Errorf("exec: phase %q step %d: node %d transmits %v it does not hold",
+						ps.phase.Name, ps.stepIndex, src, block.Block{Origin: topology.NodeID(int(id) / n), Dest: topology.NodeID(int(id) % n)})
+				}
+				hs[id] = uint64(uint32(dst))<<32 | uint64(uint32(arrivals[dst]))
+				arrivals[dst]++
+			} else {
+				// One walk checks the sender-holds chain, marks the blocks in
+				// flight, and detects out-of-buffer-order payloads (the
+				// extraction order is the payload sorted by arrival stamp at
+				// src; most emitters list payloads in buffer order already,
+				// so the sorted copy is the exception).
+				inOrder := true
+				prev := int32(-1)
+				for _, id := range pay {
+					h := hs[id]
+					if int32(h>>32) != int32(src) {
+						return fmt.Errorf("exec: phase %q step %d: node %d transmits %v it does not hold",
+							ps.phase.Name, ps.stepIndex, src, block.Block{Origin: topology.NodeID(int(id) / n), Dest: topology.NodeID(int(id) % n)})
+					}
+					if st := int32(uint32(h)); st < prev {
+						inOrder = false
+					} else {
+						prev = st
+					}
+					hs[id] = h&0xFFFFFFFF | hsInFlight
+				}
+				ord := pay
+				if !inOrder {
+					off := len(ordSpill)
+					ordSpill = append(ordSpill, pay...)
+					ord = ordSpill[off : off+len(pay)]
+					sort.Slice(ord, func(a, b int) bool { return uint32(hs[ord[a]]) < uint32(hs[ord[b]]) })
+					ordOff[g] = int32(off)
+					flags |= opHasOrd
+				}
+				for _, id := range ord {
+					hs[id] = uint64(uint32(dst))<<32 | uint64(uint32(arrivals[dst]))
+					arrivals[dst]++
+				}
+			}
+			// Emit the transfer's event records into the per-node runs,
+			// right here while its fields are at hand.
+			sv := int32(si) + 1
+			if nodeStep[src] != sv {
+				nodeStep[src] = sv
+				flags |= opNewStep
+			}
+			gr := int32(g) << opFlagBits
+			if dst == src {
+				opBacking[curOp[src]] = opRec{gr: gr | flags | opInsert, payOff: pt.payOff, payLen: pt.payLen}
+				curOp[src]++
+				g++
+				continue
+			}
+			opBacking[curOp[src]] = opRec{gr: gr | flags, payOff: pt.payOff, payLen: pt.payLen}
+			curOp[src]++
+			flags = opInsert | flags&opHasOrd
+			if nodeStep[dst] != sv {
+				nodeStep[dst] = sv
+				flags |= opNewStep
+			}
+			opBacking[curOp[dst]] = opRec{gr: gr | flags, payOff: pt.payOff, payLen: pt.payLen}
+			curOp[dst]++
+			g++
+		}
+	}
+
+	p.payloadBacking = payloadBacking
+
+	// ---- Pass 2: independent per-node simulations.
+	p.capacity = make([]int32, n)
+	// Workers write each transfer's spans into a worst-case shared
+	// backing at the transfer's payload-prefix offset — a transfer never
+	// has more spans than payload blocks and payload offsets are
+	// disjoint, so span discovery needs no shared cursor. When a
+	// transfer coalesces (fewer spans than blocks), a negative-start
+	// sentinel terminates its run, so the compaction pass below needs no
+	// per-transfer length written back anywhere. The backing then
+	// compacts serially into the program's exact-size form.
+	if cap(cs.spanWC) < len(payloadBacking) {
+		cs.spanWC = make([]idxSpan, len(payloadBacking))
+	}
+	spanWC := cs.spanWC[:len(payloadBacking)]
+	// fwd holds the lowest-ordinal intra-step forward as g<<32|id, -1
+	// when none; workers fold their local minimum in with a CAS loop.
+	// spanTotal accumulates the exact span count across workers so the
+	// compaction pass sizes the program backing without a counting scan.
+	var fwd atomic.Int64
+	fwd.Store(-1)
+	var spanTotal atomic.Int64
+	var derr par.FirstError
+	par.ForEach(0, n, func(lo, hi int) {
+		idSlot := acquireIDSlot(p.numBlocks) // block id -> logical slot at the node in progress
+		maxS := 0
+		for v := lo; v < hi; v++ {
+			if s := int(arrivals[v]); s > maxS {
+				maxS = s
+			}
+		}
+		// Live-slot tracking: one bit per logical slot, with a Fenwick
+		// tree over per-word popcounts. A position query is a word-level
+		// prefix sum plus one in-word popcount; insert/extract toggle a
+		// bit and update O(log words) counters.
+		nwMax := (maxS + 63) >> 6
+		words := make([]uint64, nwMax)
+		wfen := make([]int32, nwMax+1)
+		slotIDs := make([]int32, maxS)  // logical slot -> block id
+		physBuf := make([]int32, 0, 64) // extraction positions, ascending
+		localFwd := int64(-1)
+		localSpans := int64(0)
+		for v := lo; v < hi; v++ {
+			S := int(arrivals[v])
+			nw := (S + 63) >> 6
+			nextSlot, live := 0, 0
+			for _, id := range initIDs[initOff[v]:initOff[v+1]] {
+				idSlot[id] = int32(nextSlot)
+				slotIDs[nextSlot] = id
+				nextSlot++
+				live++
+			}
+			// The initial contents occupy slots [0, live) contiguously:
+			// the bitset is a ones-prefix and the word Fenwick tree has
+			// the closed form "live bits in the words index i covers" —
+			// no per-slot adds.
+			fullW := live >> 6
+			for i := 0; i < fullW; i++ {
+				words[i] = ^uint64(0)
+			}
+			if fullW < nw {
+				words[fullW] = 1<<uint(live&63) - 1
+				for i := fullW + 1; i < nw; i++ {
+					words[i] = 0
+				}
+			}
+			for i := 1; i <= nw; i++ {
+				hc := i << 6
+				if hc > live {
+					hc = live
+				}
+				lc := (i - i&(-i)) << 6
+				if lc > live {
+					lc = live
+				}
+				wfen[i] = int32(hc - lc)
+			}
+			capv := int32(live)
+			stepBase := 0
+			for oi := opOff[v]; oi < opOff[v+1]; oi++ {
+				op := &opBacking[oi]
+				gr := op.gr
+				if gr&opNewStep != 0 {
+					stepBase = live
+				}
+				if op.payLen == 1 {
+					// Single-block event: one span, no resort, no
+					// coalescing bookkeeping.
+					id := payloadBacking[op.payOff]
+					if gr&opExtract != 0 {
+						s := int(idSlot[id])
+						w := s >> 6
+						pos := fenPrefix(wfen, w) + int32(bits.OnesCount64(words[w]&(1<<uint(s&63)-1)))
+						spanWC[op.payOff] = idxSpan{start: pos, end: pos + 1}
+						localSpans++
+						if int(pos) >= stepBase && (localFwd < 0 || int64(gr>>opFlagBits) < localFwd>>32) {
+							localFwd = int64(gr>>opFlagBits)<<32 | int64(uint32(id))
+						}
+						words[w] &^= 1 << uint(s&63)
+						fenSub(wfen, w, nw)
+						idSlot[id] = -1
+						live--
+					}
+					if gr&opInsert != 0 {
+						idSlot[id] = int32(nextSlot)
+						slotIDs[nextSlot] = id
+						words[nextSlot>>6] |= 1 << uint(nextSlot&63)
+						fenAdd(wfen, nextSlot>>6, nw)
+						nextSlot++
+						live++
+						if int32(live) > capv {
+							capv = int32(live)
+						}
+					}
+					continue
+				}
+				ord := payloadBacking[op.payOff : op.payOff+op.payLen]
+				if gr&opHasOrd != 0 {
+					o := ordOff[gr>>opFlagBits]
+					ord = ordSpill[o : o+op.payLen]
+				}
+				if gr&opExtract != 0 {
+					// Positions are pre-extraction: compute them all
+					// before removing anything, exactly like the former
+					// single buffer scan.
+					physBuf = physBuf[:0]
+					for _, id := range ord {
+						s := int(idSlot[id])
+						w := s >> 6
+						pos := fenPrefix(wfen, w) + int32(bits.OnesCount64(words[w]&(1<<uint(s&63)-1)))
+						physBuf = append(physBuf, pos)
+					}
+					wc := spanWC[op.payOff:op.payOff]
+					lastEnd := int32(-1)
+					for i, ph := range physBuf {
+						if int(ph) >= stepBase && (localFwd < 0 || int64(gr>>opFlagBits) < localFwd>>32) {
+							localFwd = int64(gr>>opFlagBits)<<32 | int64(uint32(ord[i]))
+						}
+						if m := len(wc); m > 0 && ph == lastEnd {
+							wc[m-1].end++
+						} else {
+							wc = append(wc, idxSpan{start: ph, end: ph + 1})
+						}
+						lastEnd = ph + 1
+					}
+					if len(wc) < len(ord) {
+						spanWC[int(op.payOff)+len(wc)] = idxSpan{start: -1}
+					}
+					localSpans += int64(len(wc))
+					for _, id := range ord {
+						s := int(idSlot[id])
+						words[s>>6] &^= 1 << uint(s&63)
+						fenSub(wfen, s>>6, nw)
+						idSlot[id] = -1
+					}
+					live -= len(ord)
+				}
+				if gr&opInsert != 0 {
+					for _, id := range ord {
+						idSlot[id] = int32(nextSlot)
+						slotIDs[nextSlot] = id
+						words[nextSlot>>6] |= 1 << uint(nextSlot&63)
+						fenAdd(wfen, nextSlot>>6, nw)
+						nextSlot++
+					}
+					live += len(ord)
+					if int32(live) > capv {
+						capv = int32(live)
+					}
+				}
+			}
+			p.capacity[v] = capv
+			// Delivery: the node must hold exactly its share of the
+			// matrix, every block addressed to it.
+			if live != int(p.perDest[v]) {
+				derr.Report(v, fmt.Errorf("exec: node %d holds %d blocks after replay, want %d", v, live, p.perDest[v]))
+			} else {
+				for s := 0; s < nextSlot; s++ {
+					id := slotIDs[s]
+					if idSlot[id] == int32(s) && int(id)%n != v {
+						derr.Report(v, fmt.Errorf("exec: node %d holds misdelivered block %v", v,
+							block.Block{Origin: topology.NodeID(int(id) / n), Dest: topology.NodeID(int(id) % n)}))
+						break
+					}
+				}
+			}
+			for s := 0; s < nextSlot; s++ {
+				idSlot[slotIDs[s]] = -1
+			}
+		}
+		idSlotPool.Put(idSlot)
+		spanTotal.Add(localSpans)
+		if localFwd >= 0 {
+			for {
+				cur := fwd.Load()
+				if cur >= 0 && cur>>32 <= localFwd>>32 {
+					break
+				}
+				if fwd.CompareAndSwap(cur, localFwd) {
+					break
+				}
+			}
+		}
+	})
+	if err := derr.Err(); err != nil {
+		return err
+	}
+	// Span backing. When no transfer coalesced (exactly one span per
+	// payload block — the whole of a direct exchange), the worst-case
+	// backing already *is* the exact program backing with every window
+	// at its payload offset: steal it from the scratch (the pool
+	// refills on the next compile) and skip the rebase walk entirely.
+	// Otherwise compact into the exact-size form, rebasing every
+	// transfer's span window in global order; a transfer's span count
+	// is its sentinel-terminated run length in the worst-case backing.
+	if spanTotal.Load() == int64(len(payloadBacking)) {
+		p.spanBacking = spanWC
+		p.spansDense = true
+		cs.spanWC = nil
+	} else {
+		countSpans := func(off, payLen int32) int32 {
+			region := spanWC[off : off+payLen]
+			for i := range region {
+				if region[i].start < 0 {
+					return int32(i)
+				}
+			}
+			return payLen
+		}
+		p.spanBacking = make([]idxSpan, 0, spanTotal.Load())
+		for si := range p.steps {
+			ts := p.steps[si].transfers
+			for ti := range ts {
+				pt := &ts[ti]
+				pt.spanOff = int32(len(p.spanBacking))
+				if pt.payLen == 0 {
+					continue
+				}
+				pt.spanLen = countSpans(pt.payOff, pt.payLen)
+				p.spanBacking = append(p.spanBacking, spanWC[pt.payOff:pt.payOff+pt.spanLen]...)
+			}
+		}
+	}
+	if c := fwd.Load(); c >= 0 {
+		gg, id := int(c>>32), int32(uint32(c))
+		si, base := 0, 0
+		for base+len(p.steps[si].transfers) <= gg {
+			base += len(p.steps[si].transfers)
+			si++
+		}
+		ps := &p.steps[si]
+		p.parallelErr = fmt.Errorf("exec: phase %q step %d: node %d forwards %v within the step that delivered it; the two-barrier parallel replay cannot execute this schedule (run with Options.Serial)",
+			ps.phase.Name, ps.stepIndex, int(ps.transfers[gg-base].src), block.Block{Origin: topology.NodeID(int(id) / n), Dest: topology.NodeID(int(id) % n)})
+	}
+	return nil
+}
+
+// Fenwick (binary indexed) tree over the live-bitset's words, one-based
+// internally; nw is the tree's logical size (word count).
+
+func fenAdd(fen []int32, w, nw int) {
+	for i := w + 1; i <= nw; i += i & (-i) {
+		fen[i]++
+	}
+}
+
+func fenSub(fen []int32, w, nw int) {
+	for i := w + 1; i <= nw; i += i & (-i) {
+		fen[i]--
+	}
+}
+
+// fenPrefix returns the number of live bits in words strictly before w.
+func fenPrefix(fen []int32, w int) int32 {
+	var s int32
+	for i := w; i > 0; i -= i & (-i) {
+		s += fen[i]
+	}
+	return s
+}

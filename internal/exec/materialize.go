@@ -1,0 +1,167 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"torusx/internal/block"
+	"torusx/internal/schedule"
+	"torusx/internal/topology"
+)
+
+// Lazy schedule materialization for decoded programs. A program
+// decoded from the binary codec replays without its source schedule;
+// only telemetry, re-encoding and explicit Schedule() calls need one.
+// materialize parses the file's cold section — phase names, declared
+// block counts, route legs and payload ids — rebuilds a semantically
+// identical schedule.Schedule, patches the lowered steps' schedule
+// pointers, and re-expands every route into the link table the
+// telemetry post-pass reads. It runs at most once per program (behind
+// Program.Schedule's sync.Once) and its cost is the cost of building
+// schedule structs, not of re-validating or re-replaying anything.
+func (p *Program) materialize() error {
+	r := &creader{b: p.cold}
+	numPayload := r.count(4)
+	if numPayload < p.coldPayload {
+		return fmt.Errorf("exec: cold section: %d payload ids, transfers reference %d", numPayload, p.coldPayload)
+	}
+	payload := asInt32s(r.take(numPayload * 4))
+	numTransfers := 0
+	for si := range p.steps {
+		numTransfers += len(p.steps[si].transfers)
+	}
+	blocks := asInt32s(r.take(numTransfers * 4))
+	sharedBits := r.take((len(p.steps) + 7) / 8)
+	r.pad4()
+	if r.err != nil {
+		return fmt.Errorf("exec: cold section truncated")
+	}
+	for _, id := range payload {
+		if id < 0 || int(id) >= p.numBlocks {
+			return fmt.Errorf("exec: cold section: payload id %d out of range", id)
+		}
+	}
+
+	sc := &schedule.Schedule{Fabric: p.fab, Phases: make([]schedule.Phase, p.coldPhases)}
+	stepCursor := 0
+	for pi := range sc.Phases {
+		name := string(r.take(r.count(1)))
+		r.pad4()
+		phSteps := int(r.u32())
+		rearr := int(r.u32())
+		if r.err != nil {
+			return fmt.Errorf("exec: cold section truncated in phase table")
+		}
+		if phSteps < 0 || stepCursor+phSteps > len(p.steps) {
+			return fmt.Errorf("exec: cold section: phase %q claims %d steps, %d remain", name, phSteps, len(p.steps)-stepCursor)
+		}
+		sc.Phases[pi] = schedule.Phase{Name: name, Steps: make([]schedule.Step, phSteps), Rearrange: rearr}
+		stepCursor += phSteps
+	}
+	if stepCursor != len(p.steps) {
+		return fmt.Errorf("exec: cold section: phases cover %d steps, program has %d", stepCursor, len(p.steps))
+	}
+
+	// Rebuild the transfers with their routes, convert payload ids back
+	// to blocks, and re-expand the link table: the lowering pass wrote
+	// link windows in transfer order, so one route walk reproduces the
+	// exact offsets the hot section recorded.
+	nd := p.fab.NDims()
+	numLinks := 0
+	for si := range p.steps {
+		ts := p.steps[si].transfers
+		for k := range ts {
+			if end := int(ts[k].linkOff) + int(ts[k].linkLen); end > numLinks {
+				numLinks = end
+			}
+		}
+	}
+	linkBacking := make([]int32, numLinks)
+	ti := 0
+	var segBuf []schedule.Seg
+	for si := range p.steps {
+		ps := &p.steps[si]
+		ph := &sc.Phases[ps.phaseIndex]
+		if ps.stepIndex < 0 || ps.stepIndex >= len(ph.Steps) {
+			return fmt.Errorf("exec: cold section: step %d index %d outside phase %q", si, ps.stepIndex, ph.Name)
+		}
+		st := &ph.Steps[ps.stepIndex]
+		st.Shared = sharedBits[si>>3]>>uint(si&7)&1 != 0
+		st.Transfers = make([]schedule.Transfer, len(ps.transfers))
+		for k := range ps.transfers {
+			pt := &ps.transfers[k]
+			tr := &st.Transfers[k]
+			tr.Src, tr.Dst = topology.NodeID(pt.src), topology.NodeID(pt.dst)
+			tr.Blocks = int(blocks[ti])
+			nseg := int(r.take(1)[0])
+			if r.err != nil {
+				return fmt.Errorf("exec: cold section truncated in route table")
+			}
+			if nseg < 1 {
+				return fmt.Errorf("exec: cold section: transfer %d has no route", ti)
+			}
+			segBuf = segBuf[:0]
+			hops := 0
+			for s := 0; s < nseg; s++ {
+				raw := r.take(4)
+				if r.err != nil {
+					return fmt.Errorf("exec: cold section truncated in route table")
+				}
+				dim := int(raw[0])
+				dir := topology.Pos
+				if raw[1] == 1 {
+					dir = topology.Neg
+				} else if raw[1] != 0 {
+					return fmt.Errorf("exec: cold section: transfer %d leg %d bad direction %d", ti, s, raw[1])
+				}
+				if dim >= nd {
+					return fmt.Errorf("exec: cold section: transfer %d leg %d dimension %d on %d-dim fabric", ti, s, dim, nd)
+				}
+				h := int(binary.LittleEndian.Uint16(raw[2:]))
+				segBuf = append(segBuf, schedule.Seg{Dim: dim, Dir: dir, Hops: h})
+				hops += h
+			}
+			if hops != int(pt.linkLen) {
+				return fmt.Errorf("exec: cold section: transfer %d route covers %d hops, link window holds %d", ti, hops, pt.linkLen)
+			}
+			tr.Dim, tr.Dir, tr.Hops = segBuf[0].Dim, segBuf[0].Dir, segBuf[0].Hops
+			if nseg > 1 {
+				tr.Segs = append([]schedule.Seg(nil), segBuf...)
+			}
+			if pt.payLen > 0 {
+				pay := make([]block.Block, pt.payLen)
+				for j, id := range payload[pt.payOff : pt.payOff+pt.payLen] {
+					pay[j] = block.Block{Origin: topology.NodeID(int(id) / p.n), Dest: topology.NodeID(int(id) % p.n)}
+				}
+				tr.Payload = pay
+			}
+			// Route re-expansion into the recorded link window.
+			w := int(pt.linkOff)
+			cur := tr.Src
+			for _, sg := range segBuf {
+				p.fab.AppendPathLinkIDs(linkBacking[w:w:w+sg.Hops], cur, sg.Dim, sg.Dir, sg.Hops)
+				w += sg.Hops
+				cur = p.fab.Advance(cur, sg.Dim, sg.Dir, sg.Hops)
+			}
+			ti++
+		}
+	}
+	r.pad4()
+	if r.off != len(r.b) {
+		return fmt.Errorf("exec: cold section: %d trailing bytes", len(r.b)-r.off)
+	}
+
+	// Publish: patch the lowered steps' schedule pointers, then the
+	// backings. Readers reach all of this through Schedule()'s
+	// sync.Once, which orders these writes before any of their reads.
+	for si := range p.steps {
+		ps := &p.steps[si]
+		ph := &sc.Phases[ps.phaseIndex]
+		ps.phase = ph
+		ps.step = &ph.Steps[ps.stepIndex]
+	}
+	p.payloadBacking = payload
+	p.linkBacking = linkBacking
+	p.scMat = sc
+	return nil
+}

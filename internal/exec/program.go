@@ -36,26 +36,33 @@ import (
 // idxSpan is a [start,end) run of positions in a source buffer.
 type idxSpan struct{ start, end int32 }
 
-// ptransfer is one transfer lowered to dense ids.
+// ptransfer is one transfer lowered to dense ids. It is deliberately
+// pointer-free — all variable-length data lives in the Program's flat
+// backings, referenced by [off, off+len) windows — so the tens of
+// thousands of lowered transfers of a large program cost the garbage
+// collector nothing to scan and serialize to the binary program codec
+// as a handful of flat arrays.
 type ptransfer struct {
 	src, dst int32
-	// payload holds the transfer's blocks as dense ids (origin*n+dest),
-	// in schedule payload order; nil for structural transfers. Replay
-	// itself only needs len(payload) and spans; the ids are kept for
-	// telemetry and debugging.
-	payload []int32
-	// links is the transfer's full dimension-ordered route expanded to
-	// dense link ids, in path order.
-	links []int32
+	// payOff/payLen window into Program.payloadBacking: the transfer's
+	// blocks as dense ids (origin*n+dest), in schedule payload order;
+	// empty for structural transfers. Replay itself only needs payLen
+	// and the spans; the ids are kept for telemetry and debugging.
+	payOff, payLen int32
+	// linkOff/linkLen window into Program.linkBacking: the transfer's
+	// full dimension-ordered route expanded to dense link ids, in path
+	// order.
+	linkOff, linkLen int32
+	// spanOff/spanLen window into Program.spanBacking: the coalesced
+	// [start,end) positions this transfer's payload occupies in the
+	// source buffer at extraction time, computed by the compile-time
+	// reference replay. Extraction is a bulk copy of each span into the
+	// flat scratch followed by one compaction pass.
+	spanOff, spanLen int32
 	// moveOff is this transfer's offset into the arena's step-flat
-	// extraction scratch: the replay writes the (exactly len(payload))
+	// extraction scratch: the replay writes the (exactly payLen)
 	// extracted ids there, so parallel workers never share a cursor.
-	moveOff int
-	// spans are the coalesced [start,end) positions this transfer's
-	// payload occupies in the source buffer at extraction time, computed
-	// by the compile-time reference replay. Extraction is a bulk copy of
-	// each span into the flat scratch followed by one compaction pass.
-	spans []idxSpan
+	moveOff int32
 }
 
 // pstep is one step lowered to precomputed form.
@@ -103,19 +110,66 @@ type Program struct {
 	// maxStepPayload is the largest per-step payload total: the size of
 	// the arena's flat extraction scratch.
 	maxStepPayload int
+
+	// Flat backings every ptransfer's [off, off+len) windows point
+	// into. Three arrays instead of three slices per transfer: the
+	// lowered form carries no pointers for the collector to chase and
+	// round-trips through the binary codec as bulk copies.
+	payloadBacking []int32
+	linkBacking    []int32
+	spanBacking    []idxSpan
+	// spansDense records that no transfer coalesced, so the span
+	// backing is payload-parallel: every transfer's span window sits at
+	// its payload offset (spanOff/spanLen were never rebased).
+	spansDense bool
 	// parallelErr, when non-nil, records that the schedule forwards a
 	// block within the step that delivered it (serial semantics accept
 	// this; the two-barrier parallel replay cannot execute it). The
 	// parallel replay path returns it verbatim.
 	parallelErr error
 
+	// fullTraffic records that the program was compiled against the
+	// implicit all-to-all matrix (Options.Traffic nil); the codec then
+	// omits the id table and the decoder rebuilds it arithmetically.
+	fullTraffic bool
+
+	// Decoded-program state: cold holds the unparsed cold section of
+	// the program file (phase names, block counts, routes, payload
+	// ids); Schedule() materializes it at most once into scMat,
+	// patching the steps' schedule pointers and the payload/link
+	// backings as a side effect. sc stays nil for decoded programs —
+	// replay never needs it.
+	cold        []byte
+	coldPhases  int
+	coldPayload int
+	scMat       *schedule.Schedule
+	schedOnce   sync.Once
+	schedErr    error
+
 	// arenas pools released arenas for concurrent replays of one
 	// program; see AcquireArena/ReleaseArena.
 	arenas sync.Pool
 }
 
-// Schedule returns the schedule the program was compiled from.
-func (p *Program) Schedule() *schedule.Schedule { return p.sc }
+// Schedule returns the schedule the program was compiled from. For a
+// program decoded from the binary codec the schedule is rebuilt from
+// the file's cold section on first call (and the telemetry link table
+// re-expanded with it); the rebuild happens at most once. Returns nil
+// if the cold section is unusable — SchedErr then reports why.
+func (p *Program) Schedule() *schedule.Schedule {
+	if p.sc != nil {
+		return p.sc
+	}
+	if p.cold == nil {
+		return nil
+	}
+	p.schedOnce.Do(func() { p.schedErr = p.materialize() })
+	return p.scMat
+}
+
+// SchedErr reports why a decoded program's schedule failed to
+// materialize (nil before the first Schedule call and on success).
+func (p *Program) SchedErr() error { return p.schedErr }
 
 // Replayable reports whether the program carries payloads and its runs
 // replay and deliver blocks (rather than only reporting the measure).
@@ -138,14 +192,28 @@ func (p *Program) SizeBytes() int64 {
 	size := int64(unsafe.Sizeof(*p))
 	size += int64(len(p.steps)) * int64(unsafe.Sizeof(pstep{}))
 	for si := range p.steps {
-		for ti := range p.steps[si].transfers {
-			pt := &p.steps[si].transfers[ti]
-			size += int64(unsafe.Sizeof(*pt))
-			size += int64(len(pt.payload))*4 + int64(len(pt.links))*4 + int64(len(pt.spans))*int64(unsafe.Sizeof(idxSpan{}))
-		}
+		size += int64(len(p.steps[si].transfers)) * int64(unsafe.Sizeof(ptransfer{}))
 	}
+	size += int64(len(p.payloadBacking))*4 + int64(len(p.linkBacking))*4
+	size += int64(len(p.spanBacking)) * int64(unsafe.Sizeof(idxSpan{}))
 	size += int64(len(p.trafficIDs))*4 + int64(len(p.perDest))*4 + int64(len(p.capacity))*4
 	return size
+}
+
+// payloadOf, linksOf and spansOf resolve a transfer's backing windows.
+func (p *Program) payloadOf(pt *ptransfer) []int32 {
+	return p.payloadBacking[pt.payOff : pt.payOff+pt.payLen]
+}
+
+func (p *Program) linksOf(pt *ptransfer) []int32 {
+	return p.linkBacking[pt.linkOff : pt.linkOff+pt.linkLen]
+}
+
+func (p *Program) spansOf(pt *ptransfer) []idxSpan {
+	if p.spansDense {
+		return p.spanBacking[pt.payOff : pt.payOff+pt.payLen]
+	}
+	return p.spanBacking[pt.spanOff : pt.spanOff+pt.spanLen]
 }
 
 // Compile validates sc once — one-port and contention checks (honoring
@@ -168,67 +236,111 @@ func Compile(sc *schedule.Schedule, opt Options) (*Program, error) {
 		maxSharing: 1,
 	}
 
-	// Size the flat backings in one counting pass, so the per-transfer
-	// payload and link slices are sub-slices of two arrays rather than
-	// thousands of small allocations.
-	numSteps, numTransfers, numLinks, numPayload := 0, 0, 0, 0
-	sc.EachStep(func(_ *schedule.Phase, _ int, s *schedule.Step) {
-		numSteps++
-		numTransfers += len(s.Transfers)
-		for i := range s.Transfers {
-			tr := &s.Transfers[i]
-			numLinks += tr.TotalHops()
-			numPayload += len(tr.Payload)
-			if len(tr.Payload) > 0 {
-				p.replay = true
-			}
+	// Counting pass: exact sizes and per-step offsets into the flat
+	// backings, so the per-transfer payload and link slices are
+	// sub-slices of shared arrays rather than thousands of small
+	// allocations, and so the lowering pass below can fan independent
+	// steps over the worker pool with no shared append cursor.
+	numSteps := sc.NumSteps()
+	numTransfers, numLinks, numPayload := 0, 0, 0
+	stepTBase := make([]int32, numSteps+1) // per-step transfer offsets
+	stepLBase := make([]int32, numSteps+1) // per-step link offsets
+	stepPBase := make([]int32, numSteps+1) // per-step payload offsets
+	opOff := make([]int32, n+1)            // per-node replay-event offsets (see compileReplay)
+	var usedDims []bool                    // (dim*2 + dirbit) pairs any route leg uses
+	if nd := f.NDims(); nd > 0 {
+		usedDims = make([]bool, nd*2)
+	}
+	markDimDir := func(dim int, dir topology.Direction) {
+		pair := dim * 2
+		if dir == topology.Neg {
+			pair++
 		}
-	})
-	p.steps = make([]pstep, 0, numSteps)
-	transferBacking := make([]ptransfer, 0, numTransfers)
-	linkBacking := make([]int32, 0, numLinks)
-	payloadBacking := make([]int32, 0, numPayload)
+		if pair >= 0 && pair < len(usedDims) {
+			usedDims[pair] = true
+		}
+	}
+	p.steps = make([]pstep, numSteps)
+	k := 0
+	for pi := range sc.Phases {
+		ph := &sc.Phases[pi]
+		for si := range ph.Steps {
+			s := &ph.Steps[si]
+			p.steps[k] = pstep{
+				phase: ph, step: s, phaseIndex: pi, stepIndex: si, sharing: 1,
+			}
+			stepTBase[k] = int32(numTransfers)
+			stepLBase[k] = int32(numLinks)
+			stepPBase[k] = int32(numPayload)
+			numTransfers += len(s.Transfers)
+			for i := range s.Transfers {
+				tr := &s.Transfers[i]
+				numLinks += tr.TotalHops()
+				numPayload += len(tr.Payload)
+				if len(tr.Payload) > 0 {
+					p.replay = true
+					// Count the transfer's insert/extract events per node
+					// here, so the reference replay can write its per-node
+					// event lists in its single serial walk.
+					opOff[tr.Src+1]++
+					if tr.Dst != tr.Src {
+						opOff[tr.Dst+1]++
+					}
+				}
+				if tr.Segs == nil {
+					markDimDir(tr.Dim, tr.Dir)
+				} else {
+					for _, seg := range tr.Segs {
+						markDimDir(seg.Dim, seg.Dir)
+					}
+				}
+			}
+			if sp := numPayload - int(stepPBase[k]); sp > p.maxStepPayload {
+				p.maxStepPayload = sp
+			}
+			k++
+		}
+	}
+	stepTBase[numSteps], stepLBase[numSteps] = int32(numTransfers), int32(numLinks)
+	stepPBase[numSteps] = int32(numPayload)
+	payloadBacking := make([]int32, numPayload)
 
-	// Lowering pass (serial: it appends to the shared backing arrays):
-	// dense endpoints, route expansion, per-step message maxima.
-	sc.EachStep(func(ph *schedule.Phase, si int, s *schedule.Step) {
-		ps := pstep{
-			phase: ph, step: s,
-			phaseIndex: phaseIndexOf(sc, ph), stepIndex: si,
-			sharing: 1,
-		}
-		base := len(transferBacking)
-		for i := range s.Transfers {
-			tr := &s.Transfers[i]
-			pt := ptransfer{src: int32(tr.Src), dst: int32(tr.Dst)}
-			// Route expansion: walk the multi-leg route once, forever.
-			linkBase := len(linkBacking)
-			cur := tr.Src
-			for _, seg := range tr.Segments() {
-				linkBacking = f.AppendPathLinkIDs(linkBacking, cur, seg.Dim, seg.Dir, seg.Hops)
-				cur = f.Advance(cur, seg.Dim, seg.Dir, seg.Hops)
+	// Per-(dim,dir) route tables: on a torus every (node, dim, dir)
+	// single hop has a statically known successor and link id, so each
+	// pair used anywhere in the schedule is expanded to a flat table
+	// (successor<<32 | link id, one load per hop) exactly once and
+	// every step sharing that dimension walks the same table — no
+	// per-hop stride arithmetic or interface dispatch in the lowering
+	// loop. Fabrics with partial wiring (dragonfly global ports may be
+	// unwired for a given node) keep the per-segment route calls.
+	var tabNL []uint64
+	if tor, ok := f.(*topology.Torus); ok && usedDims != nil {
+		tabNL = make([]uint64, len(usedDims)*n)
+		par.ForEach(0, len(usedDims), func(lo, hi int) {
+			var one [1]int32
+			for pair := lo; pair < hi; pair++ {
+				if !usedDims[pair] {
+					continue
+				}
+				dim, dir := pair/2, topology.Pos
+				if pair&1 == 1 {
+					dir = topology.Neg
+				}
+				base := pair * n
+				for v := 0; v < n; v++ {
+					tor.AppendPathLinkIDs(one[:0], topology.NodeID(v), dim, dir, 1)
+					next := tor.Advance(topology.NodeID(v), dim, dir, 1)
+					tabNL[base+v] = uint64(uint32(next))<<32 | uint64(uint32(one[0]))
+				}
 			}
-			pt.links = linkBacking[linkBase:len(linkBacking):len(linkBacking)]
-			if tr.Blocks > ps.maxBlocks {
-				ps.maxBlocks = tr.Blocks
-			}
-			if h := len(pt.links); h > ps.maxHops {
-				ps.maxHops = h
-			}
-			transferBacking = append(transferBacking, pt)
-		}
-		ps.transfers = transferBacking[base:len(transferBacking):len(transferBacking)]
-		p.steps = append(p.steps, ps)
-	})
+		})
+	}
 
-	// Validation pass: steps are independent, so the one-port,
-	// link-disjointness and sharing-factor computations fan out over the
-	// worker pool, each chunk with private claim scratch. The reported
-	// error is the lowest-step one — exactly what a serial left-to-right
-	// walk would have hit first. When the fabric groups links into
-	// contention domains, a link-id -> domain table is built once here;
-	// on identity-domain fabrics (torus, dragonfly) it stays nil and the
-	// claim tables are indexed by link id directly, keeping the hot loop
+	// Contention-domain table, built before lowering so the sharing
+	// factors of declared time-sharing steps can be counted inline: when
+	// the fabric groups links into domains, domainTab maps link ids to
+	// domains; on identity-domain fabrics (torus, dragonfly) it stays nil
+	// and link ids index the claim tables directly, keeping the hot loops
 	// free of interface calls.
 	var domainTab []int32
 	if p.numDomains = f.NumContentionDomains(); p.numDomains != f.NumLinkIDs() {
@@ -238,25 +350,167 @@ func Compile(sc *schedule.Schedule, opt Options) (*Program, error) {
 		}
 	}
 	p.domainTab = domainTab
+
+	// Lowering pass: dense endpoints, route expansion, per-step message
+	// maxima, the link-sharing serialization factor of Shared steps
+	// (counted per transfer while its freshly written link ids are
+	// still in L1), the one-port/contention checks, and the payload
+	// conversion to dense block ids — one parallel sweep over the
+	// steps, each chunk with private claim scratch. Steps write
+	// disjoint pre-sliced regions of the backings, so they fan out over
+	// the worker pool. The reported error is the lowest-step one —
+	// exactly what a serial left-to-right walk would have hit first.
+	transferBacking := make([]ptransfer, numTransfers)
+	linkBacking := make([]int32, numLinks)
 	var ferr par.FirstError
-	par.ForEach(0, len(p.steps), func(lo, hi int) {
-		sendClaim := make([]int32, n)            // node -> transfer index + 1
-		recvClaim := make([]int32, n)            // node -> transfer index + 1
-		linkClaim := make([]int32, p.numDomains) // domain -> transfer index + 1 (or count)
+	par.ForEach(0, numSteps, func(lo, hi int) {
+		var linkClaim []int32 // domain -> claim stamp (checkStep scratch)
+		// shareClaim counts a Shared step's per-domain uses as
+		// (step ordinal + 1)<<32 | count: an entry from an earlier step
+		// compares below the current epoch and reads as zero, so the
+		// table never needs the per-step reset rewalk over the step's
+		// links (a full extra pass over every expanded hop).
+		var shareClaim []int64
+		var sendClaim, recvClaim []int32
 		var touched []int32
 		for si := lo; si < hi; si++ {
 			ps := &p.steps[si]
-			if err := checkStep(f, domainTab, ps, opt.SkipChecks, sendClaim, recvClaim, linkClaim, &touched); err != nil {
-				ferr.Report(si, err)
-				return
+			s := ps.step
+			if !opt.SkipChecks && linkClaim == nil {
+				linkClaim = make([]int32, p.numDomains)
+			}
+			if s.Shared && shareClaim == nil {
+				shareClaim = make([]int64, p.numDomains)
+			}
+			tBase := int(stepTBase[si])
+			w := int(stepLBase[si])
+			moveOff := 0
+			sharing := int32(ps.sharing)
+			for i := range s.Transfers {
+				tr := &s.Transfers[i]
+				pt := &transferBacking[tBase+i]
+				pt.src, pt.dst = int32(tr.Src), int32(tr.Dst)
+				pt.moveOff = int32(moveOff)
+				moveOff += len(tr.Payload)
+				linkBase := w
+				var one [1]schedule.Seg
+				segs := tr.Segs
+				if segs == nil {
+					one[0] = schedule.Seg{Dim: tr.Dim, Dir: tr.Dir, Hops: tr.Hops}
+					segs = one[:]
+				}
+				cur := tr.Src
+				for _, seg := range segs {
+					pair := seg.Dim * 2
+					if seg.Dir == topology.Neg {
+						pair++
+					}
+					if tabNL != nil && pair >= 0 && pair < len(usedDims) {
+						t := tabNL[pair*n : pair*n+n]
+						c := int32(cur)
+						for h := 0; h < seg.Hops; h++ {
+							nl := t[c]
+							linkBacking[w] = int32(uint32(nl))
+							w++
+							c = int32(nl >> 32)
+						}
+						cur = topology.NodeID(c)
+					} else {
+						f.AppendPathLinkIDs(linkBacking[w:w:w+seg.Hops], cur, seg.Dim, seg.Dir, seg.Hops)
+						w += seg.Hops
+						cur = f.Advance(cur, seg.Dim, seg.Dir, seg.Hops)
+					}
+				}
+				pt.linkOff, pt.linkLen = int32(linkBase), int32(w-linkBase)
+				if s.Shared {
+					// The transfer's own links were just written and are
+					// hot; counting them here beats a per-step rewalk.
+					epoch := int64(si+1) << 32
+					if domainTab == nil {
+						for _, l := range linkBacking[linkBase:w] {
+							c := shareClaim[l]
+							if c < epoch {
+								c = epoch
+							}
+							c++
+							shareClaim[l] = c
+							if s := int32(c); s > sharing {
+								sharing = s
+							}
+						}
+					} else {
+						for _, l := range linkBacking[linkBase:w] {
+							d := domainTab[l]
+							c := shareClaim[d]
+							if c < epoch {
+								c = epoch
+							}
+							c++
+							shareClaim[d] = c
+							if s := int32(c); s > sharing {
+								sharing = s
+							}
+						}
+					}
+				}
+				if tr.Blocks > ps.maxBlocks {
+					ps.maxBlocks = tr.Blocks
+				}
+				if h := w - linkBase; h > ps.maxHops {
+					ps.maxHops = h
+				}
+			}
+			if s.Shared {
+				ps.sharing = int(sharing)
+			}
+			end := tBase + len(s.Transfers)
+			ps.transfers = transferBacking[tBase:end:end]
+			if !opt.SkipChecks {
+				if sendClaim == nil {
+					sendClaim = make([]int32, n) // node -> transfer index + 1
+					recvClaim = make([]int32, n) // node -> transfer index + 1
+				}
+				if err := checkStep(f, domainTab, linkBacking, ps, false, sendClaim, recvClaim, linkClaim, &touched); err != nil {
+					ferr.Report(si, err)
+					return
+				}
+			}
+			// Payload conversion to dense ids, into the step's disjoint
+			// region of the flat backing. Payload/Blocks coherence only
+			// binds replayable programs — measure-only schedules declare
+			// Blocks for the cost terms and carry no payloads.
+			if !p.replay {
+				continue
+			}
+			pw := int(stepPBase[si])
+			for i := range s.Transfers {
+				tr := &s.Transfers[i]
+				pt := &transferBacking[tBase+i]
+				if len(tr.Payload) != tr.Blocks {
+					ferr.Report(si, fmt.Errorf("exec: phase %q step %d transfer %v carries %d payload blocks, declares %d",
+						ps.phase.Name, ps.stepIndex, *tr, len(tr.Payload), tr.Blocks))
+					return
+				}
+				pt.payOff, pt.payLen = int32(pw), int32(len(tr.Payload))
+				for _, b := range tr.Payload {
+					if int(b.Origin) < 0 || int(b.Origin) >= n || int(b.Dest) < 0 || int(b.Dest) >= n {
+						ferr.Report(si, fmt.Errorf("exec: phase %q step %d: transfer %v payload block %v out of range",
+							ps.phase.Name, ps.stepIndex, *tr, b))
+						return
+					}
+					payloadBacking[pw] = int32(int(b.Origin)*n + int(b.Dest))
+					pw++
+				}
 			}
 		}
 	})
 	if err := ferr.Err(); err != nil {
 		return nil, err
 	}
+	p.linkBacking = linkBacking
 
-	// Measure accumulation (serial: order-dependent sums).
+	// Measure accumulation (serial: order-dependent sums). The flat
+	// extraction-scratch bound came out of the counting pass.
 	for si := range p.steps {
 		ps := &p.steps[si]
 		if ps.sharing > p.maxSharing {
@@ -269,23 +523,26 @@ func Compile(sc *schedule.Schedule, opt Options) (*Program, error) {
 	p.measure.RearrangedBlocks = sc.RearrangedBlocks()
 
 	if p.replay {
-		if err := p.compileReplay(opt, payloadBacking); err != nil {
+		for v := 0; v < n; v++ {
+			opOff[v+1] += opOff[v]
+		}
+		if err := p.compileReplay(opt, payloadBacking, opOff, numTransfers); err != nil {
 			return nil, err
 		}
 	}
 	return p, nil
 }
 
-// checkStep validates one lowered step — one-port compliance, wormhole
-// link-disjointness for non-Shared steps (both skipped under
-// skipChecks) — and computes the sharing factor of declared
-// time-sharing steps into ps.sharing. The claim tables are caller-owned
+// checkStep validates one lowered step — one-port compliance and
+// wormhole link-disjointness for non-Shared steps (both skipped under
+// skipChecks; the sharing factor of declared time-sharing steps was
+// already counted during lowering). The claim tables are caller-owned
 // dense scratch, reset via the touched list; checkStep leaves them
 // zeroed on every return path so one set serves a whole chunk of steps.
 // linkClaim is indexed by contention domain: domainTab maps link ids to
 // domains and is nil on identity-domain fabrics, where link ids index
 // directly.
-func checkStep(f topology.Fabric, domainTab []int32, ps *pstep, skipChecks bool,
+func checkStep(f topology.Fabric, domainTab, links []int32, ps *pstep, skipChecks bool,
 	sendClaim, recvClaim, linkClaim []int32, touched *[]int32) error {
 	s, ph, si := ps.step, ps.phase, ps.stepIndex
 	if !skipChecks {
@@ -311,7 +568,8 @@ func checkStep(f topology.Fabric, domainTab []int32, ps *pstep, skipChecks bool,
 		}
 		if err == nil && !s.Shared {
 			for i := range ps.transfers {
-				for _, l := range ps.transfers[i].links {
+				pt := &ps.transfers[i]
+				for _, l := range links[pt.linkOff : pt.linkOff+pt.linkLen] {
 					d := l
 					if domainTab != nil {
 						d = domainTab[l]
@@ -337,192 +595,7 @@ func checkStep(f topology.Fabric, domainTab []int32, ps *pstep, skipChecks bool,
 			return err
 		}
 	}
-	// Sharing factor of declared time-sharing steps, same scratch.
-	if s.Shared {
-		for i := range ps.transfers {
-			for _, l := range ps.transfers[i].links {
-				d := l
-				if domainTab != nil {
-					d = domainTab[l]
-				}
-				if linkClaim[d] == 0 {
-					*touched = append(*touched, d)
-				}
-				linkClaim[d]++
-				if int(linkClaim[d]) > ps.sharing {
-					ps.sharing = int(linkClaim[d])
-				}
-			}
-		}
-		for _, l := range *touched {
-			linkClaim[l] = 0
-		}
-		*touched = (*touched)[:0]
-	}
 	return nil
-}
-
-// compileReplay resolves the traffic matrix to dense ids, validates the
-// full replay chain once with the serial reference semantics (each
-// transfer's extraction interleaved with the previous transfer's
-// insertion), records each node's peak buffer occupancy as its
-// preallocation bound, and verifies final delivery. After this pass a
-// run is a pure, check-free id shuffle.
-func (p *Program) compileReplay(opt Options, payloadBacking []int32) error {
-	n := p.n
-	traffic := opt.Traffic
-	if traffic == nil {
-		traffic = fullTrafficCached(p.fab)
-	}
-	p.trafficIDs = make([]int32, 0, len(traffic))
-	p.perDest = make([]int32, n)
-	seen := make([]bool, p.numBlocks)
-	for _, b := range traffic {
-		if int(b.Origin) < 0 || int(b.Origin) >= n || int(b.Dest) < 0 || int(b.Dest) >= n {
-			return fmt.Errorf("exec: traffic block %v out of range", b)
-		}
-		id := int32(int(b.Origin)*n + int(b.Dest))
-		if seen[id] {
-			return fmt.Errorf("exec: duplicate traffic block %v", b)
-		}
-		seen[id] = true
-		p.trafficIDs = append(p.trafficIDs, id)
-		p.perDest[b.Dest]++
-	}
-
-	// Reference replay over dense ids. Besides validating the
-	// sender-holds chain, this pass records where in its source buffer
-	// each transfer's payload sits at extraction time: replay is
-	// deterministic, so those positions hold for every future run and
-	// can be coalesced into bulk-copy spans now. Positions at or past
-	// the buffer's start-of-step length belong to blocks delivered
-	// earlier in the same step — legal under the serial interleaved
-	// semantics, impossible under the two-barrier parallel replay, so
-	// they flag the program parallel-incapable instead of failing.
-	bufs := make([][]int32, n)
-	p.capacity = make([]int32, n)
-	for _, id := range p.trafficIDs {
-		o := int(id) / n
-		bufs[o] = append(bufs[o], id)
-	}
-	for i := range bufs {
-		p.capacity[i] = int32(len(bufs[i]))
-	}
-	mark := make([]int32, p.numBlocks)
-	stepBase := make([]int32, n) // per-node buffer length at step start
-	var mv []int32               // extraction scratch
-	var spanBacking []idxSpan
-	// spanRefs defers the spans sub-slicing until spanBacking stops
-	// growing: transfer index -> (offset, count) into spanBacking.
-	type spanRef struct {
-		pt       *ptransfer
-		off, cnt int
-	}
-	var spanRefs []spanRef
-	for si := range p.steps {
-		ps := &p.steps[si]
-		stepPayload := 0
-		for v := range bufs {
-			stepBase[v] = int32(len(bufs[v]))
-		}
-		for ti := range ps.transfers {
-			pt := &ps.transfers[ti]
-			tr := &ps.step.Transfers[ti]
-			if len(tr.Payload) != tr.Blocks {
-				return fmt.Errorf("exec: phase %q step %d transfer %v carries %d payload blocks, declares %d",
-					ps.phase.Name, ps.stepIndex, *tr, len(tr.Payload), tr.Blocks)
-			}
-			payloadBase := len(payloadBacking)
-			for _, b := range tr.Payload {
-				if int(b.Origin) < 0 || int(b.Origin) >= n || int(b.Dest) < 0 || int(b.Dest) >= n {
-					return fmt.Errorf("exec: phase %q step %d: transfer %v payload block %v out of range",
-						ps.phase.Name, ps.stepIndex, *tr, b)
-				}
-				payloadBacking = append(payloadBacking, int32(int(b.Origin)*n+int(b.Dest)))
-			}
-			pt.payload = payloadBacking[payloadBase:len(payloadBacking):len(payloadBacking)]
-			pt.moveOff = stepPayload
-			stepPayload += len(pt.payload)
-
-			// Extraction with the sender-holds check. Extract into a
-			// scratch first, exactly like the run-time path, so the
-			// compaction of bufs[src] never aliases the growth of
-			// bufs[dst]. Extracted positions (ascending by construction)
-			// coalesce into this transfer's replay spans.
-			src, dst := int(pt.src), int(pt.dst)
-			for _, id := range pt.payload {
-				mark[id]++
-			}
-			keep := bufs[src][:0]
-			mv = mv[:0]
-			spanOff := len(spanBacking)
-			for pos, id := range bufs[src] {
-				if mark[id] > 0 {
-					mark[id]--
-					mv = append(mv, id)
-					if k := len(spanBacking); k > spanOff && spanBacking[k-1].end == int32(pos) {
-						spanBacking[k-1].end++
-					} else {
-						spanBacking = append(spanBacking, idxSpan{start: int32(pos), end: int32(pos) + 1})
-					}
-					if p.parallelErr == nil && int32(pos) >= stepBase[src] {
-						p.parallelErr = fmt.Errorf("exec: phase %q step %d: node %d forwards %v within the step that delivered it; the two-barrier parallel replay cannot execute this schedule (run with Options.Serial)",
-							ps.phase.Name, ps.stepIndex, src, block.Block{Origin: topology.NodeID(int(id) / n), Dest: topology.NodeID(int(id) % n)})
-					}
-				} else {
-					keep = append(keep, id)
-				}
-			}
-			bufs[src] = keep
-			if len(mv) != len(pt.payload) {
-				// Some payload block was not held; name the first one, in
-				// payload order, for parity with the uncompiled error.
-				for _, id := range pt.payload {
-					if mark[id] > 0 {
-						return fmt.Errorf("exec: phase %q step %d: node %d transmits %v it does not hold",
-							ps.phase.Name, ps.stepIndex, src, block.Block{Origin: topology.NodeID(int(id) / n), Dest: topology.NodeID(int(id) % n)})
-					}
-				}
-				return fmt.Errorf("exec: phase %q step %d: node %d extracted %d blocks, want %d",
-					ps.phase.Name, ps.stepIndex, src, len(mv), len(pt.payload))
-			}
-			spanRefs = append(spanRefs, spanRef{pt: pt, off: spanOff, cnt: len(spanBacking) - spanOff})
-			bufs[dst] = append(bufs[dst], mv...)
-			if int(p.capacity[dst]) < len(bufs[dst]) {
-				p.capacity[dst] = int32(len(bufs[dst]))
-			}
-		}
-		if stepPayload > p.maxStepPayload {
-			p.maxStepPayload = stepPayload
-		}
-	}
-	for _, r := range spanRefs {
-		r.pt.spans = spanBacking[r.off : r.off+r.cnt : r.off+r.cnt]
-	}
-	// Delivery: every block must sit at its destination, every node
-	// must hold exactly its share of the matrix.
-	for v := range bufs {
-		if len(bufs[v]) != int(p.perDest[v]) {
-			return fmt.Errorf("exec: node %d holds %d blocks after replay, want %d", v, len(bufs[v]), p.perDest[v])
-		}
-		for _, id := range bufs[v] {
-			if int(id)%n != v {
-				return fmt.Errorf("exec: node %d holds misdelivered block %v", v,
-					block.Block{Origin: topology.NodeID(int(id) / n), Dest: topology.NodeID(int(id) % n)})
-			}
-		}
-	}
-	return nil
-}
-
-// phaseIndexOf locates ph inside sc.Phases by identity.
-func phaseIndexOf(sc *schedule.Schedule, ph *schedule.Phase) int {
-	for i := range sc.Phases {
-		if &sc.Phases[i] == ph {
-			return i
-		}
-	}
-	return -1
 }
 
 // Arena is the reusable per-run scratch of a compiled program: block
@@ -627,7 +700,15 @@ func (p *Program) RunArena(a *Arena, opt Options) (*Result, error) {
 		sp.End()
 	}
 	if opt.Telemetry.Enabled() {
-		emitRun(opt.Telemetry, p.sc, res, nil, p)
+		// Decoded programs materialize their schedule here, on the
+		// first traced run; untraced replays never pay for it.
+		sc := p.Schedule()
+		if sc == nil {
+			a.bad = true
+			return nil, fmt.Errorf("exec: telemetry on decoded program: %w", p.schedErr)
+		}
+		res.Schedule = sc
+		emitRun(opt.Telemetry, sc, res, nil, p)
 	}
 	return res, nil
 }
@@ -653,16 +734,17 @@ func (a *Arena) reset() {
 // mark walk, at memmove speed.
 func (a *Arena) extract(pt *ptransfer) {
 	buf := a.bufs[int(pt.src)]
-	w := pt.moveOff
-	for _, sp := range pt.spans {
+	spans := a.prog.spansOf(pt)
+	w := int(pt.moveOff)
+	for _, sp := range spans {
 		w += copy(a.flat[w:], buf[sp.start:sp.end])
 	}
-	w = int(pt.spans[0].start)
-	for i := range pt.spans {
-		gapStart := int(pt.spans[i].end)
+	w = int(spans[0].start)
+	for i := range spans {
+		gapStart := int(spans[i].end)
 		gapEnd := len(buf)
-		if i+1 < len(pt.spans) {
-			gapEnd = int(pt.spans[i+1].start)
+		if i+1 < len(spans) {
+			gapEnd = int(spans[i+1].start)
 		}
 		w += copy(buf[w:], buf[gapStart:gapEnd])
 	}
@@ -679,11 +761,11 @@ func (a *Arena) replaySerial() {
 		ps := &a.prog.steps[si]
 		for ti := range ps.transfers {
 			pt := &ps.transfers[ti]
-			if len(pt.payload) == 0 {
+			if pt.payLen == 0 {
 				continue
 			}
 			a.extract(pt)
-			a.bufs[pt.dst] = append(a.bufs[pt.dst], a.flat[pt.moveOff:pt.moveOff+len(pt.payload)]...)
+			a.bufs[pt.dst] = append(a.bufs[pt.dst], a.flat[pt.moveOff:pt.moveOff+pt.payLen]...)
 		}
 	}
 }
@@ -708,13 +790,13 @@ func (a *Arena) replayParallel(workers int) error {
 	var ps *pstep
 	extract := func(_, ti int) {
 		pt := &ps.transfers[ti]
-		if len(pt.payload) > 0 {
+		if pt.payLen > 0 {
 			a.extract(pt)
 		}
 	}
 	insert := func(_, ti int) {
 		pt := &ps.transfers[ti]
-		a.bufs[pt.dst] = append(a.bufs[pt.dst], a.flat[pt.moveOff:pt.moveOff+len(pt.payload)]...)
+		a.bufs[pt.dst] = append(a.bufs[pt.dst], a.flat[pt.moveOff:pt.moveOff+pt.payLen]...)
 	}
 	for si := range a.prog.steps {
 		ps = &a.prog.steps[si]

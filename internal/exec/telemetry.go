@@ -105,7 +105,7 @@ func emitRun(rec *telemetry.Recorder, sc *schedule.Schedule, res *Result, stepWo
 				rec.Emit(ev)
 				var ids []int32
 				if ps != nil {
-					ids = ps.transfers[ti].links
+					ids = pg.linksOf(&ps.transfers[ti])
 				} else {
 					idScratch = idScratch[:0]
 					cur := tr.Src

@@ -1,0 +1,40 @@
+//go:build linux
+
+package progcache
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile opens path for decoding. On Linux the file is mapped
+// (MAP_PRIVATE|MAP_POPULATE) rather than read: the decoder's
+// zero-copy table views then point straight at the page cache, which
+// turns the dominant cost of a warm 16x16 load — copying ~4MB of file
+// through a fresh heap buffer — into one prefault pass, about 20x
+// cheaper on the benchmark box and the difference between clearing
+// and missing the sub-millisecond cold-start gate. The returned
+// release unmaps; Load ties it to the decoded program's lifetime via
+// a finalizer. Store never truncates in place (files are replaced by
+// rename), so a mapped inode stays intact until its last reader drops
+// it.
+func mapFile(path string) (data []byte, release func(), err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := int(fi.Size())
+	if size <= 0 {
+		return nil, func() {}, nil
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE|syscall.MAP_POPULATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

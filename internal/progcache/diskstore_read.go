@@ -1,0 +1,15 @@
+//go:build !linux
+
+package progcache
+
+import "os"
+
+// mapFile reads path into memory on platforms without the mmap fast
+// path; release is a no-op.
+func mapFile(path string) (data []byte, release func(), err error) {
+	data, err = os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

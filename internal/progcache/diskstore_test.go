@@ -1,0 +1,274 @@
+package progcache_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"torusx/internal/exec"
+	"torusx/internal/progcache"
+	"torusx/internal/topology"
+)
+
+// TestDiskStoreRoundTrip: store then load through a bare DiskStore,
+// and the loaded program replays identically to the original.
+func TestDiskStoreRoundTrip(t *testing.T) {
+	store, err := progcache.NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor := topology.MustNew(4, 4)
+	pg, err := compileDirect(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := progcache.Key("direct", tor, 0)
+	if _, ok := store.Load(key, tor, 0); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := store.Store(key, pg, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := store.Load(key, tor, 0)
+	if !ok {
+		t.Fatal("miss after store")
+	}
+	want, err := pg.Run(exec.Options{Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := got.Run(exec.Options{Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measure != want.Measure {
+		t.Fatalf("loaded Measure %+v, want %+v", res.Measure, want.Measure)
+	}
+	// A different options fingerprint or fabric must read as a miss
+	// (and the fingerprint mismatch removes the unusable file).
+	if _, ok := store.Load(key, tor, 99); ok {
+		t.Fatal("hit with wrong options fingerprint")
+	}
+}
+
+// TestDiskStoreCorruptFileRemoved: a file that fails to decode is
+// deleted on first touch and reported as a miss.
+func TestDiskStoreCorruptFileRemoved(t *testing.T) {
+	dir := t.TempDir()
+	store, err := progcache.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor := topology.MustNew(4, 4)
+	pg, err := compileDirect(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := progcache.Key("direct", tor, 0)
+	if err := store.Store(key, pg, 0); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.txpg"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want 1 stored file, got %v (%v)", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Load(key, tor, 0); ok {
+		t.Fatal("corrupt file served")
+	}
+	if _, err := os.Stat(files[0]); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file not removed: %v", err)
+	}
+	// The tier self-heals: the next tiered request recompiles and
+	// re-stores.
+	if err := store.Store(key, pg, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Load(key, tor, 0); !ok {
+		t.Fatal("miss after re-store")
+	}
+}
+
+// TestTier2CrossProcessWarmth is the headline scenario: a second
+// "process" — a fresh Cache instance sharing only the disk directory —
+// serves its first request from tier 2 with zero compiles.
+func TestTier2CrossProcessWarmth(t *testing.T) {
+	dir := t.TempDir()
+	tor := topology.MustNew(8, 8)
+	key := progcache.Key("direct", tor, 0)
+
+	warm := progcache.New(0)
+	store1, err := progcache.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.SetTier2(store1)
+	pg, err := warm.GetOrCompileTiered(key, tor, 0, nil, func() (*exec.Program, error) { return compileDirect(tor) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := warm.Stats()
+	if st.Compiles != 1 || st.Tier2Misses != 1 || st.Tier2Stores != 1 {
+		t.Fatalf("warm process stats: %v", st)
+	}
+
+	// Process two: same directory, empty memory tier, a compile
+	// callback that must never run.
+	cold := progcache.New(0)
+	store2, err := progcache.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.SetTier2(store2)
+	got, err := cold.GetOrCompileTiered(key, tor, 0, nil, func() (*exec.Program, error) {
+		t.Error("compile ran despite warm disk tier")
+		return compileDirect(tor)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = cold.Stats()
+	if st.Compiles != 0 || st.Tier2Hits != 1 || st.Misses != 1 {
+		t.Fatalf("cold process stats: %v", st)
+	}
+	want, err := pg.Run(exec.Options{Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := got.Run(exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measure != want.Measure || res.MaxSharing != want.MaxSharing {
+		t.Fatalf("tier-2 program diverges: %+v vs %+v", res.Measure, want.Measure)
+	}
+	// And the second request in the cold process is a plain memory hit.
+	if _, err := cold.GetOrCompileTiered(key, tor, 0, nil, func() (*exec.Program, error) {
+		t.Error("compile ran on warm memory tier")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st = cold.Stats(); st.Hits != 1 {
+		t.Fatalf("second request missed memory: %v", st)
+	}
+}
+
+// TestTier2SingleflightParallel: concurrent cold requesters of one key
+// share a single disk probe and a single compile — the singleflight
+// covers both tiers. Name matches the CI race-subset pattern.
+func TestTier2SingleflightParallel(t *testing.T) {
+	dir := t.TempDir()
+	tor := topology.MustNew(4, 4)
+	key := progcache.Key("direct", tor, 0)
+	c := progcache.New(0)
+	store, err := progcache.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTier2(store)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	progs := make([]*exec.Program, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pg, err := c.GetOrCompileTiered(key, tor, 0, nil, func() (*exec.Program, error) { return compileDirect(tor) })
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[w] = pg
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Compiles != 1 {
+		t.Fatalf("%d compiles for one key, want 1 (%v)", st.Compiles, st)
+	}
+	if st.Tier2Misses != 1 || st.Tier2Stores != 1 {
+		t.Fatalf("tier-2 probed more than once: %v", st)
+	}
+	for w := 1; w < workers; w++ {
+		if progs[w] != progs[0] {
+			t.Fatalf("worker %d got a different program instance", w)
+		}
+	}
+}
+
+// TestEvictionStatsDistinguishDiskBacked: evicting a tier-2-backed
+// entry increments both eviction counters; evicting a memory-only
+// entry increments only the total, and the footer string carries the
+// split.
+func TestEvictionStatsDistinguishDiskBacked(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	pg, err := compileDirect(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := pg.SizeBytes()
+	// Budget one program per shard so every later insert into a shard
+	// evicts its current occupant. Keys reuse one fabric with synthetic
+	// algorithm names; programs are all the same compiled instance.
+	mk := func(c *progcache.Cache, alg string, tier2 bool) {
+		key := progcache.Key(alg, tor, 0)
+		var err error
+		if tier2 {
+			_, err = c.GetOrCompileTiered(key, tor, 0, nil, func() (*exec.Program, error) { return pg, nil })
+		} else {
+			_, err = c.GetOrCompile(key, func() (*exec.Program, error) { return pg, nil })
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// numShards is 16; size*16 gives each shard a one-program budget.
+	c := progcache.New(size * 16)
+	store, err := progcache.NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTier2(store)
+	// Fill with disk-backed entries until at least one eviction of a
+	// disk-backed entry happens, then with memory-only entries until a
+	// memory-only eviction happens.
+	for i := 0; c.Stats().EvictionsDiskBacked == 0; i++ {
+		mk(c, "disk"+string(rune('a'+i)), true)
+	}
+	st := c.Stats()
+	if st.EvictionsDiskBacked != st.Evictions {
+		t.Fatalf("disk-backed evictions %d != total %d with only tier-2 entries", st.EvictionsDiskBacked, st.Evictions)
+	}
+	base := st
+	for i := 0; ; i++ {
+		mk(c, "mem"+string(rune('a'+i)), false)
+		st = c.Stats()
+		if st.Evictions > base.Evictions {
+			break
+		}
+	}
+	// Memory-only inserts can evict either kind; drive until a
+	// memory-only entry has been evicted (total pulls ahead of
+	// disk-backed).
+	for i := 0; c.Stats().Evictions == c.Stats().EvictionsDiskBacked; i++ {
+		mk(c, "mem2"+string(rune('a'+i)), false)
+	}
+	st = c.Stats()
+	if st.EvictionsDiskBacked >= st.Evictions {
+		t.Fatalf("no memory-only eviction recorded: %v", st)
+	}
+	if !strings.Contains(st.String(), "disk-backed") {
+		t.Fatalf("footer lacks the eviction split: %q", st.String())
+	}
+}

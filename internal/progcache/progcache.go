@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"torusx/internal/block"
 	"torusx/internal/exec"
@@ -42,12 +43,22 @@ type Cache struct {
 	shardBytes int64
 	seed       maphash.Seed
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	coalesced atomic.Int64
-	compiles  atomic.Int64
-	evictions atomic.Int64
-	oversize  atomic.Int64
+	// tier2, loadHist and storeHist are set once (SetTier2,
+	// RegisterMetrics) before the cache serves requests.
+	tier2     *DiskStore
+	loadHist  *obs.Histogram
+	storeHist *obs.Histogram
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	coalesced   atomic.Int64
+	compiles    atomic.Int64
+	evictions   atomic.Int64
+	evictDisk   atomic.Int64
+	oversize    atomic.Int64
+	tier2Hits   atomic.Int64
+	tier2Misses atomic.Int64
+	tier2Stores atomic.Int64
 }
 
 type shard struct {
@@ -63,6 +74,7 @@ type entry struct {
 	key        string
 	prog       *exec.Program
 	size       int64
+	onDisk     bool // a tier-2 copy exists; eviction loses no work
 	prev, next *entry
 }
 
@@ -83,16 +95,23 @@ type Stats struct {
 	// a drift would surface a dedup bug).
 	Compiles int64
 	// Evictions counts entries dropped to respect the byte budget;
-	// Oversize counts compiled programs too large to cache at all.
-	Evictions, Oversize int64
+	// EvictionsDiskBacked counts the subset whose program had a tier-2
+	// copy at eviction time — those cost a sub-millisecond reload, the
+	// remainder cost a full recompile. Oversize counts compiled
+	// programs too large to cache at all.
+	Evictions, EvictionsDiskBacked, Oversize int64
+	// Tier2Hits counts LRU misses served by the disk tier; Tier2Misses
+	// counts LRU misses that fell through to a compile with a disk tier
+	// configured; Tier2Stores counts programs written back to disk.
+	Tier2Hits, Tier2Misses, Tier2Stores int64
 	// Entries and Bytes describe the current cache contents.
 	Entries int
 	Bytes   int64
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("hits %d  misses %d  coalesced %d  compiles %d  evictions %d  oversize %d  entries %d  bytes %d",
-		s.Hits, s.Misses, s.Coalesced, s.Compiles, s.Evictions, s.Oversize, s.Entries, s.Bytes)
+	return fmt.Sprintf("hits %d  misses %d  coalesced %d  compiles %d  evictions %d (%d disk-backed)  oversize %d  tier2 %d/%d (+%d stored)  entries %d  bytes %d",
+		s.Hits, s.Misses, s.Coalesced, s.Compiles, s.Evictions, s.EvictionsDiskBacked, s.Oversize, s.Tier2Hits, s.Tier2Hits+s.Tier2Misses, s.Tier2Stores, s.Entries, s.Bytes)
 }
 
 // New returns a cache bounded to maxBytes of compiled programs
@@ -187,6 +206,32 @@ func (c *Cache) GetOrCompile(key string, compile func() (*exec.Program, error)) 
 // takes the identical code path — warm hits stay within the serving
 // layer's pinned allocation budget.
 func (c *Cache) GetOrCompileTraced(key string, req *obs.Request, compile func() (*exec.Program, error)) (*exec.Program, error) {
+	return c.getOrCompile(key, nil, 0, req, compile)
+}
+
+// SetTier2 attaches a disk store as the cache's second tier. Call once
+// at setup, before the cache serves requests. Requests routed through
+// GetOrCompileTiered then check the store between an LRU miss and a
+// compile, and write every fresh compile back, so the next process
+// pointed at the same directory skips the compile entirely.
+func (c *Cache) SetTier2(t2 *DiskStore) { c.tier2 = t2 }
+
+// Tier2 returns the attached disk store, if any.
+func (c *Cache) Tier2() *DiskStore { return c.tier2 }
+
+// GetOrCompileTiered is GetOrCompileTraced carrying the decode context
+// — the fabric and options fingerprint the key was built from — so an
+// LRU miss can be served from the tier-2 disk store (recorded as a
+// "tier2-load" stage) before falling back to compile, and a fresh
+// compile is written back ("tier2-store"). The singleflight covers
+// both tiers: concurrent requesters of one key share a single disk
+// probe and at most one compile. Without an attached store (or with a
+// nil fabric) it behaves exactly like GetOrCompileTraced.
+func (c *Cache) GetOrCompileTiered(key string, f topology.Fabric, optFP uint64, req *obs.Request, compile func() (*exec.Program, error)) (*exec.Program, error) {
+	return c.getOrCompile(key, f, optFP, req, compile)
+}
+
+func (c *Cache) getOrCompile(key string, f topology.Fabric, optFP uint64, req *obs.Request, compile func() (*exec.Program, error)) (*exec.Program, error) {
 	sp := req.Stage("cache-lookup")
 	s := &c.shards[c.shardOf(key)]
 	s.mu.Lock()
@@ -213,14 +258,46 @@ func (c *Cache) GetOrCompileTraced(key string, req *obs.Request, compile func() 
 	sp.End()
 	c.misses.Add(1)
 
-	c.compiles.Add(1)
-	prog, err := compile()
+	onDisk := false
+	var prog *exec.Program
+	var err error
+	if c.tier2 != nil && f != nil {
+		lsp := req.Stage("tier2-load")
+		start := time.Now()
+		pg, ok := c.tier2.Load(key, f, optFP)
+		if c.loadHist != nil {
+			c.loadHist.ObserveSince(start)
+		}
+		lsp.End()
+		if ok {
+			c.tier2Hits.Add(1)
+			prog, onDisk = pg, true
+		} else {
+			c.tier2Misses.Add(1)
+		}
+	}
+	if prog == nil {
+		c.compiles.Add(1)
+		prog, err = compile()
+		if err == nil && c.tier2 != nil && f != nil {
+			ssp := req.Stage("tier2-store")
+			start := time.Now()
+			if c.tier2.Store(key, prog, optFP) == nil {
+				c.tier2Stores.Add(1)
+				onDisk = true
+			}
+			if c.storeHist != nil {
+				c.storeHist.ObserveSince(start)
+			}
+			ssp.End()
+		}
+	}
 	cl.prog, cl.err = prog, err
 
 	s.mu.Lock()
 	delete(s.inflight, key)
 	if err == nil {
-		c.insertLocked(s, key, prog)
+		c.insertLocked(s, key, prog, onDisk)
 	}
 	s.mu.Unlock()
 	cl.wg.Done()
@@ -242,7 +319,7 @@ func (c *Cache) Get(key string) (*exec.Program, bool) {
 
 // insertLocked files prog under key and evicts from the shard's LRU
 // tail until the shard fits its byte budget. Caller holds s.mu.
-func (c *Cache) insertLocked(s *shard, key string, prog *exec.Program) {
+func (c *Cache) insertLocked(s *shard, key string, prog *exec.Program, onDisk bool) {
 	size := prog.SizeBytes()
 	if size > c.shardBytes {
 		c.oversize.Add(1)
@@ -254,7 +331,7 @@ func (c *Cache) insertLocked(s *shard, key string, prog *exec.Program) {
 		_ = old
 		return
 	}
-	e := &entry{key: key, prog: prog, size: size}
+	e := &entry{key: key, prog: prog, size: size, onDisk: onDisk}
 	s.entries[key] = e
 	s.pushFront(e)
 	s.bytes += size
@@ -267,18 +344,25 @@ func (c *Cache) insertLocked(s *shard, key string, prog *exec.Program) {
 		delete(s.entries, lru.key)
 		s.bytes -= lru.size
 		c.evictions.Add(1)
+		if lru.onDisk {
+			c.evictDisk.Add(1)
+		}
 	}
 }
 
 // Stats snapshots the counters and sums the per-shard contents.
 func (c *Cache) Stats() Stats {
 	st := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Coalesced: c.coalesced.Load(),
-		Compiles:  c.compiles.Load(),
-		Evictions: c.evictions.Load(),
-		Oversize:  c.oversize.Load(),
+		Hits:                c.hits.Load(),
+		Misses:              c.misses.Load(),
+		Coalesced:           c.coalesced.Load(),
+		Compiles:            c.compiles.Load(),
+		Evictions:           c.evictions.Load(),
+		EvictionsDiskBacked: c.evictDisk.Load(),
+		Oversize:            c.oversize.Load(),
+		Tier2Hits:           c.tier2Hits.Load(),
+		Tier2Misses:         c.tier2Misses.Load(),
+		Tier2Stores:         c.tier2Stores.Load(),
 	}
 	for i := range c.shards {
 		s := &c.shards[i]
@@ -302,7 +386,13 @@ func (c *Cache) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.CounterFunc(prefix+".coalesced", c.coalesced.Load)
 	reg.CounterFunc(prefix+".compiles", c.compiles.Load)
 	reg.CounterFunc(prefix+".evictions", c.evictions.Load)
+	reg.CounterFunc(prefix+".evictions.diskbacked", c.evictDisk.Load)
 	reg.CounterFunc(prefix+".oversize", c.oversize.Load)
+	reg.CounterFunc(prefix+".tier2.hit", c.tier2Hits.Load)
+	reg.CounterFunc(prefix+".tier2.miss", c.tier2Misses.Load)
+	reg.CounterFunc(prefix+".tier2.store", c.tier2Stores.Load)
+	c.loadHist = reg.Histogram(prefix + ".tier2.load.ns")
+	c.storeHist = reg.Histogram(prefix + ".tier2.store.ns")
 	reg.GaugeFunc(prefix+".entries", func() float64 { return float64(c.Stats().Entries) })
 	reg.GaugeFunc(prefix+".bytes", func() float64 { return float64(c.Stats().Bytes) })
 }
