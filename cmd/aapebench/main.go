@@ -163,7 +163,7 @@ func run(args []string, w io.Writer) error {
 		GoOS:   runtime.GOOS, GoArch: runtime.GOARCH,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
-	fmt.Fprintf(w, "%-14s %-10s %14s %12s %12s %10s %8s\n", "alg", "dims", "ns/op", "allocs/op", "compile ns", "steps", "blocks")
+	fmt.Fprintf(w, "%-14s %-10s %14s %12s %12s %12s %5s %8s %8s\n", "alg", "dims", "ns/op", "allocs/op", "compile ns", "bytes/op", "rw%", "steps", "blocks")
 	var firstLabel string
 	var firstFab topology.Fabric
 	for _, dims := range shapes {
@@ -182,6 +182,7 @@ func run(args []string, w io.Writer) error {
 			// timed separately into the compile_ns column), or a full
 			// uncompiled run with -uncompiled.
 			var runOnce func(topt exec.Options) (*exec.Result, error)
+			var pg *exec.Program
 			var compileNs float64
 			var compileAllocs int64
 			var compileParallelNs, tier2LoadNs float64
@@ -202,7 +203,6 @@ func run(args []string, w io.Writer) error {
 				req = tel.StartRequest(b.Name() + "@" + shapeString(dims))
 				bopt := opt
 				bopt.Request = req
-				var pg *exec.Program
 				var buildErr error
 				compileNs, compileAllocs = timeIt(func() {
 					pg, buildErr = algorithm.BuildProgram(b, fab, bopt)
@@ -229,6 +229,12 @@ func run(args []string, w io.Writer) error {
 				Steps: res.Measure.Steps, Blocks: res.Measure.Blocks,
 				Hops: res.Measure.Hops, Rearranged: res.Measure.RearrangedBlocks,
 				MaxSharing: res.MaxSharing,
+			}
+			if pg != nil {
+				// Deterministic plan measures, not the run's: the ledger's
+				// bytes column must be identical on every host.
+				entry.BytesMoved = pg.BytesMoved()
+				entry.RewriteRatio = pg.RewriteRatio()
 			}
 			if *quickFlag {
 				entry.NsPerOp, entry.AllocsPerOp, entry.BytesPerOp = timeOnce(runOnce, opt)
@@ -299,8 +305,9 @@ func run(args []string, w io.Writer) error {
 			}
 			benchCells.Add(1)
 			ledger.Entries = append(ledger.Entries, entry)
-			fmt.Fprintf(w, "%-14s %-10s %14.0f %12d %12.0f %10d %8d\n",
-				entry.Alg, shapeString(dims), entry.NsPerOp, entry.AllocsPerOp, entry.CompileNs, entry.Steps, entry.Blocks)
+			fmt.Fprintf(w, "%-14s %-10s %14.0f %12d %12.0f %12d %4.0f%% %8d %8d\n",
+				entry.Alg, shapeString(dims), entry.NsPerOp, entry.AllocsPerOp, entry.CompileNs,
+				entry.BytesMoved, entry.RewriteRatio*100, entry.Steps, entry.Blocks)
 		}
 	}
 
@@ -364,7 +371,7 @@ func compareBaseline(w io.Writer, path string, ledger *benchfmt.File, toleranceP
 		return fmt.Errorf("baseline %s: no overlapping cells to compare", path)
 	}
 	fmt.Fprintf(w, "\nvs %s (alloc tolerance %.0f%% + %d):\n", path, tolerancePct, benchfmt.AllocSlack)
-	fmt.Fprintf(w, "%-24s %14s %14s %12s %12s\n", "cell", "ns/op", "Δns", "allocs/op", "Δallocs")
+	fmt.Fprintf(w, "%-24s %14s %14s %12s %12s %12s %12s\n", "cell", "ns/op", "Δns", "allocs/op", "Δallocs", "bytes/op", "Δbytes")
 	var failed []string
 	for _, d := range deltas {
 		mark := ""
@@ -372,11 +379,12 @@ func compareBaseline(w io.Writer, path string, ledger *benchfmt.File, toleranceP
 			mark = "  REGRESSED"
 			failed = append(failed, d.Key)
 		}
-		fmt.Fprintf(w, "%-24s %14.0f %+13.1f%% %12d %+11.1f%%%s\n",
-			d.Key, d.New.NsPerOp, d.NsDeltaPct, d.New.AllocsPerOp, d.AllocsDeltaPct, mark)
+		fmt.Fprintf(w, "%-24s %14.0f %+13.1f%% %12d %+11.1f%% %12d %+11.1f%%%s\n",
+			d.Key, d.New.NsPerOp, d.NsDeltaPct, d.New.AllocsPerOp, d.AllocsDeltaPct,
+			d.New.BytesMoved, d.BytesDeltaPct, mark)
 	}
 	if regressed {
-		return fmt.Errorf("allocs/op regressed beyond %.0f%% tolerance in: %s",
+		return fmt.Errorf("allocs/op or bytes moved regressed beyond %.0f%% tolerance in: %s",
 			tolerancePct, strings.Join(failed, ", "))
 	}
 	return nil
@@ -494,8 +502,8 @@ func registrySmoke(w io.Writer, opt exec.Options) error {
 			if err != nil {
 				return fmt.Errorf("smoke: replay %s@%s: %v", name, fab, err)
 			}
-			fmt.Fprintf(w, "smoke ok: %-14s %-10s steps=%-4d blocks=%-8d replayed=%v\n",
-				name, fab, res.Measure.Steps, res.Measure.Blocks, res.Replayed)
+			fmt.Fprintf(w, "smoke ok: %-14s %-10s steps=%-4d blocks=%-8d replayed=%v %s\n",
+				name, fab, res.Measure.Steps, res.Measure.Blocks, res.Replayed, replayShape(pg))
 			pairs++
 		}
 	}
@@ -504,6 +512,29 @@ func registrySmoke(w io.Writer, opt exec.Options) error {
 	}
 	fmt.Fprintf(w, "registry smoke: %d pairs compiled and replayed, %d skipped\n", pairs, skipped)
 	return nil
+}
+
+// replayShape renders a program's replay-table shape for the smoke
+// report: whether the span backing stayed payload-dense or was
+// rebase-compacted (the two span fast paths behave differently enough
+// that a registration silently flipping between them should be
+// visible), and the descriptor plan's size and rewrite/copy split.
+func replayShape(pg *exec.Program) string {
+	st := pg.Stats()
+	if !st.Replayable {
+		return "structural"
+	}
+	mode := "spans=rebased"
+	if st.SpansDense {
+		mode = "spans=dense"
+	}
+	if st.Descriptors {
+		mode += fmt.Sprintf(" desc=%d rw=%d/%d", st.DescCount, st.Rewrites, st.Rewrites+st.Copies)
+		if st.RewriteOnly {
+			mode += " rewrite-only"
+		}
+	}
+	return mode
 }
 
 // trafficSpecs expands the -traffic flag: 'all' becomes one canned
@@ -578,6 +609,7 @@ func sparseSweep(w io.Writer, fabric, out string, shapes [][]int, algs []string,
 					Steps: res.Measure.Steps, Blocks: res.Measure.Blocks,
 					Hops: res.Measure.Hops, Rearranged: res.Measure.RearrangedBlocks,
 					MaxSharing: res.MaxSharing,
+					BytesMoved: pg.BytesMoved(), RewriteRatio: pg.RewriteRatio(),
 				}
 				if quick {
 					entry.NsPerOp, entry.AllocsPerOp, entry.BytesPerOp = timeOnce(runOnce, opt)

@@ -96,6 +96,18 @@ type Entry struct {
 	// MaxSharing is the largest link-sharing serialization factor of
 	// any step.
 	MaxSharing int `json:"max_sharing"`
+	// BytesMoved is the number of bytes the replay physically copied
+	// per op on the mode it ran (Program.BytesMoved): deterministic —
+	// it depends only on the compiled plan, never the host — and gated
+	// by Compare so a planner change that silently starts copying more
+	// fails the bench-regression job. Zero in uncompiled sweeps and
+	// pre-descriptor ledgers, which decode unchanged.
+	BytesMoved int64 `json:"bytes_moved,omitempty"`
+	// RewriteRatio is the fraction of payload transfers the descriptor
+	// planner elided to a pure descriptor rewrite instead of a bulk
+	// copy (Program.RewriteRatio), in [0, 1]. Zero when the cell ran
+	// without a descriptor plan.
+	RewriteRatio float64 `json:"rewrite_ratio,omitempty"`
 }
 
 // Key identifies an entry's cell: algorithm plus shape, plus the
@@ -174,6 +186,12 @@ func (f *File) Validate() error {
 		}
 		if e.MaxSharing < 1 {
 			return fmt.Errorf("benchfmt: entry %d (%s) max_sharing %d < 1", i, e.Key(), e.MaxSharing)
+		}
+		if e.BytesMoved < 0 {
+			return fmt.Errorf("benchfmt: entry %d (%s) bytes_moved %d < 0", i, e.Key(), e.BytesMoved)
+		}
+		if e.RewriteRatio < 0 || e.RewriteRatio > 1 {
+			return fmt.Errorf("benchfmt: entry %d (%s) rewrite_ratio %v outside [0, 1]", i, e.Key(), e.RewriteRatio)
 		}
 		if seen[e.Key()] {
 			return fmt.Errorf("benchfmt: duplicate entry %s", e.Key())
@@ -303,16 +321,24 @@ type Delta struct {
 	// zero and the current value is not.
 	NsDeltaPct     float64
 	AllocsDeltaPct float64
-	// Regressed reports that allocs/op exceeded the tolerance.
+	// BytesDeltaPct is the percentage change in bytes_moved (only
+	// meaningful when both cells measured it).
+	BytesDeltaPct float64
+	// Regressed reports that allocs/op or bytes_moved exceeded the
+	// tolerance.
 	Regressed bool
 }
 
 // Compare matches cur's entries against a baseline ledger by Key and
 // reports per-cell deltas in cur's entry order. A cell regresses when
 // its allocs/op exceed the baseline by more than tolerancePct percent
-// plus AllocSlack allocations; timings are reported but never gated
-// (they are host-dependent). Cells absent from the baseline are
-// skipped — a new algorithm or shape is not a regression.
+// plus AllocSlack allocations, or when its bytes_moved — a
+// deterministic plan property, identical on every host — exceeds a
+// measured baseline by more than tolerancePct percent. Timings are
+// reported but never gated (they are host-dependent). Cells absent
+// from the baseline, or whose baseline predates the bytes_moved
+// column, are not gated on the missing figure — a new algorithm,
+// shape or column is not a regression.
 func Compare(old, cur *File, tolerancePct float64) (deltas []Delta, regressed bool) {
 	oldBy := old.ByKey()
 	for i := range cur.Entries {
@@ -324,9 +350,14 @@ func Compare(old, cur *File, tolerancePct float64) (deltas []Delta, regressed bo
 		d := Delta{Key: e.Key(), Old: o, New: e,
 			NsDeltaPct:     pctDelta(o.NsPerOp, e.NsPerOp),
 			AllocsDeltaPct: pctDelta(float64(o.AllocsPerOp), float64(e.AllocsPerOp)),
+			BytesDeltaPct:  pctDelta(float64(o.BytesMoved), float64(e.BytesMoved)),
 		}
 		limit := float64(o.AllocsPerOp)*(1+tolerancePct/100) + AllocSlack
 		if float64(e.AllocsPerOp) > limit {
+			d.Regressed = true
+			regressed = true
+		}
+		if o.BytesMoved > 0 && float64(e.BytesMoved) > float64(o.BytesMoved)*(1+tolerancePct/100) {
 			d.Regressed = true
 			regressed = true
 		}

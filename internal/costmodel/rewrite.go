@@ -1,0 +1,44 @@
+package costmodel
+
+// Descriptor-rewrite pricing for the compiled executor's ρ phases.
+//
+// A rearrangement (self-)transfer can be executed two ways: bulk-copy
+// its payload into fresh buffer slots (the span replay's behaviour —
+// the blocks end up contiguous, so the next hop extracts them with one
+// or two descriptors), or elide the copy entirely and let the next
+// hop's gather read the blocks where they already sit, through the
+// strided descriptors the compile-time recognizer produced. Eliding
+// trades payLen block copies now for extra descriptor dispatches
+// later: every run the permutation left unexpressed as a copy shows up
+// as additional (start, count, blocklen, stride) windows on the
+// following extraction.
+//
+// The constants are in common units of "bytes of copy traffic": one
+// block copy moves CopyCostPerBlock bytes through the data plane, and
+// walking one descriptor at replay time (loop setup, bounds, the
+// per-window memmove call overhead) prices at DescriptorDispatchCost
+// equivalent bytes. They deliberately mirror the executor's actual
+// data plane — 4-byte dense block ids — rather than the paper's
+// network-level parameters: this decision is about memory traffic
+// inside a replay, not about link time.
+const (
+	// CopyCostPerBlock is the data-plane cost of bulk-copying one
+	// block (one 4-byte dense id) during a replay.
+	CopyCostPerBlock = 4
+	// DescriptorDispatchCost is the fixed per-descriptor overhead of a
+	// strided gather at replay time, expressed in equivalent copy
+	// bytes.
+	DescriptorDispatchCost = 16
+)
+
+// RewriteWins prices descriptor-rewrite against bulk-copy for one
+// rearrangement transfer: payLen is the transfer's payload block
+// count, descs the number of strided descriptors the recognizer needed
+// to express the payload's current (scattered) positions. It returns
+// true when eliding the copy — leaving the permutation to the next
+// hop's descriptors — is cheaper than executing it. A payload so
+// scattered that descs approaches payLen executes the copy and
+// re-coalesces; a long payload covered by a few strides rewrites.
+func RewriteWins(payLen, descs int) bool {
+	return CopyCostPerBlock*payLen > DescriptorDispatchCost*descs
+}

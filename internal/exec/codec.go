@@ -56,6 +56,18 @@ import (
 //	capacity  n x i32            | only when flagReplay
 //	traffic   numTraffic x i32   | only when flagReplay and not flagFullTraffic
 //	parallelErr u32 len + bytes, padded   | only when flagParallelErr
+//	descriptor section            | v2, only when flagDescriptors:
+//	  u32 x4: numDesc, numTailFull, numTailResid, logSize
+//	  u64 x2: descBytes, spanBytes
+//	  dtransfers numTransfers x 4 i32 (descOff descLen insPos finalPos)
+//	  descBase   (n+1) x i32 (per-node log-region prefix)
+//	  descs      numDesc x 4 i32 (start count blocklen stride)
+//	  tailFullOff  (n+1) x i32
+//	  tailFull     numTailFull x 3 i32 (dstPos descOff descLen)
+//	  tailResidOff (n+1) x i32
+//	  tailResid    numTailResid x 3 i32
+//	  phaseRewrites numPhases x i32
+//	  phaseCopies   numPhases x i32
 //	cold section (coldLen bytes):
 //	  u32 numPayload + payload ids (numPayload x i32)
 //	  blocks    numTransfers x u32 (declared Blocks per transfer)
@@ -64,10 +76,21 @@ import (
 //	  segs      per transfer: u8 count + count x (u8 dim, u8 dir, u16 hops),
 //	            stream padded to 4
 //	u32 CRC32 (IEEE) over all preceding bytes
+//
+// Format v2 is v1 plus the descriptor section above (the zero-copy
+// strided replay plan, see descriptor.go) and the flagDescriptors bit
+// that announces it. This build writes v2 and decodes both: a v1 file
+// (e.g. a warm disk cache written by an older build) decodes to a
+// span-only program — fully replayable, just without the descriptor
+// fast path. Derived state (per-step transfer bases, the delivery
+// layout prefix, the rewrite-only verdict) is recomputed at decode and
+// never serialized.
 
-// CodecVersion is the program file format version this build reads
-// and writes. Decoding rejects any other version.
-const CodecVersion = 1
+// CodecVersion is the program file format version this build writes.
+// Decoding also accepts codecVersionV1 for backward compatibility.
+const CodecVersion = 2
+
+const codecVersionV1 = 1
 
 const codecMagic = "TXPG"
 
@@ -76,7 +99,9 @@ const (
 	flagSpansDense  = 1 << 1
 	flagFullTraffic = 1 << 2
 	flagParallelErr = 1 << 3
-	flagKnown       = flagReplay | flagSpansDense | flagFullTraffic | flagParallelErr
+	flagDescriptors = 1 << 4 // v2 only; requires flagReplay
+	flagKnownV1     = flagReplay | flagSpansDense | flagFullTraffic | flagParallelErr
+	flagKnown       = flagKnownV1 | flagDescriptors
 )
 
 // maxDecodeBlocks bounds the dense block-id space (n*n) a decoder will
@@ -115,6 +140,23 @@ var ptLayoutMatches = unsafe.Sizeof(ptransfer{}) == 36 &&
 var spanLayoutMatches = unsafe.Sizeof(idxSpan{}) == 8 &&
 	unsafe.Offsetof(idxSpan{}.start) == 0 &&
 	unsafe.Offsetof(idxSpan{}.end) == 4
+
+var dtLayoutMatches = unsafe.Sizeof(dtransfer{}) == 16 &&
+	unsafe.Offsetof(dtransfer{}.descOff) == 0 &&
+	unsafe.Offsetof(dtransfer{}.descLen) == 4 &&
+	unsafe.Offsetof(dtransfer{}.insPos) == 8 &&
+	unsafe.Offsetof(dtransfer{}.finalPos) == 12
+
+var xdescLayoutMatches = unsafe.Sizeof(xdesc{}) == 16 &&
+	unsafe.Offsetof(xdesc{}.start) == 0 &&
+	unsafe.Offsetof(xdesc{}.count) == 4 &&
+	unsafe.Offsetof(xdesc{}.blocklen) == 8 &&
+	unsafe.Offsetof(xdesc{}.stride) == 12
+
+var tailSegLayoutMatches = unsafe.Sizeof(tailSeg{}) == 12 &&
+	unsafe.Offsetof(tailSeg{}.dstPos) == 0 &&
+	unsafe.Offsetof(tailSeg{}.descOff) == 4 &&
+	unsafe.Offsetof(tailSeg{}.descLen) == 8
 
 func aligned4(b []byte) bool {
 	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))&3 == 0
@@ -201,6 +243,9 @@ func EncodeProgram(p *Program, optFP uint64) ([]byte, error) {
 	}
 	if p.parallelErr != nil {
 		flags |= flagParallelErr
+	}
+	if p.descBase != nil {
+		flags |= flagDescriptors
 	}
 	numTraffic := 0
 	if p.replay && !p.fullTraffic {
@@ -335,9 +380,57 @@ func EncodeProgram(p *Program, optFP uint64) ([]byte, error) {
 		b = append(b, msg...)
 		b = pad4(b)
 	}
+	if p.descBase != nil {
+		b = appendU32(b, uint32(len(p.descBacking)))
+		b = appendU32(b, uint32(len(p.tailFull)))
+		b = appendU32(b, uint32(len(p.tailResid)))
+		b = appendU32(b, uint32(p.descBase[n]))
+		b = appendU64(b, uint64(p.descBytes))
+		b = appendU64(b, uint64(p.spanBytes))
+		if hostLittle && dtLayoutMatches && len(p.dtransfers) > 0 {
+			b = append(b, unsafe.Slice((*byte)(unsafe.Pointer(&p.dtransfers[0])), len(p.dtransfers)*16)...)
+		} else {
+			for i := range p.dtransfers {
+				dt := &p.dtransfers[i]
+				for _, v := range [4]int32{dt.descOff, dt.descLen, dt.insPos, dt.finalPos} {
+					b = appendU32(b, uint32(v))
+				}
+			}
+		}
+		b = appendI32s(b, p.descBase)
+		if hostLittle && xdescLayoutMatches && len(p.descBacking) > 0 {
+			b = append(b, unsafe.Slice((*byte)(unsafe.Pointer(&p.descBacking[0])), len(p.descBacking)*16)...)
+		} else {
+			for i := range p.descBacking {
+				d := &p.descBacking[i]
+				for _, v := range [4]int32{d.start, d.count, d.blocklen, d.stride} {
+					b = appendU32(b, uint32(v))
+				}
+			}
+		}
+		b = appendI32s(b, p.tailFullOff)
+		b = appendTailSegs(b, p.tailFull)
+		b = appendI32s(b, p.tailResidOff)
+		b = appendTailSegs(b, p.tailResid)
+		b = appendI32s(b, p.phaseRewrites)
+		b = appendI32s(b, p.phaseCopies)
+	}
 	b = append(b, cold...)
 	b = appendU32(b, crc32.ChecksumIEEE(b))
 	return b, nil
+}
+
+func appendTailSegs(b []byte, segs []tailSeg) []byte {
+	if hostLittle && tailSegLayoutMatches && len(segs) > 0 {
+		return append(b, unsafe.Slice((*byte)(unsafe.Pointer(&segs[0])), len(segs)*12)...)
+	}
+	for i := range segs {
+		sg := &segs[i]
+		for _, v := range [3]int32{sg.dstPos, sg.descOff, sg.descLen} {
+			b = appendU32(b, uint32(v))
+		}
+	}
+	return b
 }
 
 // ---- Decoding.
@@ -426,16 +519,24 @@ func DecodeProgram(data []byte, f topology.Fabric, optFP uint64) (*Program, erro
 	if len(data) < 24 || string(data[:4]) != codecMagic {
 		return nil, fmt.Errorf("exec: decode: not a program file (bad magic)")
 	}
-	if v := binary.LittleEndian.Uint16(data[4:]); v != CodecVersion {
-		return nil, fmt.Errorf("exec: decode: program file version %d, this build reads %d", v, CodecVersion)
+	version := binary.LittleEndian.Uint16(data[4:])
+	if version != CodecVersion && version != codecVersionV1 {
+		return nil, fmt.Errorf("exec: decode: program file version %d, this build reads %d and %d", version, codecVersionV1, CodecVersion)
 	}
 	body, crcField := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
 	if got := crc32.ChecksumIEEE(body); got != crcField {
 		return nil, fmt.Errorf("exec: decode: checksum mismatch (file %08x, computed %08x): file corrupted or truncated", crcField, got)
 	}
 	flags := data[6]
-	if flags&^byte(flagKnown) != 0 {
-		return nil, fmt.Errorf("exec: decode: unknown flags %#x", flags&^byte(flagKnown))
+	known := byte(flagKnown)
+	if version == codecVersionV1 {
+		known = flagKnownV1
+	}
+	if flags&^known != 0 {
+		return nil, fmt.Errorf("exec: decode: unknown flags %#x", flags&^known)
+	}
+	if flags&flagDescriptors != 0 && flags&flagReplay == 0 {
+		return nil, fmt.Errorf("exec: decode: descriptor plan on a measure-only program")
 	}
 	r := &creader{b: body, off: 8}
 	if gotFP := r.u64(); gotFP != optFP {
@@ -504,6 +605,30 @@ func DecodeProgram(data []byte, f topology.Fabric, optFP uint64) (*Program, erro
 			p.parallelErr = errors.New(string(msg))
 		}
 	}
+	var (
+		numDesc, numTailFull, numTailResid, logSize int
+		dtBytes, descBytesRaw                       []byte
+		tailFullRaw, tailResidRaw                   []byte
+		descBase, tailFullOff, tailResidOff         []int32
+		phaseRewrites, phaseCopies                  []int32
+	)
+	if flags&flagDescriptors != 0 {
+		numDesc = int(r.u32())
+		numTailFull = int(r.u32())
+		numTailResid = int(r.u32())
+		logSize = int(r.u32())
+		p.descBytes = int64(r.u64())
+		p.spanBytes = int64(r.u64())
+		dtBytes = r.take(numTransfers * 16)
+		descBase = asInt32s(r.take((n + 1) * 4))
+		descBytesRaw = r.take(numDesc * 16)
+		tailFullOff = asInt32s(r.take((n + 1) * 4))
+		tailFullRaw = r.take(numTailFull * 12)
+		tailResidOff = asInt32s(r.take((n + 1) * 4))
+		tailResidRaw = r.take(numTailResid * 12)
+		phaseRewrites = asInt32s(r.take(numPhases * 4))
+		phaseCopies = asInt32s(r.take(numPhases * 4))
+	}
 	cold := r.take(coldLen)
 	if r.err != nil {
 		return nil, r.err
@@ -563,6 +688,7 @@ func DecodeProgram(data []byte, f topology.Fabric, optFP uint64) (*Program, erro
 			phaseIndex: int(h[0]), stepIndex: int(h[1]),
 			sharing: int(h[2]), maxBlocks: int(h[3]), maxHops: int(h[4]),
 			transfers: transfers[lo:hi:hi],
+			tBase:     lo,
 		}
 	}
 	if numSteps > 0 && int(stepT[numSteps]) != numTransfers || numSteps == 0 && numTransfers != 0 {
@@ -630,9 +756,224 @@ func DecodeProgram(data []byte, f topology.Fabric, optFP uint64) (*Program, erro
 			}
 			p.trafficIDs = trafficIDs
 		}
+		// Delivery layout prefix — derived, for every replayable program
+		// (ReplayInto's span fallback needs it on v1 files too).
+		finalBase := make([]int32, n+1)
+		for v := 0; v < n; v++ {
+			finalBase[v+1] = finalBase[v] + perDest[v]
+		}
+		p.finalBase = finalBase
+	}
+	if flags&flagDescriptors != 0 {
+		if err := p.decodeDescPlan(dtBytes, descBase, descBytesRaw, tailFullOff, tailFullRaw,
+			tailResidOff, tailResidRaw, phaseRewrites, phaseCopies,
+			numDesc, numTailFull, numTailResid, logSize, numTransfers, numPayload); err != nil {
+			return nil, err
+		}
 	}
 	p.cold = cold
 	p.coldPhases = numPhases
 	p.coldPayload = numPayload
 	return p, nil
+}
+
+func viewDtransfers(b []byte, n int) []dtransfer {
+	if n == 0 {
+		return nil
+	}
+	if hostLittle && dtLayoutMatches && aligned4(b) {
+		return unsafe.Slice((*dtransfer)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]dtransfer, n)
+	for i := range out {
+		rec := b[i*16:]
+		out[i] = dtransfer{
+			descOff:  int32(binary.LittleEndian.Uint32(rec[0:])),
+			descLen:  int32(binary.LittleEndian.Uint32(rec[4:])),
+			insPos:   int32(binary.LittleEndian.Uint32(rec[8:])),
+			finalPos: int32(binary.LittleEndian.Uint32(rec[12:])),
+		}
+	}
+	return out
+}
+
+func viewXdescs(b []byte, n int) []xdesc {
+	if n == 0 {
+		return nil
+	}
+	if hostLittle && xdescLayoutMatches && aligned4(b) {
+		return unsafe.Slice((*xdesc)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]xdesc, n)
+	for i := range out {
+		rec := b[i*16:]
+		out[i] = xdesc{
+			start:    int32(binary.LittleEndian.Uint32(rec[0:])),
+			count:    int32(binary.LittleEndian.Uint32(rec[4:])),
+			blocklen: int32(binary.LittleEndian.Uint32(rec[8:])),
+			stride:   int32(binary.LittleEndian.Uint32(rec[12:])),
+		}
+	}
+	return out
+}
+
+func viewTailSegs(b []byte, n int) []tailSeg {
+	if n == 0 {
+		return nil
+	}
+	if hostLittle && tailSegLayoutMatches && aligned4(b) {
+		return unsafe.Slice((*tailSeg)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]tailSeg, n)
+	for i := range out {
+		rec := b[i*12:]
+		out[i] = tailSeg{
+			dstPos:  int32(binary.LittleEndian.Uint32(rec[0:])),
+			descOff: int32(binary.LittleEndian.Uint32(rec[4:])),
+			descLen: int32(binary.LittleEndian.Uint32(rec[8:])),
+		}
+	}
+	return out
+}
+
+// decodeDescPlan validates the descriptor section against the already
+// validated replay tables and attaches it. Every index a descriptor
+// replay follows — log windows, delivery windows, descriptor windows —
+// is range-checked here, so a decoded plan cannot make gather read or
+// write out of bounds no matter how the file was corrupted.
+func (p *Program) decodeDescPlan(dtBytes []byte, descBase []int32, descRaw []byte,
+	tailFullOff []int32, tailFullRaw []byte, tailResidOff []int32, tailResidRaw []byte,
+	phaseRewrites, phaseCopies []int32,
+	numDesc, numTailFull, numTailResid, logSize, numTransfers, numPayload int) error {
+	n := p.n
+	if p.descBytes < 0 || p.spanBytes < 0 {
+		return fmt.Errorf("exec: decode: negative bytes-moved measure")
+	}
+	if logSize < 0 || logSize > p.numBlocks+numPayload {
+		return fmt.Errorf("exec: decode: implausible log size %d", logSize)
+	}
+	if descBase[0] != 0 || int(descBase[n]) != logSize {
+		return fmt.Errorf("exec: decode: log region prefix does not cover the log")
+	}
+	perOrigin := make([]int32, n)
+	for _, id := range p.trafficIDs {
+		perOrigin[int(id)/n]++
+	}
+	for v := 0; v < n; v++ {
+		if descBase[v+1] < descBase[v] {
+			return fmt.Errorf("exec: decode: log region prefix not monotone at node %d", v)
+		}
+		if descBase[v+1]-descBase[v] < perOrigin[v] {
+			return fmt.Errorf("exec: decode: node %d log region smaller than its initial contents", v)
+		}
+	}
+	descs := viewXdescs(descRaw, numDesc)
+	for i := range descs {
+		d := &descs[i]
+		if d.count < 1 || d.blocklen < 1 || d.count > 1 && d.stride == 0 {
+			return fmt.Errorf("exec: decode: descriptor %d malformed", i)
+		}
+		first := int64(d.start)
+		last := first + int64(d.count-1)*int64(d.stride)
+		if first < 0 || last < 0 ||
+			first+int64(d.blocklen) > int64(logSize) || last+int64(d.blocklen) > int64(logSize) {
+			return fmt.Errorf("exec: decode: descriptor %d reads outside the log", i)
+		}
+	}
+	// expansion sums a descriptor window's element count (bounded: every
+	// window start is a distinct log slot, so the int64 sum can't wrap).
+	expansion := func(off, cnt int32) int64 {
+		var total int64
+		for _, d := range descs[off : off+cnt] {
+			total += int64(d.count) * int64(d.blocklen)
+		}
+		return total
+	}
+	totalDeliver := int64(p.finalBase[n])
+	dts := viewDtransfers(dtBytes, numTransfers)
+	rewriteOnly := true
+	g := 0
+	for si := range p.steps {
+		ts := p.steps[si].transfers
+		for ti := range ts {
+			pt, dt := &ts[ti], &dts[g]
+			g++
+			if pt.payLen == 0 || dt.insPos < 0 {
+				// Empty or elided: nothing may execute.
+				if dt.descLen != 0 || dt.insPos >= 0 {
+					return fmt.Errorf("exec: decode: transfer %d descriptor plan inconsistent", g-1)
+				}
+				continue
+			}
+			if dt.descOff < 0 || dt.descLen < 1 || int64(dt.descOff)+int64(dt.descLen) > int64(numDesc) {
+				return fmt.Errorf("exec: decode: transfer %d descriptor window out of range", g-1)
+			}
+			if expansion(dt.descOff, dt.descLen) != int64(pt.payLen) {
+				return fmt.Errorf("exec: decode: transfer %d descriptors expand to the wrong payload size", g-1)
+			}
+			if int64(dt.insPos)+int64(pt.payLen) > int64(logSize) {
+				return fmt.Errorf("exec: decode: transfer %d insert window outside the log", g-1)
+			}
+			if dt.finalPos >= 0 {
+				if int64(dt.finalPos)+int64(pt.payLen) > totalDeliver {
+					return fmt.Errorf("exec: decode: transfer %d delivery window out of range", g-1)
+				}
+			} else {
+				if dt.finalPos != -1 {
+					return fmt.Errorf("exec: decode: transfer %d delivery position invalid", g-1)
+				}
+				rewriteOnly = false
+			}
+		}
+	}
+	tailFull := viewTailSegs(tailFullRaw, numTailFull)
+	tailResid := viewTailSegs(tailResidRaw, numTailResid)
+	checkTail := func(off []int32, segs []tailSeg, full bool) error {
+		if off[0] != 0 || int(off[n]) != len(segs) {
+			return fmt.Errorf("exec: decode: tail offsets do not cover the segments")
+		}
+		for v := 0; v < n; v++ {
+			if off[v+1] < off[v] {
+				return fmt.Errorf("exec: decode: tail offsets not monotone at node %d", v)
+			}
+			var covered int64
+			for _, sg := range segs[off[v]:off[v+1]] {
+				if sg.dstPos < 0 || sg.descOff < 0 || sg.descLen < 0 ||
+					int64(sg.descOff)+int64(sg.descLen) > int64(numDesc) {
+					return fmt.Errorf("exec: decode: node %d tail segment out of range", v)
+				}
+				e := expansion(sg.descOff, sg.descLen)
+				if int64(sg.dstPos)+e > int64(p.perDest[v]) {
+					return fmt.Errorf("exec: decode: node %d tail segment writes past its deliveries", v)
+				}
+				covered += e
+			}
+			if full && covered != int64(p.perDest[v]) {
+				return fmt.Errorf("exec: decode: node %d full tail covers %d deliveries, want %d", v, covered, p.perDest[v])
+			}
+		}
+		return nil
+	}
+	if err := checkTail(tailFullOff, tailFull, true); err != nil {
+		return err
+	}
+	if err := checkTail(tailResidOff, tailResid, false); err != nil {
+		return err
+	}
+	for i := range phaseRewrites {
+		if phaseRewrites[i] < 0 || phaseCopies[i] < 0 {
+			return fmt.Errorf("exec: decode: negative phase rewrite/copy count")
+		}
+	}
+	p.dtransfers = dts
+	p.descBacking = descs
+	p.descBase = descBase
+	p.tailFull = tailFull
+	p.tailFullOff = tailFullOff
+	p.tailResid = tailResid
+	p.tailResidOff = tailResidOff
+	p.phaseRewrites = phaseRewrites
+	p.phaseCopies = phaseCopies
+	p.rewriteOnly = rewriteOnly
+	return nil
 }

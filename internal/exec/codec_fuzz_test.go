@@ -76,3 +76,71 @@ func FuzzProgramDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDescriptorDecode extends the decode fuzzing contract to the v2
+// descriptor section: any program the decoder accepts must not only
+// materialize safely, it must REPLAY safely — serial, parallel, and
+// through ReplayInto — because the descriptor plan is executed with
+// unchecked gathers whose every index the decoder promised to have
+// bounds-validated. A panic or out-of-range access here means a
+// corrupted or hostile cache file can crash (or worse, silently
+// corrupt) the host process. Like FuzzProgramDecode, each input is
+// tried verbatim and with the CRC resealed so mutations reach the
+// structural validation.
+func FuzzDescriptorDecode(f *testing.F) {
+	tor := topology.MustNew(4, 4)
+	seed := func(alg string) []byte {
+		b, err := algorithm.For(alg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		sc, err := b.BuildSchedule(tor)
+		if err != nil {
+			f.Fatal(err)
+		}
+		pg, err := exec.Compile(sc, exec.Options{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		enc, err := exec.EncodeProgram(pg, 0)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return enc
+	}
+	direct := seed("direct")
+	f.Add(direct)
+	f.Add(seed("factored"))
+	f.Add(seed("proposed-sim"))
+	flipped := append([]byte(nil), direct...)
+	flipped[2*len(flipped)/3] ^= 0x10 // land mutations in the replay/desc tables
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		check := func(b []byte) {
+			pg, err := exec.DecodeProgram(b, tor, 0)
+			if err != nil || !pg.Replayable() {
+				return
+			}
+			// Replay errors are fine (the executor's own validation may
+			// reject what the decoder structurally accepted); panics and
+			// wild memory accesses are the bug class under test.
+			if _, err := pg.Run(exec.Options{Serial: true}); err != nil {
+				return
+			}
+			if _, err := pg.Run(exec.Options{Workers: 2}); err != nil {
+				return
+			}
+			a := pg.NewArena()
+			dst := make([]int32, pg.DeliverySize())
+			_ = pg.ReplayInto(a, dst, exec.Options{Serial: true})
+			_ = pg.ReplayInto(a, dst, exec.Options{Workers: 2})
+		}
+		check(data)
+		if len(data) >= 8 {
+			sealed := append([]byte(nil), data...)
+			binary.LittleEndian.PutUint32(sealed[len(sealed)-4:], crc32.ChecksumIEEE(sealed[:len(sealed)-4]))
+			check(sealed)
+		}
+	})
+}

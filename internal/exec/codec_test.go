@@ -248,14 +248,107 @@ func TestProgramDecodeRejects(t *testing.T) {
 	})
 }
 
-// TestProgramCodecGolden pins the v1 byte format: the committed
-// golden file must decode, and re-encoding the 4x4 direct program
-// must reproduce it bit-for-bit. A diff here means the format
-// changed — bump CodecVersion rather than silently breaking every
-// cached program on disk. Regenerate with -update after a deliberate
-// version bump.
+// TestProgramCodecGolden pins the v2 byte format: the committed
+// golden files must decode, and re-encoding the 4x4 programs must
+// reproduce them bit-for-bit. A diff here means the format changed —
+// bump CodecVersion rather than silently breaking every cached
+// program on disk. Regenerate with -update after a deliberate version
+// bump. Two shapes are pinned: the direct exchange, and the factored
+// algorithm whose multi-phase program exercises the descriptor
+// section (rewrites, tail segments) most heavily.
 func TestProgramCodecGolden(t *testing.T) {
 	tor := topology.MustNew(4, 4)
+	for _, alg := range []string{"direct", "factored"} {
+		t.Run(alg, func(t *testing.T) {
+			b, err := algorithm.For(alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := b.BuildSchedule(tor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pg, err := exec.Compile(sc, exec.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc, err := exec.EncodeProgram(pg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "program_v2_"+alg+"4x4.bin")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, enc, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(enc, want) {
+				t.Fatalf("encoding diverges from committed v2 golden (%d vs %d bytes); if the format changed deliberately, bump CodecVersion and -update", len(enc), len(want))
+			}
+			dec, err := exec.DecodeProgram(want, tor, 0)
+			if err != nil {
+				t.Fatalf("golden decode: %v", err)
+			}
+			if dec.Measure() != pg.Measure() {
+				t.Fatalf("golden Measure %+v, want %+v", dec.Measure(), pg.Measure())
+			}
+			// Decode-and-replay: the program reconstituted from the
+			// committed bytes must deliver the same matrix as the fresh
+			// compile, through the descriptor path and straight into a
+			// caller buffer.
+			ref, err := pg.Run(exec.Options{Serial: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := dec.Run(exec.Options{Serial: true})
+			if err != nil {
+				t.Fatalf("golden replay: %v", err)
+			}
+			sameBuffers(t, ref.Buffers, got.Buffers)
+			refDst := make([]int32, pg.DeliverySize())
+			if err := pg.ReplayInto(pg.NewArena(), refDst, exec.Options{Serial: true}); err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]int32, dec.DeliverySize())
+			if err := dec.ReplayInto(dec.NewArena(), dst, exec.Options{Serial: true}); err != nil {
+				t.Fatalf("golden ReplayInto: %v", err)
+			}
+			for i := range refDst {
+				if dst[i] != refDst[i] {
+					t.Fatalf("golden ReplayInto diverges at flat position %d: %d vs %d", i, dst[i], refDst[i])
+				}
+			}
+		})
+	}
+}
+
+// TestProgramCodecV1DecodeCompat: the committed v1 golden — written
+// before the descriptor section existed — must keep decoding, so a
+// warm -progcache-dir full of v1 programs still serves after an
+// upgrade. A v1 program carries no descriptor plan: it replays on the
+// span path only, and must still deliver the same matrix as a fresh
+// compile of the same schedule (which replays through descriptors).
+func TestProgramCodecV1DecodeCompat(t *testing.T) {
+	path := filepath.Join("testdata", "program_v1_direct4x4.bin")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read committed v1 golden (must never be regenerated): %v", err)
+	}
+	tor := topology.MustNew(4, 4)
+	dec, err := exec.DecodeProgram(raw, tor, 0)
+	if err != nil {
+		t.Fatalf("v1 decode: %v", err)
+	}
+	if st := dec.Stats(); st.Descriptors {
+		t.Fatal("v1 program decoded with a descriptor plan")
+	}
 	b, err := algorithm.For("direct")
 	if err != nil {
 		t.Fatal(err)
@@ -268,31 +361,18 @@ func TestProgramCodecGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	enc, err := exec.EncodeProgram(pg, 0)
+	if dec.Measure() != pg.Measure() {
+		t.Fatalf("v1 Measure %+v, want %+v", dec.Measure(), pg.Measure())
+	}
+	want, err := pg.Run(exec.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join("testdata", "program_v1_direct4x4.bin")
-	if *updateGolden {
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
-			t.Fatal(err)
+	for _, serial := range []bool{true, false} {
+		got, err := dec.Run(exec.Options{Serial: serial})
+		if err != nil {
+			t.Fatalf("v1 replay (serial=%v): %v", serial, err)
 		}
-		if err := os.WriteFile(path, enc, 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	want, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("read golden (regenerate with -update): %v", err)
-	}
-	if !bytes.Equal(enc, want) {
-		t.Fatalf("encoding diverges from committed v1 golden (%d vs %d bytes); if the format changed deliberately, bump CodecVersion and -update", len(enc), len(want))
-	}
-	dec, err := exec.DecodeProgram(want, tor, 0)
-	if err != nil {
-		t.Fatalf("golden decode: %v", err)
-	}
-	if dec.Measure() != pg.Measure() {
-		t.Fatalf("golden Measure %+v, want %+v", dec.Measure(), pg.Measure())
+		sameBuffers(t, want.Buffers, got.Buffers)
 	}
 }

@@ -85,6 +85,7 @@ type compileScratch struct {
 	spanWC    []idxSpan
 	ordOff    []int32
 	initIDs   []int32
+	firstArr  []int32
 }
 
 var compileScratchPool = sync.Pool{New: func() any { return new(compileScratch) }}
@@ -201,7 +202,14 @@ func (p *Program) compileReplay(opt Options, payloadBacking []int32, opOff []int
 		cs.ordOff = make([]int32, numT)
 	}
 	ordOff := cs.ordOff[:numT] // ordinal -> ordSpill offset, read only under opHasOrd
-	var ordSpill []int32       // stamp-sorted payload copies for the rare unsorted transfers
+	if cap(cs.firstArr) < numT {
+		cs.firstArr = make([]int32, numT)
+	}
+	// firstArr records each payload transfer's first-arriving block (its
+	// payload in arrival-stamp order); the descriptor planner anchors a
+	// last-hop transfer's delivery window on it.
+	firstArr := cs.firstArr[:numT]
+	var ordSpill []int32 // stamp-sorted payload copies for the rare unsorted transfers
 	if cap(cs.opBacking) < int(opOff[n]) {
 		cs.opBacking = make([]opRec, opOff[n])
 	}
@@ -231,6 +239,7 @@ func (p *Program) compileReplay(opt Options, payloadBacking []int32, opOff []int
 					return fmt.Errorf("exec: phase %q step %d: node %d transmits %v it does not hold",
 						ps.phase.Name, ps.stepIndex, src, block.Block{Origin: topology.NodeID(int(id) / n), Dest: topology.NodeID(int(id) % n)})
 				}
+				firstArr[g] = id
 				hs[id] = uint64(uint32(dst))<<32 | uint64(uint32(arrivals[dst]))
 				arrivals[dst]++
 			} else {
@@ -263,6 +272,7 @@ func (p *Program) compileReplay(opt Options, payloadBacking []int32, opOff []int
 					ordOff[g] = int32(off)
 					flags |= opHasOrd
 				}
+				firstArr[g] = ord[0]
 				for _, id := range ord {
 					hs[id] = uint64(uint32(dst))<<32 | uint64(uint32(arrivals[dst]))
 					arrivals[dst]++
@@ -318,6 +328,14 @@ func (p *Program) compileReplay(opt Options, payloadBacking []int32, opOff []int
 	var fwd atomic.Int64
 	fwd.Store(-1)
 	var spanTotal atomic.Int64
+	// spanBytes accumulates the elements a span replay physically moves:
+	// per extraction, the span copies into the flat scratch (payLen), the
+	// compaction shift of everything above the first hole, and the insert
+	// append at the destination (payLen again) — live - start0 + payLen
+	// elements with live the pre-extraction occupancy. The descriptor
+	// planner's bulk-copy pricing and the bytes-moved telemetry both read
+	// the total.
+	var spanBytes atomic.Int64
 	var derr par.FirstError
 	par.ForEach(0, n, func(lo, hi int) {
 		idSlot := acquireIDSlot(p.numBlocks) // block id -> logical slot at the node in progress
@@ -338,6 +356,7 @@ func (p *Program) compileReplay(opt Options, payloadBacking []int32, opOff []int
 		physBuf := make([]int32, 0, 64) // extraction positions, ascending
 		localFwd := int64(-1)
 		localSpans := int64(0)
+		localBytes := int64(0)
 		for v := lo; v < hi; v++ {
 			S := int(arrivals[v])
 			nw := (S + 63) >> 6
@@ -391,6 +410,7 @@ func (p *Program) compileReplay(opt Options, payloadBacking []int32, opOff []int
 						pos := fenPrefix(wfen, w) + int32(bits.OnesCount64(words[w]&(1<<uint(s&63)-1)))
 						spanWC[op.payOff] = idxSpan{start: pos, end: pos + 1}
 						localSpans++
+						localBytes += int64(live) - int64(pos) + 1
 						if int(pos) >= stepBase && (localFwd < 0 || int64(gr>>opFlagBits) < localFwd>>32) {
 							localFwd = int64(gr>>opFlagBits)<<32 | int64(uint32(id))
 						}
@@ -445,6 +465,7 @@ func (p *Program) compileReplay(opt Options, payloadBacking []int32, opOff []int
 						spanWC[int(op.payOff)+len(wc)] = idxSpan{start: -1}
 					}
 					localSpans += int64(len(wc))
+					localBytes += int64(live) - int64(physBuf[0]) + int64(len(ord))
 					for _, id := range ord {
 						s := int(idSlot[id])
 						words[s>>6] &^= 1 << uint(s&63)
@@ -488,6 +509,7 @@ func (p *Program) compileReplay(opt Options, payloadBacking []int32, opOff []int
 		}
 		idSlotPool.Put(idSlot)
 		spanTotal.Add(localSpans)
+		spanBytes.Add(localBytes)
 		if localFwd >= 0 {
 			for {
 				cur := fwd.Load()
@@ -550,6 +572,12 @@ func (p *Program) compileReplay(opt Options, payloadBacking []int32, opOff []int
 		p.parallelErr = fmt.Errorf("exec: phase %q step %d: node %d forwards %v within the step that delivered it; the two-barrier parallel replay cannot execute this schedule (run with Options.Serial)",
 			ps.phase.Name, ps.stepIndex, int(ps.transfers[gg-base].src), block.Block{Origin: topology.NodeID(int(id) / n), Dest: topology.NodeID(int(id) % n)})
 	}
+	p.spanBytes = spanBytes.Load() * 4
+
+	// ---- Pass 3: the descriptor-mode replay plan (the append-only log
+	// layout, strided gather descriptors, ρ elision and last-hop direct
+	// delivery), built from this pass's artifacts. See descriptor.go.
+	p.planDescriptors(opOff, opBacking, ordOff, ordSpill, initIDs, initOff, hs, arrivals, firstArr, numT)
 	return nil
 }
 

@@ -1,0 +1,380 @@
+// The descriptor-replay differential layer: a compiled program's
+// descriptor plan — the ρ-rewrite elisions, the strided gathers, the
+// direct last-hop deliveries — must be observably indistinguishable
+// from the span replay it replaced, on every (fabric, algorithm) pair
+// the registry supports, serially and in parallel, and through
+// ReplayInto's caller-owned destination buffers.
+package exec_test
+
+import (
+	"fmt"
+	"testing"
+
+	"torusx/internal/algorithm"
+	"torusx/internal/block"
+	"torusx/internal/costmodel"
+	"torusx/internal/exec"
+	"torusx/internal/schedule"
+	"torusx/internal/telemetry"
+	"torusx/internal/topology"
+)
+
+// descriptorFabrics spans the registry smoke's shapes plus asymmetric
+// and virtual-node (size-1 dimension) tori.
+func descriptorFabrics() []topology.Fabric {
+	return []topology.Fabric{
+		topology.MustNew(8, 8),
+		topology.MustNew(4, 4, 4),
+		topology.MustNew(12, 8),
+		topology.MustNew(5, 3),
+		topology.MustNew(2, 1, 4),
+		topology.MustNewDragonfly(2, 3),
+		topology.MustNewDragonfly(3, 4),
+	}
+}
+
+// flatIDs renders a delivery matrix as the dense-id layout ReplayInto
+// writes: node v's blocks at [DeliveryOffset(v), DeliveryOffset(v+1)).
+func flatIDs(bufs []*block.Buffer) []int32 {
+	n := len(bufs)
+	var out []int32
+	for _, b := range bufs {
+		for _, blk := range b.View() {
+			out = append(out, int32(int(blk.Origin)*n+int(blk.Dest)))
+		}
+	}
+	return out
+}
+
+func sameIDs(t *testing.T, label string, want, got []int32) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d ids, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: id[%d] = %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestDescriptorDifferentialReplay is the tentpole's contract: on
+// every supported (fabric, algorithm) registry pair, descriptor replay
+// — serial and parallel — must deliver byte-identically to the span
+// replay of the same program, the plan must pass its static
+// invariants, and ReplayInto must write the same ids into a
+// caller-owned buffer. Runs under -race in CI's differential job.
+func TestDescriptorDifferentialReplay(t *testing.T) {
+	for _, fab := range descriptorFabrics() {
+		for _, name := range algorithm.Supporting(fab) {
+			t.Run(fmt.Sprintf("%s@%s", name, fab), func(t *testing.T) {
+				b, err := algorithm.For(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc, err := b.BuildSchedule(fab)
+				if err != nil {
+					t.Skipf("builder: %v", err)
+				}
+				pg, err := exec.Compile(sc, exec.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := exec.CheckDescriptorPlan(pg); err != nil {
+					t.Fatalf("descriptor plan: %v", err)
+				}
+				arena := pg.NewArena()
+				ref, err := pg.RunArena(arena, exec.Options{Serial: true, SpanReplay: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ref.Replayed {
+					return // structural program: no deliveries to compare
+				}
+				refIDs := flatIDs(ref.Buffers)
+				runs := []struct {
+					label string
+					opt   exec.Options
+				}{
+					{"span-parallel", exec.Options{Workers: 3, SpanReplay: true}},
+					{"desc-serial", exec.Options{Serial: true}},
+					{"desc-parallel", exec.Options{}},
+					{"desc-workers-3", exec.Options{Workers: 3}},
+				}
+				for _, r := range runs {
+					got, err := pg.RunArena(arena, r.opt)
+					if err != nil {
+						t.Fatalf("%s: %v", r.label, err)
+					}
+					if got.Measure != ref.Measure || got.MaxSharing != ref.MaxSharing {
+						t.Fatalf("%s: Measure %+v sharing %d, want %+v %d", r.label,
+							got.Measure, got.MaxSharing, ref.Measure, ref.MaxSharing)
+					}
+					sameBuffers(t, ref.Buffers, got.Buffers)
+				}
+				// ReplayInto: user-owned destination, all paths, same ids.
+				dst := make([]int32, pg.DeliverySize())
+				into := []struct {
+					label string
+					opt   exec.Options
+				}{
+					{"into-serial", exec.Options{Serial: true}},
+					{"into-parallel", exec.Options{Workers: 2}},
+					{"into-span", exec.Options{Serial: true, SpanReplay: true}},
+				}
+				for _, r := range into {
+					for i := range dst {
+						dst[i] = -1
+					}
+					if err := pg.ReplayInto(arena, dst, r.opt); err != nil {
+						t.Fatalf("%s: %v", r.label, err)
+					}
+					sameIDs(t, r.label, refIDs, dst)
+				}
+				// A replay after ReplayInto must still be clean: the direct
+				// deliveries bypassed the arena, not corrupted it.
+				again, err := pg.RunArena(arena, exec.Options{Serial: true})
+				if err != nil {
+					t.Fatalf("replay after ReplayInto: %v", err)
+				}
+				sameBuffers(t, ref.Buffers, again.Buffers)
+			})
+		}
+	}
+}
+
+// rhoRingSchedule hand-builds the schedule shape the registry's
+// builders only annotate: an explicit ρ phase of multi-block
+// self-transfers (every node reverses its buffer — a pure intra-node
+// permutation, one negative-stride descriptor) followed by a ring
+// exchange that forwards the permuted blocks to their destinations.
+// The reversal is exactly the case the ρ elision targets: payLen 8
+// against a single descriptor, so costmodel.RewriteWins prices the
+// descriptor rewrite below the bulk copy.
+func rhoRingSchedule(t *testing.T) *schedule.Schedule {
+	t.Helper()
+	tor := topology.MustNew(8)
+	n := tor.Nodes()
+	bufs := block.Initial(tor)
+	sc := &schedule.Schedule{Fabric: tor}
+
+	rho := schedule.Phase{Name: "rho"}
+	st := schedule.Step{}
+	for i := 0; i < n; i++ {
+		taken, _ := bufs[i].TakeIf(func(block.Block) bool { return true })
+		rev := make([]block.Block, len(taken))
+		for j, b := range taken {
+			rev[len(taken)-1-j] = b
+		}
+		bufs[i].Add(rev...)
+		st.Transfers = append(st.Transfers, schedule.Transfer{
+			Src: topology.NodeID(i), Dst: topology.NodeID(i),
+			Dim: 0, Dir: topology.Pos, Hops: 0,
+			Blocks: len(rev), Payload: rev,
+		})
+	}
+	rho.Steps = append(rho.Steps, st)
+	sc.Phases = append(sc.Phases, rho)
+
+	ring := schedule.Phase{Name: "ring"}
+	for k := 0; k < n-1; k++ {
+		st := schedule.Step{}
+		moved := make([][]block.Block, n)
+		for i := 0; i < n; i++ {
+			taken, _ := bufs[i].TakeIf(func(b block.Block) bool { return int(b.Dest) != i })
+			if len(taken) == 0 {
+				continue
+			}
+			dst := topology.NodeID((i + 1) % n)
+			moved[dst] = taken
+			st.Transfers = append(st.Transfers, schedule.Transfer{
+				Src: topology.NodeID(i), Dst: dst,
+				Dim: 0, Dir: topology.Pos, Hops: 1,
+				Blocks: len(taken), Payload: taken,
+			})
+		}
+		for j, bs := range moved {
+			if bs != nil {
+				bufs[j].Add(bs...)
+			}
+		}
+		if len(st.Transfers) > 0 {
+			ring.Steps = append(ring.Steps, st)
+		}
+	}
+	sc.Phases = append(sc.Phases, ring)
+	if err := sc.Check(); err != nil {
+		t.Fatalf("rho-ring schedule invalid: %v", err)
+	}
+	return sc
+}
+
+// TestDescriptorRhoElision proves the ρ-rewrite path end to end: on a
+// schedule with explicit rearrangement self-transfers, the planner
+// must elide every one of them (recording the wins in the phase
+// ledger), descriptor replay must still deliver byte-identically to
+// span replay and to the uncompiled reference on every path, and the
+// elision must show up as fewer bytes physically moved.
+func TestDescriptorRhoElision(t *testing.T) {
+	sc := rhoRingSchedule(t)
+	ref, err := exec.Run(sc, exec.Options{Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := exec.Compile(sc, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.CheckDescriptorPlan(pg); err != nil {
+		t.Fatalf("descriptor plan: %v", err)
+	}
+	st := pg.Stats()
+	if st.Rewrites != 8 {
+		t.Fatalf("rewrites %d, want 8 (one elided reversal per node); stats %+v", st.Rewrites, st)
+	}
+	if pg.RewriteRatio() <= 0 {
+		t.Fatalf("rewrite ratio %v, want > 0", pg.RewriteRatio())
+	}
+	if pg.BytesMoved() >= pg.SpanBytesMoved() {
+		t.Fatalf("descriptor replay moves %d bytes, span %d — elision bought nothing",
+			pg.BytesMoved(), pg.SpanBytesMoved())
+	}
+	arena := pg.NewArena()
+	for _, r := range []struct {
+		label string
+		opt   exec.Options
+	}{
+		{"span-serial", exec.Options{Serial: true, SpanReplay: true}},
+		{"desc-serial", exec.Options{Serial: true}},
+		{"desc-parallel", exec.Options{Workers: 3}},
+	} {
+		got, err := pg.RunArena(arena, r.opt)
+		if err != nil {
+			t.Fatalf("%s: %v", r.label, err)
+		}
+		sameBuffers(t, ref.Buffers, got.Buffers)
+	}
+	dst := make([]int32, pg.DeliverySize())
+	if err := pg.ReplayInto(arena, dst, exec.Options{Serial: true}); err != nil {
+		t.Fatal(err)
+	}
+	sameIDs(t, "replay-into", flatIDs(ref.Buffers), dst)
+}
+
+// TestReplayIntoZeroAlloc pins the acceptance bar for user-owned
+// destination buffers: on a rewrite-only program (every executed
+// transfer delivers directly — the single-phase direct exchange) a
+// warm serial ReplayInto performs zero allocations and touches no
+// arena scratch.
+func TestReplayIntoZeroAlloc(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	b, err := algorithm.For("direct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := b.BuildSchedule(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := exec.Compile(sc, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := pg.Stats(); !st.RewriteOnly {
+		t.Fatalf("direct@8x8 is not rewrite-only: %+v", st)
+	}
+	arena := pg.NewArena()
+	dst := make([]int32, pg.DeliverySize())
+	// Warm once: the arena's log and init region are built lazily.
+	if err := pg.ReplayInto(arena, dst, exec.Options{Serial: true}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := pg.ReplayInto(arena, dst, exec.Options{Serial: true}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm rewrite-only ReplayInto allocates %.0f objects/op, want 0", allocs)
+	}
+}
+
+// TestBytesMovedMatchesTelemetry: the Program.BytesMoved accessor, the
+// run Result, and the telemetry stream's exec.bytes_moved counter must
+// agree — one number per mode, reported identically through every
+// surface.
+func TestBytesMovedMatchesTelemetry(t *testing.T) {
+	tor := topology.MustNew(8, 8)
+	for _, name := range []string{"direct", "factored", "proposed-sim"} {
+		b, err := algorithm.For(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := b.BuildSchedule(tor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg, err := exec.Compile(sc, exec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, span := range []bool{false, true} {
+			want := pg.BytesMoved()
+			if span {
+				want = pg.SpanBytesMoved()
+			}
+			sink := &telemetry.MemorySink{}
+			rec := telemetry.New(sink, costmodel.T3D(64))
+			res, err := pg.Run(exec.Options{Serial: true, SpanReplay: span, Telemetry: rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.BytesMoved != want {
+				t.Fatalf("%s span=%v: Result.BytesMoved %d, accessor %d", name, span, res.BytesMoved, want)
+			}
+			found := false
+			for _, ev := range sink.Events() {
+				if ev.Kind == telemetry.CounterKind && ev.Name == "exec.bytes_moved" {
+					found = true
+					if ev.Value != float64(want) {
+						t.Fatalf("%s span=%v: telemetry bytes_moved %v, accessor %d", name, span, ev.Value, want)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("%s span=%v: no exec.bytes_moved counter in the stream", name, span)
+			}
+		}
+	}
+}
+
+// TestDescriptorBytesGate is the machine-independent half of the perf
+// acceptance: on the multi-phase rearranging algorithms the descriptor
+// plan must physically copy fewer bytes per replay than the span path
+// it replaced, at 8x8 and 16x16. Both measures are deterministic plan
+// properties, so this gate never flakes across hosts.
+func TestDescriptorBytesGate(t *testing.T) {
+	for _, name := range []string{"factored", "logtime"} {
+		for _, dims := range [][]int{{8, 8}, {16, 16}} {
+			b, err := algorithm.For(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := b.BuildSchedule(topology.MustNew(dims...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pg, err := exec.Compile(sc, exec.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			desc, span := pg.BytesMoved(), pg.SpanBytesMoved()
+			if desc >= span {
+				t.Errorf("%s@%v: descriptor replay moves %d bytes, span replay %d — no win", name, dims, desc, span)
+			} else {
+				t.Logf("%s@%v: %d -> %d bytes (-%.0f%%), rewrite ratio %.2f",
+					name, dims, span, desc, 100*(1-float64(desc)/float64(span)), pg.RewriteRatio())
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// expandDescs flattens a descriptor list back to the position list it
+// encodes, in order.
+func expandDescs(descs []xdesc) []int32 {
+	var out []int32
+	for _, d := range descs {
+		s := d.start
+		for c := int32(0); c < d.count; c++ {
+			for b := int32(0); b < d.blocklen; b++ {
+				out = append(out, s+b)
+			}
+			s += d.stride
+		}
+	}
+	return out
+}
+
+// TestCoalesceDescsLossless is the recognizer's core property: for any
+// position list — strided, blocked, reversed, permuted, or random —
+// the coalesced descriptors must expand back to exactly the original
+// list, element for element. Every replay gather rides on this.
+func TestCoalesceDescsLossless(t *testing.T) {
+	cases := [][]int32{
+		{},
+		{0},
+		{7},
+		{0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{0, 4, 8, 12},
+		{12, 8, 4, 0},
+		{0, 1, 4, 5, 8, 9},       // blocklen 2, stride 4
+		{5, 6, 7, 1, 2, 3, 9},    // blocks with a tail
+		{0, 2, 1, 3},             // not expressible as one stride
+		{10, 10, 10},             // repeated positions (id duplication)
+		{0, 100, 3, 99, 4, 5, 6}, // jumps
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		n := rng.Intn(64)
+		pos := make([]int32, n)
+		for j := range pos {
+			pos[j] = int32(rng.Intn(256))
+		}
+		cases = append(cases, pos)
+	}
+	// Structured random: strided runs with random parameters, the shapes
+	// the ρ-rewrite actually produces.
+	for i := 0; i < 50; i++ {
+		var pos []int32
+		base := int32(rng.Intn(32))
+		for r := 0; r < 1+rng.Intn(4); r++ {
+			count, blocklen := int32(1+rng.Intn(5)), int32(1+rng.Intn(5))
+			stride := int32(rng.Intn(16)) - 8
+			if stride == 0 {
+				stride = blocklen
+			}
+			s := base
+			for c := int32(0); c < count; c++ {
+				for b := int32(0); b < blocklen; b++ {
+					pos = append(pos, s+b)
+				}
+				s += stride
+			}
+			base += 64
+		}
+		cases = append(cases, pos)
+	}
+	for ci, pos := range cases {
+		got := expandDescs(coalesceDescs(nil, pos))
+		if len(got) != len(pos) {
+			t.Fatalf("case %d: expansion has %d positions, want %d (%v vs %v)", ci, len(got), len(pos), got, pos)
+		}
+		for j := range pos {
+			if got[j] != pos[j] {
+				t.Fatalf("case %d: expansion[%d] = %d, want %d\nin:  %v\nout: %v", ci, j, got[j], pos[j], pos, got)
+			}
+		}
+	}
+}

@@ -75,6 +75,11 @@ type pstep struct {
 	maxBlocks  int
 	maxHops    int
 	transfers  []ptransfer
+	// tBase is the step's first global transfer ordinal: the dtransfer
+	// of transfers[ti] is Program.dtransfers[tBase+ti]. Derived (set by
+	// the descriptor planner at compile and recomputed at decode), never
+	// serialized.
+	tBase int32
 }
 
 // Program is a compiled schedule: the validated, densely indexed form
@@ -132,6 +137,40 @@ type Program struct {
 	// implicit all-to-all matrix (Options.Traffic nil); the codec then
 	// omits the id table and the decoder rebuilds it arithmetically.
 	fullTraffic bool
+
+	// Descriptor-mode replay plan (see descriptor.go). descBase nil
+	// means the program carries no plan — measure-only programs and
+	// programs decoded from v1 files — and replays through spans only.
+	// The span tables stay fully populated either way: the two modes are
+	// differentially interchangeable and Options.SpanReplay forces the
+	// span path at run time.
+	dtransfers  []dtransfer
+	descBacking []xdesc
+	descBase    []int32 // per-node log regions, n+1 prefix
+	// tailFull expands each node's complete final deliveries from the
+	// log (checkDelivery/materialize in descriptor mode); tailResid only
+	// the deliveries no last-hop transfer gathers directly (ReplayInto's
+	// cleanup). Both index descBacking; per-node windows via the n+1
+	// offset prefixes.
+	tailFull     []tailSeg
+	tailFullOff  []int32
+	tailResid    []tailSeg
+	tailResidOff []int32
+	// finalBase is the flat delivery layout: node v's blocks occupy
+	// [finalBase[v], finalBase[v+1]) of a ReplayInto destination.
+	// Derived from perDest at compile and decode, never serialized.
+	finalBase []int32
+	// descBytes/spanBytes: bytes one replay physically copies in each
+	// mode (measured at compile; descriptor elision is what drops
+	// descBytes below spanBytes). phaseRewrites/phaseCopies: per-phase ρ
+	// decision ledger — transfers elided to a descriptor rewrite vs.
+	// executed as bulk copies. rewriteOnly: every executed payload
+	// transfer is last-hop, so ReplayInto never writes arena scratch.
+	descBytes     int64
+	spanBytes     int64
+	phaseRewrites []int32
+	phaseCopies   []int32
+	rewriteOnly   bool
 
 	// Decoded-program state: cold holds the unparsed cold section of
 	// the program file (phase names, block counts, routes, payload
@@ -197,7 +236,108 @@ func (p *Program) SizeBytes() int64 {
 	size += int64(len(p.payloadBacking))*4 + int64(len(p.linkBacking))*4
 	size += int64(len(p.spanBacking)) * int64(unsafe.Sizeof(idxSpan{}))
 	size += int64(len(p.trafficIDs))*4 + int64(len(p.perDest))*4 + int64(len(p.capacity))*4
+	size += int64(len(p.dtransfers)) * int64(unsafe.Sizeof(dtransfer{}))
+	size += int64(len(p.descBacking)) * int64(unsafe.Sizeof(xdesc{}))
+	size += int64(len(p.tailFull)+len(p.tailResid)) * int64(unsafe.Sizeof(tailSeg{}))
+	size += int64(len(p.descBase)+len(p.tailFullOff)+len(p.tailResidOff)+len(p.finalBase)) * 4
+	size += int64(len(p.phaseRewrites)+len(p.phaseCopies)) * 4
 	return size
+}
+
+// BytesMoved returns the bytes one replay of the program physically
+// copies on its active replay mode: the descriptor path when the
+// program carries a plan, the span path otherwise. Measured on the
+// compile-time reference replay; every RunArena reports the same value
+// in Result.BytesMoved and the exec.bytes_moved telemetry counter.
+func (p *Program) BytesMoved() int64 {
+	if p.descBase != nil {
+		return p.descBytes
+	}
+	return p.spanBytes
+}
+
+// SpanBytesMoved returns the bytes one span-mode replay physically
+// copies (extraction copies, compaction shifts and insert appends) —
+// the baseline the descriptor plan's BytesMoved is measured against.
+func (p *Program) SpanBytesMoved() int64 { return p.spanBytes }
+
+// RewriteRatio returns the fraction of the program's payload transfers
+// the descriptor planner elided to a pure descriptor rewrite (0 when
+// the program carries no plan or no payload transfers).
+func (p *Program) RewriteRatio() float64 {
+	var rw, cp int64
+	for _, c := range p.phaseRewrites {
+		rw += int64(c)
+	}
+	for _, c := range p.phaseCopies {
+		cp += int64(c)
+	}
+	if rw+cp == 0 {
+		return 0
+	}
+	return float64(rw) / float64(rw+cp)
+}
+
+// ReplayStats summarizes the compiled replay tables for reporting
+// (aapebench's registry footer, debugging).
+type ReplayStats struct {
+	Replayable  bool
+	Descriptors bool // the program carries a descriptor plan
+	SpansDense  bool // span backing is payload-parallel (no coalescing)
+	Spans       int  // span count (== payload blocks when dense)
+	DescCount   int  // strided descriptors across transfers and tails
+	Rewrites    int  // payload transfers elided to descriptor rewrites
+	Copies      int  // payload transfers executed as bulk copies
+	RewriteOnly bool // every executed transfer delivers directly
+	BytesMoved  int64
+	SpanBytes   int64
+}
+
+// Stats reports the program's replay-table shape and the descriptor
+// planner's decisions.
+func (p *Program) Stats() ReplayStats {
+	st := ReplayStats{
+		Replayable:  p.replay,
+		Descriptors: p.descBase != nil,
+		SpansDense:  p.spansDense,
+		Spans:       len(p.spanBacking),
+		DescCount:   len(p.descBacking),
+		RewriteOnly: p.descBase != nil && p.rewriteOnly,
+		BytesMoved:  p.BytesMoved(),
+		SpanBytes:   p.spanBytes,
+	}
+	for _, c := range p.phaseRewrites {
+		st.Rewrites += int(c)
+	}
+	for _, c := range p.phaseCopies {
+		st.Copies += int(c)
+	}
+	return st
+}
+
+// DeliverySize returns the element count of the flat delivery layout —
+// the required length of a ReplayInto destination: every node's final
+// blocks, nodes in id order.
+func (p *Program) DeliverySize() int {
+	if p.finalBase != nil {
+		return int(p.finalBase[p.n])
+	}
+	return len(p.trafficIDs)
+}
+
+// DeliveryOffset returns node v's offset within the flat delivery
+// layout: after ReplayInto(dst), node v's blocks are
+// dst[DeliveryOffset(v):DeliveryOffset(v+1)], in arrival order —
+// element-for-element the ids of Result.Buffers[v] from a RunArena.
+func (p *Program) DeliveryOffset(v int) int {
+	if p.finalBase != nil {
+		return int(p.finalBase[v])
+	}
+	off := 0
+	for i := 0; i < v; i++ {
+		off += int(p.perDest[i])
+	}
+	return off
 }
 
 // payloadOf, linksOf and spansOf resolve a transfer's backing windows.
@@ -529,6 +669,7 @@ func Compile(sc *schedule.Schedule, opt Options) (*Program, error) {
 		if err := p.compileReplay(opt, payloadBacking, opOff, numTransfers); err != nil {
 			return nil, err
 		}
+		noteCompile(p)
 	}
 	return p, nil
 }
@@ -611,10 +752,16 @@ func checkStep(f topology.Fabric, domainTab, links []int32, ps *pstep, skipCheck
 type Arena struct {
 	prog *Program
 
-	bufs [][]int32 // per-node block-id arrays, capacity-bounded
-	flat []int32   // per-step extraction scratch, indexed by moveOff
-	out  []*block.Buffer
-	bad  bool // a replay errored; the arena must not be pooled
+	bufs [][]int32 // per-node block-id arrays, capacity-bounded (span mode)
+	flat []int32   // per-step extraction scratch, indexed by moveOff (span mode)
+	// log is the descriptor mode's append-only block log: per-node
+	// regions at the program's descBase offsets, each node's initial
+	// blocks written once at allocation and never overwritten (a block's
+	// physical position is fixed at compile time, so repeat replays
+	// rewrite every window with identical values — no per-run reset).
+	log []int32
+	out []*block.Buffer
+	bad bool // a replay errored; the arena must not be pooled
 
 	// Cached replay partitions for the parallel path, keyed by the
 	// worker count they were built for.
@@ -623,17 +770,53 @@ type Arena struct {
 	dstBuckets    [][][]int
 }
 
-// NewArena returns a fresh scratch arena for p.
+// NewArena returns a fresh scratch arena for p, sized for the
+// program's default replay mode; the other mode's state is allocated
+// lazily on first use (Options.SpanReplay on a descriptor program, or
+// a v1-decoded program's span-only replay).
 func (p *Program) NewArena() *Arena {
 	a := &Arena{prog: p}
 	if p.replay {
+		if p.descBase != nil {
+			a.ensureDescLog()
+		} else {
+			a.ensureSpanState()
+		}
+	}
+	return a
+}
+
+// ensureSpanState allocates the span replay's buffers and extraction
+// scratch if the arena does not have them yet.
+func (a *Arena) ensureSpanState() {
+	p := a.prog
+	if a.bufs == nil {
 		a.bufs = make([][]int32, p.n)
 		for i := range a.bufs {
 			a.bufs[i] = make([]int32, 0, p.capacity[i])
 		}
+	}
+	if a.flat == nil {
 		a.flat = make([]int32, p.maxStepPayload)
 	}
-	return a
+}
+
+// ensureDescLog allocates the descriptor replay's block log and writes
+// each node's initial blocks into the head of its region — the one and
+// only time the init slots are written for the arena's lifetime.
+func (a *Arena) ensureDescLog() {
+	p := a.prog
+	if a.log != nil {
+		return
+	}
+	a.log = make([]int32, p.descBase[p.n])
+	cur := make([]int32, p.n)
+	copy(cur, p.descBase[:p.n])
+	for _, id := range p.trafficIDs {
+		o := int(id) / p.n
+		a.log[cur[o]] = id
+		cur[o]++
+	}
 }
 
 // AcquireArena returns an arena for p from its free list, falling back
@@ -680,15 +863,29 @@ func (p *Program) RunArena(a *Arena, opt Options) (*Result, error) {
 	res := &Result{Schedule: p.sc, Measure: p.measure, MaxSharing: p.maxSharing}
 	if p.replay {
 		sp := opt.Request.Stage("replay")
-		a.reset()
+		desc := p.descBase != nil && !opt.SpanReplay
 		var err error
-		if opt.Serial {
-			a.replaySerial()
+		if desc {
+			a.ensureDescLog()
+			if opt.Serial {
+				a.replayDescSerial()
+			} else {
+				err = a.replayDescParallel(opt.Workers)
+			}
+			if err == nil {
+				err = a.checkDeliveryDesc()
+			}
 		} else {
-			err = a.replayParallel(opt.Workers)
-		}
-		if err == nil {
-			err = a.checkDelivery()
+			a.ensureSpanState()
+			a.reset()
+			if opt.Serial {
+				a.replaySerial()
+			} else {
+				err = a.replayParallel(opt.Workers)
+			}
+			if err == nil {
+				err = a.checkDelivery()
+			}
 		}
 		if err != nil {
 			sp.End()
@@ -696,7 +893,14 @@ func (p *Program) RunArena(a *Arena, opt Options) (*Result, error) {
 			return nil, err
 		}
 		res.Replayed = true
-		res.Buffers = a.materialize()
+		if desc {
+			res.Buffers = a.materializeDesc()
+			res.BytesMoved = p.descBytes
+		} else {
+			res.Buffers = a.materialize()
+			res.BytesMoved = p.spanBytes
+		}
+		noteReplay(p, desc)
 		sp.End()
 	}
 	if opt.Telemetry.Enabled() {
@@ -848,10 +1052,10 @@ func (a *Arena) checkDelivery() error {
 	return nil
 }
 
-// materialize converts the dense id buffers back to block.Buffers,
-// reusing the arena's output buffers (preallocated to the program's
-// per-node capacity bound) so repeat runs allocate nothing here.
-func (a *Arena) materialize() []*block.Buffer {
+// outBuffers returns the arena's reusable output buffers, reset and
+// ready to fill (preallocated to the program's per-node capacity bound
+// so repeat runs allocate nothing here).
+func (a *Arena) outBuffers() []*block.Buffer {
 	p := a.prog
 	if a.out == nil {
 		a.out = make([]*block.Buffer, p.n)
@@ -863,10 +1067,227 @@ func (a *Arena) materialize() []*block.Buffer {
 			b.Reset()
 		}
 	}
+	return a.out
+}
+
+// materialize converts the dense id buffers back to block.Buffers.
+func (a *Arena) materialize() []*block.Buffer {
+	p := a.prog
+	out := a.outBuffers()
 	for v, ids := range a.bufs {
 		for _, id := range ids {
-			a.out[v].Add(block.Block{Origin: topology.NodeID(int(id) / p.n), Dest: topology.NodeID(int(id) % p.n)})
+			out[v].Add(block.Block{Origin: topology.NodeID(int(id) / p.n), Dest: topology.NodeID(int(id) % p.n)})
 		}
 	}
-	return a.out
+	return out
+}
+
+// replayDescSerial replays the descriptor plan in schedule order: each
+// executed transfer is one strided gather from the log into its
+// precomputed insert window; elided (ρ-rewritten) and empty transfers
+// cost nothing. No compaction, no per-run reset — every window's
+// contents are identical run over run.
+func (a *Arena) replayDescSerial() {
+	p := a.prog
+	for si := range p.steps {
+		ps := &p.steps[si]
+		for ti := range ps.transfers {
+			dt := &p.dtransfers[int(ps.tBase)+ti]
+			if dt.insPos < 0 {
+				continue
+			}
+			pt := &ps.transfers[ti]
+			gather(a.log[dt.insPos:int(dt.insPos)+int(pt.payLen)], a.log, p.descBacking[dt.descOff:dt.descOff+dt.descLen])
+		}
+	}
+}
+
+// replayDescParallel is the descriptor plan's parallel path: one
+// sender-sharded sweep per step — a transfer's gather reads its source
+// node's region (conflict-free by the sender shard) and writes a
+// compile-time-fixed window no other transfer of the step touches, so
+// extract and insert fuse into a single stage with one barrier per
+// step, half the span path's. Intra-step forwarders were flagged at
+// compile time and are rejected exactly as in replayParallel.
+func (a *Arena) replayDescParallel(workers int) error {
+	p := a.prog
+	if err := p.parallelErr; err != nil {
+		return err
+	}
+	a.ensureBuckets(workers)
+	var ps *pstep
+	move := func(_, ti int) {
+		dt := &p.dtransfers[int(ps.tBase)+ti]
+		if dt.insPos < 0 {
+			return
+		}
+		pt := &ps.transfers[ti]
+		gather(a.log[dt.insPos:int(dt.insPos)+int(pt.payLen)], a.log, p.descBacking[dt.descOff:dt.descOff+dt.descLen])
+	}
+	for si := range p.steps {
+		ps = &p.steps[si]
+		if len(ps.transfers) == 0 {
+			continue
+		}
+		par.RunBucketsWorker(a.srcBuckets[si], move)
+	}
+	return nil
+}
+
+// checkDeliveryDesc is the descriptor mode's rematerialization guard:
+// expand each node's full-tail descriptors against the log and verify
+// the count and addressing, exactly what checkDelivery asserts on the
+// span buffers.
+func (a *Arena) checkDeliveryDesc() error {
+	p := a.prog
+	for v := 0; v < p.n; v++ {
+		got := 0
+		for _, sg := range p.tailFull[p.tailFullOff[v]:p.tailFullOff[v+1]] {
+			for _, d := range p.descBacking[sg.descOff : sg.descOff+sg.descLen] {
+				s := int(d.start)
+				for c := int32(0); c < d.count; c++ {
+					for b := 0; b < int(d.blocklen); b++ {
+						if id := a.log[s+b]; int(id)%p.n != v {
+							return fmt.Errorf("exec: node %d holds misdelivered block id %d", v, id)
+						}
+					}
+					got += int(d.blocklen)
+					s += int(d.stride)
+				}
+			}
+		}
+		if got != int(p.perDest[v]) {
+			return fmt.Errorf("exec: node %d holds %d blocks after replay, want %d", v, got, p.perDest[v])
+		}
+	}
+	return nil
+}
+
+// materializeDesc converts the log's final deliveries to block.Buffers
+// through each node's full-tail descriptors, in the same arrival order
+// the span path's buffers hold.
+func (a *Arena) materializeDesc() []*block.Buffer {
+	p := a.prog
+	out := a.outBuffers()
+	for v := 0; v < p.n; v++ {
+		for _, sg := range p.tailFull[p.tailFullOff[v]:p.tailFullOff[v+1]] {
+			for _, d := range p.descBacking[sg.descOff : sg.descOff+sg.descLen] {
+				s := int(d.start)
+				for c := int32(0); c < d.count; c++ {
+					for b := 0; b < int(d.blocklen); b++ {
+						id := a.log[s+b]
+						out[v].Add(block.Block{Origin: topology.NodeID(int(id) / p.n), Dest: topology.NodeID(int(id) % p.n)})
+					}
+					s += int(d.stride)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ReplayInto replays the program and extracts the final deliveries
+// directly into caller-owned memory: dst must have exactly
+// DeliverySize() elements and receives every node's blocks as dense
+// ids at the DeliveryOffset layout, element-for-element the buffers a
+// RunArena would return. On a descriptor program, last-hop transfers
+// gather straight into dst (skipping the arena log) and elided
+// transfers move nothing, so a rewrite-only program writes no arena
+// scratch at all — the serial path then performs zero allocations.
+// Options.Serial/Workers choose the path as in RunArena;
+// Options.SpanReplay (and any program without a descriptor plan)
+// replays through spans and bulk-copies the buffers out. ReplayInto
+// reports no Result and emits no telemetry; callers that need either
+// use RunArena.
+func (p *Program) ReplayInto(a *Arena, dst []int32, opt Options) error {
+	if a == nil || a.prog != p {
+		return fmt.Errorf("exec: arena does not belong to this program")
+	}
+	if !p.replay {
+		return fmt.Errorf("exec: ReplayInto on a measure-only program")
+	}
+	if len(dst) != p.DeliverySize() {
+		return fmt.Errorf("exec: ReplayInto destination holds %d elements, want %d", len(dst), p.DeliverySize())
+	}
+	if p.descBase == nil || opt.SpanReplay {
+		a.ensureSpanState()
+		a.reset()
+		if opt.Serial {
+			a.replaySerial()
+		} else if err := a.replayParallel(opt.Workers); err != nil {
+			return err
+		}
+		if err := a.checkDelivery(); err != nil {
+			a.bad = true
+			return err
+		}
+		w := 0
+		for v := range a.bufs {
+			w += copy(dst[w:], a.bufs[v])
+		}
+		return nil
+	}
+	a.ensureDescLog()
+	if opt.Serial {
+		for si := range p.steps {
+			ps := &p.steps[si]
+			for ti := range ps.transfers {
+				dt := &p.dtransfers[int(ps.tBase)+ti]
+				if dt.insPos < 0 {
+					continue
+				}
+				pt := &ps.transfers[ti]
+				descs := p.descBacking[dt.descOff : dt.descOff+dt.descLen]
+				if dt.finalPos >= 0 {
+					gather(dst[dt.finalPos:int(dt.finalPos)+int(pt.payLen)], a.log, descs)
+				} else {
+					gather(a.log[dt.insPos:int(dt.insPos)+int(pt.payLen)], a.log, descs)
+				}
+			}
+		}
+	} else {
+		if err := p.parallelErr; err != nil {
+			return err
+		}
+		a.ensureBuckets(opt.Workers)
+		var ps *pstep
+		move := func(_, ti int) {
+			dt := &p.dtransfers[int(ps.tBase)+ti]
+			if dt.insPos < 0 {
+				return
+			}
+			pt := &ps.transfers[ti]
+			descs := p.descBacking[dt.descOff : dt.descOff+dt.descLen]
+			if dt.finalPos >= 0 {
+				gather(dst[dt.finalPos:int(dt.finalPos)+int(pt.payLen)], a.log, descs)
+			} else {
+				gather(a.log[dt.insPos:int(dt.insPos)+int(pt.payLen)], a.log, descs)
+			}
+		}
+		for si := range p.steps {
+			ps = &p.steps[si]
+			if len(ps.transfers) == 0 {
+				continue
+			}
+			par.RunBucketsWorker(a.srcBuckets[si], move)
+		}
+	}
+	// Residual deliveries — blocks no last-hop transfer wrote (never
+	// moved, or last moved by an elided rewrite) — gather from the log
+	// into their precomputed slots.
+	for v := 0; v < p.n; v++ {
+		base := int(p.finalBase[v])
+		for _, sg := range p.tailResid[p.tailResidOff[v]:p.tailResidOff[v+1]] {
+			gather(dst[base+int(sg.dstPos):], a.log, p.descBacking[sg.descOff:sg.descOff+sg.descLen])
+		}
+	}
+	for v := 0; v < p.n; v++ {
+		for _, id := range dst[p.finalBase[v]:p.finalBase[v+1]] {
+			if int(id)%p.n != v {
+				a.bad = true
+				return fmt.Errorf("exec: node %d holds misdelivered block id %d", v, id)
+			}
+		}
+	}
+	return nil
 }

@@ -139,6 +139,20 @@ func emitRun(rec *telemetry.Recorder, sc *schedule.Schedule, res *Result, stepWo
 			now = end
 			global++
 		}
+		// Descriptor-plan decision ledger: how many of the phase's payload
+		// transfers were elided to a descriptor rewrite vs. executed as
+		// bulk copies. Compiled programs only (rec.Emit directly — the
+		// Counter helper can't carry a phase scope); the differential
+		// telemetry test filters these before comparing against the
+		// uncompiled stream.
+		if pg != nil && pg.descBase != nil && pi < len(pg.phaseRewrites) {
+			rec.Emit(telemetry.Event{Kind: telemetry.CounterKind, Scope: telemetry.ScopePhase,
+				Name: "phase.rewrites", Phase: pi, Step: -1, Transfer: -1, Time: now,
+				Value: float64(pg.phaseRewrites[pi])})
+			rec.Emit(telemetry.Event{Kind: telemetry.CounterKind, Scope: telemetry.ScopePhase,
+				Name: "phase.copies", Phase: pi, Step: -1, Transfer: -1, Time: now,
+				Value: float64(pg.phaseCopies[pi])})
+		}
 		rec.Emit(telemetry.Event{Kind: telemetry.SpanEnd, Scope: telemetry.ScopePhase,
 			Name: ph.Name, Phase: pi, Step: -1, Transfer: -1, Time: now, Rearrange: rearr})
 	}
@@ -151,6 +165,12 @@ func emitRun(rec *telemetry.Recorder, sc *schedule.Schedule, res *Result, stepWo
 	rec.Counter("exec.rearranged_blocks", now, float64(res.Measure.RearrangedBlocks))
 	rec.Counter("exec.max_sharing", now, float64(res.MaxSharing))
 	rec.Counter("exec.completion_us", now, p.Completion(res.Measure))
+	if pg != nil && pg.Replayable() {
+		// Bytes the replay physically moved on the mode that ran —
+		// compiled programs only (the uncompiled paths don't measure it;
+		// the differential telemetry test filters this too).
+		rec.Counter("exec.bytes_moved", now, float64(res.BytesMoved))
+	}
 
 	// Per-link gauges in the fabric's canonical link order (ascending
 	// in dense id), so the stream stays deterministic.
